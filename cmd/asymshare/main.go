@@ -1,0 +1,524 @@
+// Command asymshare is the end-user tool: generate an identity, run a
+// storage peer, share a file to a set of peers, and fetch it back from
+// anywhere — the full workflow of the paper.
+//
+// Usage:
+//
+//	asymshare keygen  -out user.key
+//	asymshare serve   -key peer.key -listen :7070 -store ./data -upload 262144
+//	asymshare share   -key user.key -file video.mpg -peers a:7070,b:7070 -out video.handle
+//	asymshare fetch   -key user.key -handle video.handle -secret <hex> -out video.mpg
+//	asymshare update  -key user.key -handle video.handle -secret <hex> -old v1.mpg -new v2.mpg
+//	asymshare list    -key user.key -peer host:7070
+//	asymshare audit   -key user.key -handle video.handle
+//	asymshare repair  -key user.key -handle video.handle -secret <hex> -file video.mpg
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/client"
+	"asymshare/internal/core"
+	"asymshare/internal/dht"
+	"asymshare/internal/fairshare"
+	"asymshare/internal/peer"
+	"asymshare/internal/ring"
+	"asymshare/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asymshare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: asymshare <keygen|serve|share|fetch> [flags]")
+	}
+	switch args[0] {
+	case "keygen":
+		return cmdKeygen(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
+	case "share":
+		return cmdShare(args[1:], out)
+	case "fetch":
+		return cmdFetch(args[1:], out)
+	case "update":
+		return cmdUpdate(args[1:], out)
+	case "list":
+		return cmdList(args[1:], out)
+	case "audit":
+		return cmdAudit(args[1:], out)
+	case "repair":
+		return cmdRepair(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// loadIdentity reads a 32-byte hex seed from a key file.
+func loadIdentity(path string) (*auth.Identity, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(blob)))
+	if err != nil {
+		return nil, fmt.Errorf("key file %s: %w", path, err)
+	}
+	return auth.IdentityFromSeed(seed)
+}
+
+func cmdKeygen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	outPath := fs.String("out", "", "file to write the key seed to (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return errors.New("keygen: -out is required")
+	}
+	seed := make([]byte, 32)
+	if _, err := rand.Read(seed); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+		return err
+	}
+	id, err := auth.IdentityFromSeed(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\npublic key: %x\nfingerprint: %s\n", *outPath, id.Public(), id.Fingerprint())
+	return nil
+}
+
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "peer key file (required)")
+	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
+	storeDir := fs.String("store", "", "message store directory (required)")
+	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped)")
+	ownerHex := fs.String("owner", "", "owner public key (hex) allowed to send feedback")
+	ledgerPath := fs.String("ledger", "", "receipt-ledger file persisted across restarts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *storeDir == "" {
+		return errors.New("serve: -key and -store are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	st, err := store.OpenDisk(*storeDir)
+	if err != nil {
+		return err
+	}
+	cfg := peer.Config{
+		Identity:          id,
+		Store:             st,
+		UploadBytesPerSec: *upload,
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	if *ownerHex != "" {
+		owner, err := hex.DecodeString(*ownerHex)
+		if err != nil || len(owner) != 32 {
+			return fmt.Errorf("serve: invalid -owner key")
+		}
+		cfg.Owner = owner
+	}
+	if *ledgerPath != "" {
+		ledger, err := fairshare.LoadLedgerFile(*ledgerPath, fairshare.DefaultInitialCredit)
+		if err != nil {
+			return err
+		}
+		cfg.Ledger = ledger
+	}
+	node, err := peer.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := node.Start(*listen); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "peer %s serving on %s (store %s)\n", id.Fingerprint(), node.Addr(), *storeDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(out, "shutting down")
+	if err := node.Close(); err != nil {
+		return err
+	}
+	if *ledgerPath != "" {
+		if err := cfg.Ledger.SaveFile(*ledgerPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ledger saved to %s\n", *ledgerPath)
+	}
+	return nil
+}
+
+func cmdShare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("share", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	filePath := fs.String("file", "", "file to share (required)")
+	peers := fs.String("peers", "", "comma-separated peer addresses (required)")
+	outPath := fs.String("out", "", "handle output path (default <file>.handle)")
+	trackerAddr := fs.String("tracker", "", "tracker to announce the share to")
+	dhtAddr := fs.String("dht", "", "DHT bootstrap node to announce the share through")
+	replicas := fs.Int("replicas", 0, "ring placement: store each chunk on N peers (0 = every peer)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *filePath == "" || *peers == "" {
+		return errors.New("share: -key, -file and -peers are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*filePath)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(id, nil)
+	if err != nil {
+		return err
+	}
+	addrs := strings.Split(*peers, ",")
+	var res *core.ShareResult
+	if *replicas > 0 {
+		r, err := ring.New(addrs, 0)
+		if err != nil {
+			return err
+		}
+		res, err = sys.ShareFilePlaced(context.Background(), *filePath, data, r, *replicas)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		res, err = sys.ShareFile(context.Background(), *filePath, data, addrs)
+		if err != nil {
+			return err
+		}
+	}
+	handlePath := *outPath
+	if handlePath == "" {
+		handlePath = *filePath + ".handle"
+	}
+	blob, err := json.MarshalIndent(res.Handle, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(handlePath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shared %d bytes as %d messages to %d peers\nhandle: %s\nsecret (keep private!): %s\n",
+		len(data), res.MessagesSent, len(addrs), handlePath, hex.EncodeToString(res.Secret))
+	if *trackerAddr != "" {
+		if err := sys.AnnounceHandle(context.Background(), *trackerAddr, &res.Handle, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "announced %d chunks to tracker %s\n", len(res.Handle.Manifest.Chunks), *trackerAddr)
+	}
+	if *dhtAddr != "" {
+		node, err := joinDHT(*dhtAddr)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if err := sys.AnnounceHandleDHT(context.Background(), node, &res.Handle, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "announced %d chunks via DHT bootstrap %s\n", len(res.Handle.Manifest.Chunks), *dhtAddr)
+	}
+	return nil
+}
+
+// joinDHT joins the DHT as a client-only node through a bootstrap.
+func joinDHT(bootstrap string) (*dht.Node, error) {
+	node, err := dht.NewNode("client/"+bootstrap, 0)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := node.Join(ctx, bootstrap); err != nil {
+		node.Close()
+		return nil, err
+	}
+	return node, nil
+}
+
+func cmdFetch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fetch", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	handlePath := fs.String("handle", "", "handle file from 'share' (required)")
+	secretHex := fs.String("secret", "", "hex coding secret from 'share' (required)")
+	outPath := fs.String("out", "", "output path (required)")
+	feedback := fs.String("feedback", "", "own peer address to report receipts to")
+	trackerAddr := fs.String("tracker", "", "resolve peers through this tracker instead of the handle's list")
+	dhtAddr := fs.String("dht", "", "resolve peers through the DHT via this bootstrap node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *handlePath == "" || *secretHex == "" || *outPath == "" {
+		return errors.New("fetch: -key, -handle, -secret and -out are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	secret, err := hex.DecodeString(strings.TrimSpace(*secretHex))
+	if err != nil {
+		return fmt.Errorf("fetch: bad secret: %w", err)
+	}
+	blob, err := os.ReadFile(*handlePath)
+	if err != nil {
+		return err
+	}
+	var handle core.Handle
+	if err := json.Unmarshal(blob, &handle); err != nil {
+		return fmt.Errorf("fetch: bad handle: %w", err)
+	}
+	sys, err := core.NewSystem(id, nil)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var (
+		data  []byte
+		stats client.FetchStats
+	)
+	switch {
+	case *dhtAddr != "":
+		var node *dht.Node
+		node, err = joinDHT(*dhtAddr)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		data, stats, err = sys.FetchFileViaDHT(ctx, node, &handle.Manifest, secret)
+	case *trackerAddr != "":
+		data, stats, err = sys.FetchFileViaTracker(ctx, *trackerAddr, &handle.Manifest, secret)
+	default:
+		data, stats, err = sys.FetchFile(ctx, &handle, secret)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fetched %d bytes in %v (%.0f B/s) from %d peers; %d msgs (%d innovative, %d rejected)\n",
+		len(data), stats.Elapsed.Round(1e6), stats.EffectiveRate(len(data)),
+		len(stats.BytesFrom), stats.Messages, stats.Innovative, stats.Rejected)
+	if *feedback != "" {
+		if err := sys.ReportFeedback(ctx, *feedback, stats); err != nil {
+			return fmt.Errorf("fetch: feedback: %w", err)
+		}
+		fmt.Fprintln(out, "reported receipts to own peer")
+	}
+	return nil
+}
+
+func cmdUpdate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("update", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	handlePath := fs.String("handle", "", "handle file from 'share' (required)")
+	secretHex := fs.String("secret", "", "hex coding secret (required)")
+	oldPath := fs.String("old", "", "previous file version (required)")
+	newPath := fs.String("new", "", "new file version (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *handlePath == "" || *secretHex == "" || *oldPath == "" || *newPath == "" {
+		return errors.New("update: -key, -handle, -secret, -old and -new are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	secret, err := hex.DecodeString(strings.TrimSpace(*secretHex))
+	if err != nil {
+		return fmt.Errorf("update: bad secret: %w", err)
+	}
+	blob, err := os.ReadFile(*handlePath)
+	if err != nil {
+		return err
+	}
+	var handle core.Handle
+	if err := json.Unmarshal(blob, &handle); err != nil {
+		return fmt.Errorf("update: bad handle: %w", err)
+	}
+	oldData, err := os.ReadFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newData, err := os.ReadFile(*newPath)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(id, nil)
+	if err != nil {
+		return err
+	}
+	res, err := sys.UpdateFile(context.Background(), &handle, secret, oldData, newData)
+	if err != nil {
+		return err
+	}
+	// The manifest digests changed: rewrite the handle.
+	blob, err = json.MarshalIndent(handle, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*handlePath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "patched %d chunks (%d delta messages, %d bytes) and refreshed %s\n",
+		len(res.ChangedChunks), res.MessagesPatched, res.BytesSent, *handlePath)
+	return nil
+}
+
+func cmdList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	peerAddr := fs.String("peer", "", "peer address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *peerAddr == "" {
+		return errors.New("list: -key and -peer are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	c, err := client.New(id, nil)
+	if err != nil {
+		return err
+	}
+	files, err := c.ListFiles(context.Background(), *peerAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d stored generations on %s\n", len(files), *peerAddr)
+	for _, f := range files {
+		fmt.Fprintf(out, "  file %016x: %d messages\n", f.FileID, f.Messages)
+	}
+	return nil
+}
+
+// loadHandle reads a handle file.
+func loadHandle(path string) (*core.Handle, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var handle core.Handle
+	if err := json.Unmarshal(blob, &handle); err != nil {
+		return nil, fmt.Errorf("bad handle %s: %w", path, err)
+	}
+	return &handle, nil
+}
+
+func cmdAudit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	handlePath := fs.String("handle", "", "handle file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *handlePath == "" {
+		return errors.New("audit: -key and -handle are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	handle, err := loadHandle(*handlePath)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(id, nil)
+	if err != nil {
+		return err
+	}
+	report, err := sys.Audit(context.Background(), handle)
+	if err != nil {
+		return err
+	}
+	for _, addr := range handle.Peers {
+		status := "OK"
+		if n := report.MissingByPeer[addr]; n > 0 {
+			status = fmt.Sprintf("%d incomplete batches", n)
+		}
+		fmt.Fprintf(out, "%s: %s\n", addr, status)
+	}
+	if report.Healthy() {
+		fmt.Fprintln(out, "replication healthy")
+	} else {
+		fmt.Fprintln(out, "replication DEGRADED - run 'asymshare repair'")
+	}
+	return nil
+}
+
+func cmdRepair(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	handlePath := fs.String("handle", "", "handle file (required)")
+	secretHex := fs.String("secret", "", "hex coding secret (required)")
+	filePath := fs.String("file", "", "original file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *handlePath == "" || *secretHex == "" || *filePath == "" {
+		return errors.New("repair: -key, -handle, -secret and -file are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	secret, err := hex.DecodeString(strings.TrimSpace(*secretHex))
+	if err != nil {
+		return fmt.Errorf("repair: bad secret: %w", err)
+	}
+	handle, err := loadHandle(*handlePath)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*filePath)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(id, nil)
+	if err != nil {
+		return err
+	}
+	n, err := sys.Repair(context.Background(), handle, secret, data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "re-uploaded %d messages\n", n)
+	return nil
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+func TestRunUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestKeygenAndLoadIdentity(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var out bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fingerprint:") {
+		t.Errorf("keygen output: %q", out.String())
+	}
+	id, err := loadIdentity(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), id.Fingerprint()) {
+		t.Error("printed fingerprint does not match loaded identity")
+	}
+	// The key file must be private.
+	info, err := os.Stat(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("key file mode = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+func TestKeygenMissingOut(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"keygen"}, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestLoadIdentityErrors(t *testing.T) {
+	if _, err := loadIdentity("/nonexistent/key"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.key")
+	if err := os.WriteFile(bad, []byte("not hex!"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadIdentity(bad); err == nil {
+		t.Error("non-hex key accepted")
+	}
+}
+
+// TestShareFetchEndToEnd drives the share and fetch subcommands against
+// live peers started in-process.
+func TestShareFetchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// User key.
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two peers.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := peer.New(peer.Config{Identity: id, Store: store.NewMemory()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+
+	// A file to share. Keep it small; the default plan (1MB chunks,
+	// GF(2^32)) still applies, giving a single generation.
+	filePath := filepath.Join(dir, "notes.bin")
+	data := make([]byte, 40<<10)
+	rand.New(rand.NewSource(time.Now().UnixNano())).Read(data)
+	if err := os.WriteFile(filePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	handlePath := filepath.Join(dir, "notes.handle")
+	var shareOut bytes.Buffer
+	err := run([]string{
+		"share", "-key", keyPath, "-file", filePath,
+		"-peers", strings.Join(addrs, ","), "-out", handlePath,
+	}, &shareOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatalf("no secret in share output: %q", shareOut.String())
+	}
+	secret := m[1]
+	if _, err := hex.DecodeString(secret); err != nil {
+		t.Fatalf("secret not hex: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "notes.out")
+	var fetchOut bytes.Buffer
+	err = run([]string{
+		"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", secret, "-out", outPath,
+	}, &fetchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetched file differs from original")
+	}
+	if !strings.Contains(fetchOut.String(), "fetched 40960 bytes") {
+		t.Errorf("fetch output: %q", fetchOut.String())
+	}
+}
+
+func TestShareMissingFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"share", "-key", "k"}, &out); err == nil {
+		t.Error("share without -file/-peers accepted")
+	}
+	if err := run([]string{"fetch", "-key", "k"}, &out); err == nil {
+		t.Error("fetch without required flags accepted")
+	}
+	if err := run([]string{"serve"}, &out); err == nil {
+		t.Error("serve without flags accepted")
+	}
+}
+
+func TestFetchBadSecretOrHandle(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "u.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+	handlePath := filepath.Join(dir, "h.json")
+	if err := os.WriteFile(handlePath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", "abcd", "-out", filepath.Join(dir, "o"),
+	}, &discard)
+	if err == nil {
+		t.Error("corrupt handle accepted")
+	}
+	err = run([]string{
+		"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", "zz-not-hex", "-out", filepath.Join(dir, "o"),
+	}, &discard)
+	if err == nil {
+		t.Error("non-hex secret accepted")
+	}
+}

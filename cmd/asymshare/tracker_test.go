@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+	"asymshare/internal/tracker"
+)
+
+// TestShareFetchViaTracker drives the -tracker path: share announces,
+// fetch resolves peers through the tracker instead of the handle list.
+func TestShareFetchViaTracker(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+
+	trk := tracker.NewServer(0)
+	if err := trk.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { trk.Close() })
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := peer.New(peer.Config{Identity: id, Store: store.NewMemory()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+
+	filePath := filepath.Join(dir, "payload.bin")
+	data := make([]byte, 30<<10)
+	rand.New(rand.NewSource(8)).Read(data)
+	if err := os.WriteFile(filePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	handlePath := filepath.Join(dir, "payload.handle")
+	var shareOut bytes.Buffer
+	err := run([]string{
+		"share", "-key", keyPath, "-file", filePath,
+		"-peers", strings.Join(addrs, ","),
+		"-out", handlePath, "-tracker", trk.Addr().String(),
+	}, &shareOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shareOut.String(), "announced") {
+		t.Errorf("share output missing announce: %q", shareOut.String())
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatal("no secret printed")
+	}
+
+	outPath := filepath.Join(dir, "payload.out")
+	var fetchOut bytes.Buffer
+	err = run([]string{
+		"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", m[1], "-out", outPath, "-tracker", trk.Addr().String(),
+	}, &fetchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("tracker-resolved fetch differs from original")
+	}
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+// TestUpdateAndListSubcommands drives share -> update -> fetch -> list
+// end to end through the CLI.
+func TestUpdateAndListSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := auth.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := peer.New(peer.Config{Identity: id, Store: store.NewMemory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	addr := node.Addr().String()
+
+	oldPath := filepath.Join(dir, "v1.bin")
+	oldData := make([]byte, 20<<10)
+	rand.New(rand.NewSource(1)).Read(oldData)
+	if err := os.WriteFile(oldPath, oldData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	handlePath := filepath.Join(dir, "v.handle")
+	var shareOut bytes.Buffer
+	if err := run([]string{"share", "-key", keyPath, "-file", oldPath, "-peers", addr, "-out", handlePath}, &shareOut); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatal("no secret printed")
+	}
+	secret := m[1]
+
+	// Edit the file in place and push the delta.
+	newData := bytes.Clone(oldData)
+	copy(newData[5000:5100], bytes.Repeat([]byte{0x42}, 100))
+	newPath := filepath.Join(dir, "v2.bin")
+	if err := os.WriteFile(newPath, newData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var updOut bytes.Buffer
+	err = run([]string{"update", "-key", keyPath, "-handle", handlePath,
+		"-secret", secret, "-old", oldPath, "-new", newPath}, &updOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(updOut.String(), "patched 1 chunks") {
+		t.Errorf("update output: %q", updOut.String())
+	}
+
+	// Fetch returns the new version.
+	outPath := filepath.Join(dir, "v.out")
+	if err := run([]string{"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", secret, "-out", outPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("fetched file is not the updated version")
+	}
+
+	// List shows the stored generation.
+	var listOut bytes.Buffer
+	if err := run([]string{"list", "-key", keyPath, "-peer", addr}, &listOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(listOut.String(), "1 stored generations") {
+		t.Errorf("list output: %q", listOut.String())
+	}
+}
+
+func TestUpdateListMissingFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"update", "-key", "k"}, &out); err == nil {
+		t.Error("update without required flags accepted")
+	}
+	if err := run([]string{"list"}, &out); err == nil {
+		t.Error("list without required flags accepted")
+	}
+}
+
+func TestAuditRepairSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+	st := store.NewMemory()
+	id, err := auth.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := peer.New(peer.Config{Identity: id, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	addr := node.Addr().String()
+
+	filePath := filepath.Join(dir, "f.bin")
+	data := make([]byte, 12<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := os.WriteFile(filePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	handlePath := filepath.Join(dir, "f.handle")
+	var shareOut bytes.Buffer
+	if err := run([]string{"share", "-key", keyPath, "-file", filePath, "-peers", addr, "-out", handlePath}, &shareOut); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatal("no secret printed")
+	}
+
+	var auditOut bytes.Buffer
+	if err := run([]string{"audit", "-key", keyPath, "-handle", handlePath}, &auditOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(auditOut.String(), "replication healthy") {
+		t.Errorf("audit output: %q", auditOut.String())
+	}
+
+	// Lose the data and verify audit flags it and repair restores it.
+	for _, fid := range st.Files() {
+		if err := st.Drop(fid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auditOut.Reset()
+	if err := run([]string{"audit", "-key", keyPath, "-handle", handlePath}, &auditOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(auditOut.String(), "DEGRADED") {
+		t.Errorf("audit after loss: %q", auditOut.String())
+	}
+	var repairOut bytes.Buffer
+	if err := run([]string{"repair", "-key", keyPath, "-handle", handlePath,
+		"-secret", m[1], "-file", filePath}, &repairOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(repairOut.String(), "re-uploaded 0 messages") {
+		t.Errorf("repair output: %q", repairOut.String())
+	}
+	auditOut.Reset()
+	if err := run([]string{"audit", "-key", keyPath, "-handle", handlePath}, &auditOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(auditOut.String(), "replication healthy") {
+		t.Errorf("audit after repair: %q", auditOut.String())
+	}
+}
+
+func TestPlacedShareSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := peer.New(peer.Config{Identity: id, Store: store.NewMemory()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+	filePath := filepath.Join(dir, "p.bin")
+	data := make([]byte, 8<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := os.WriteFile(filePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	handlePath := filepath.Join(dir, "p.handle")
+	var shareOut bytes.Buffer
+	err := run([]string{"share", "-key", keyPath, "-file", filePath,
+		"-peers", strings.Join(addrs, ","), "-out", handlePath, "-replicas", "2"}, &shareOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatal("no secret printed")
+	}
+	outPath := filepath.Join(dir, "p.out")
+	if err := run([]string{"fetch", "-key", keyPath, "-handle", handlePath,
+		"-secret", m[1], "-out", outPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("placed share fetch mismatch")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallGrid(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "65536", "-repeat", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"GF(2^4", "GF(2^32", "thrpt(MB/s)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// 4 fields x 6 message lengths + 2 header lines.
+	if got := len(strings.Split(strings.TrimSpace(s), "\n")); got != 26 {
+		t.Errorf("output lines = %d, want 26", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "0"}, &out); err == nil {
+		t.Error("zero size accepted")
+	}
+	if err := run([]string{"-repeat", "0"}, &out); err == nil {
+		t.Error("zero repeat accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 8: 3, 1 << 15: 15}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"asymshare/internal/dht"
+)
+
+func TestRunTwoNodeNetwork(t *testing.T) {
+	var out1, out2 bytes.Buffer
+	ready1 := make(chan string, 1)
+	done1 := make(chan error, 1)
+	go func() { done1 <- run([]string{"-listen", "127.0.0.1:0"}, &out1, ready1) }()
+	var addr1 string
+	select {
+	case addr1 = <-ready1:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first node did not start")
+	}
+
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-listen", "127.0.0.1:0", "-join", addr1}, &out2, ready2)
+	}()
+	var addr2 string
+	select {
+	case addr2 = <-ready2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second node did not start")
+	}
+
+	// Announce through a third, client-only node joined to the network.
+	client, err := dht.NewNode("127.0.0.1:1", 0) // advertise unused; no listener
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := client.Join(ctx, addr2); err != nil {
+		t.Fatal(err)
+	}
+	key := dht.KeyFromFileID(31337)
+	if err := client.Announce(ctx, key, "peer:9", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Lookup(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "peer:9" {
+		t.Fatalf("Lookup = %v", got)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan error{done1, done2} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("node did not shut down")
+		}
+	}
+	if !strings.Contains(out2.String(), "joined via") {
+		t.Errorf("join output: %q", out2.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-listen", "256.256.256.256:1"}, &out, nil); err == nil {
+		t.Error("bad listen accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-join", "127.0.0.1:1"}, &out, nil); err == nil {
+		t.Error("dead bootstrap join succeeded")
+	}
+	if err := run([]string{"-bogus"}, &out, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

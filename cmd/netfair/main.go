@@ -1,0 +1,104 @@
+// Command netfair runs the fairness experiment over the real TCP stack
+// (the paper's future-work "dynamic real-time environment"): n
+// user/peer pairs with shaped uplinks concurrently fetch their own
+// generations from each other, feeding receipts back into the Eq. (2)
+// allocator, optionally with freeloading peers mixed in.
+//
+// Usage:
+//
+//	netfair [-peers 4] [-leeches 1] [-upload 262144] [-data 262144]
+//	        [-rounds 3] [-burst 16384]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"asymshare/internal/netbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netfair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("netfair", flag.ContinueOnError)
+	peers := fs.Int("peers", 4, "number of honest user/peer pairs")
+	leeches := fs.Int("leeches", 1, "number of withholding (freeloading) pairs")
+	upload := fs.Float64("upload", 256<<10, "upload shaping per peer, bytes/s")
+	data := fs.Int("data", 256<<10, "generation size each pair shares, bytes")
+	rounds := fs.Int("rounds", 3, "concurrent fetch rounds")
+	burst := fs.Float64("burst", 16<<10, "per-stream token-bucket burst, bytes")
+	seed := fs.Int64("seed", 1, "payload seed")
+	timeout := fs.Duration("timeout", 5*time.Minute, "experiment deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peers < 1 || *peers+*leeches < 2 {
+		return fmt.Errorf("need at least 2 participants (peers=%d leeches=%d)", *peers, *leeches)
+	}
+
+	cfg := netbench.Config{
+		DataBytes:   *data,
+		Rounds:      *rounds,
+		StreamBurst: *burst,
+		Seed:        *seed,
+	}
+	for i := 0; i < *peers; i++ {
+		cfg.Peers = append(cfg.Peers, netbench.PeerSpec{
+			Name:              fmt.Sprintf("honest%d", i),
+			UploadBytesPerSec: *upload,
+		})
+	}
+	for i := 0; i < *leeches; i++ {
+		cfg.Peers = append(cfg.Peers, netbench.PeerSpec{
+			Name:              fmt.Sprintf("leech%d", i),
+			UploadBytesPerSec: *upload,
+			Withhold:          true,
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	fmt.Fprintf(out, "running %d honest + %d leeching pairs, %d KiB generations, %d rounds, %.0f KiB/s uplinks\n",
+		*peers, *leeches, *data>>10, *rounds, *upload/1024)
+	res, err := netbench.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\n%-10s", "round")
+	for _, name := range res.Names {
+		fmt.Fprintf(out, " %12s", name)
+	}
+	fmt.Fprintln(out)
+	for r := 0; r < *rounds; r++ {
+		fmt.Fprintf(out, "%-10d", r)
+		for i := range res.Names {
+			fmt.Fprintf(out, " %9.0f KB/s", res.RateBytesPerSec[i][r]/1024)
+		}
+		fmt.Fprintln(out)
+	}
+	if *rounds > 1 && *leeches > 0 {
+		honest := 0.0
+		for i := 0; i < *peers; i++ {
+			honest += res.MeanRate(i, 1, *rounds)
+		}
+		honest /= float64(*peers)
+		leech := 0.0
+		for i := *peers; i < *peers+*leeches; i++ {
+			leech += res.MeanRate(i, 1, *rounds)
+		}
+		leech /= float64(*leeches)
+		fmt.Fprintf(out, "\npost-bootstrap means: honest %.0f KB/s vs leech %.0f KB/s (%.2fx)\n",
+			honest/1024, leech/1024, honest/leech)
+	}
+	return nil
+}

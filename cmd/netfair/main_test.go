@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-peers", "1", "-leeches", "0"}, &out); err == nil {
+		t.Error("single participant accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSmallUnshaped(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-peers", "2", "-leeches", "0", "-upload", "0",
+		"-data", "8192", "-rounds", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "honest0") || !strings.Contains(s, "round") {
+		t.Errorf("output: %q", s)
+	}
+}
+
+func TestRunWithLeechSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shaped multi-round experiment")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-peers", "2", "-leeches", "1", "-upload", "262144",
+		"-data", "131072", "-rounds", "2", "-burst", "16384",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "post-bootstrap means") {
+		t.Errorf("missing summary: %q", out.String())
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no target accepted")
+	}
+	if err := run([]string{"fig5a", "extra"}, &out); err == nil {
+		t.Error("two targets accepted")
+	}
+	if err := run([]string{"nope"}, &out); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestFig1Target(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig1", "dialup-upload@28kbps", "cable-download@3Mbps", "headline"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Target(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "GF(2^32)\t32\t16\t8\t4\t2\t1") {
+		t.Errorf("table1 row wrong:\n%s", out.String())
+	}
+}
+
+func TestQuickSimTargets(t *testing.T) {
+	for _, target := range []string{"fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b"} {
+		var out bytes.Buffer
+		if err := run([]string{"-quick", target}, &out); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if !strings.Contains(out.String(), target) {
+			t.Errorf("%s output missing id header", target)
+		}
+		if len(strings.Split(out.String(), "\n")) < 10 {
+			t.Errorf("%s output suspiciously short", target)
+		}
+	}
+}
+
+func TestQuickTable2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decode time") {
+		t.Errorf("table2 output: %q", out.String())
+	}
+}
+
+func TestAllTargetQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every generator")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "all"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "table1", "table2", "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("'all' output missing %s", id)
+		}
+	}
+}

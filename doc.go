@@ -1,0 +1,19 @@
+// Package asymshare reproduces "Fast data access over asymmetric
+// channels using fair and secure bandwidth sharing" (Agarwal,
+// Laifenfeld, Trachtenberg, Alanyali; ICDCS 2006).
+//
+// The implementation lives under internal/:
+//
+//   - internal/gf        — GF(2^4/8/16/32) arithmetic
+//   - internal/rlnc      — secret-coefficient random linear coding
+//   - internal/chunk     — 1 MB generations, manifests, digests
+//   - internal/store     — per-peer message storage (Fig. 3 layout)
+//   - internal/auth,wire — mutual challenge-response + framing
+//   - internal/fairshare — Eq. (2) allocation, Eq. (3) baseline, attacks
+//   - internal/trace,sim — workloads and the Sec. V discrete simulator
+//   - internal/peer,client,core — the real TCP system
+//   - internal/figures   — one generator per paper table/figure
+//
+// The benchmarks in bench_test.go regenerate every table and figure;
+// see EXPERIMENTS.md for paper-versus-measured results.
+package asymshare

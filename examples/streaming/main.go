@@ -1,0 +1,122 @@
+// Streaming: the chunked delivery mode of Sec. III-D. A large "video"
+// is encoded as independent generations; the Stream API decodes and
+// delivers them strictly in order while prefetching later chunks in the
+// background, so playback starts after the first chunk instead of after
+// the whole file.
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/md5"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/chunk"
+	"asymshare/internal/client"
+	"asymshare/internal/gf"
+	"asymshare/internal/peer"
+	"asymshare/internal/rlnc"
+	"asymshare/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 1 MiB "video" split into 128 KiB generations.
+	plan := chunk.Plan{FieldBits: gf.Bits16, M: 2048, ChunkSize: 128 << 10}
+	video := make([]byte, 1<<20)
+	rand.New(rand.NewSource(42)).Read(video)
+
+	secret, err := chunk.NewSecret()
+	if err != nil {
+		return err
+	}
+	share, err := chunk.BuildShare("movie.mpg", video, plan, 9000, secret)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d KiB into %d generations (k=%d each)\n",
+		len(video)>>10, share.NumChunks(), share.Manifest.Chunks[0].K)
+
+	// Two storage peers.
+	user, err := auth.NewIdentity()
+	if err != nil {
+		return err
+	}
+	c, err := client.New(user, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			return err
+		}
+		node, err := peer.New(peer.Config{Identity: id, Store: store.NewMemory()})
+		if err != nil {
+			return err
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer node.Close()
+		batches, err := share.BatchForPeer(i, 1024)
+		if err != nil {
+			return err
+		}
+		var flat []*rlnc.Message
+		for _, b := range batches {
+			flat = append(flat, b...)
+		}
+		if err := c.Disseminate(ctx, node.Addr().String(), flat); err != nil {
+			return err
+		}
+		addrs = append(addrs, node.Addr().String())
+		fmt.Printf("peer %d holds %d pre-fabricated messages\n", i, len(flat))
+	}
+
+	// "Play" the stream: chunks arrive in order while later chunks are
+	// prefetched concurrently.
+	stream, err := c.StreamFile(ctx, addrs, &share.Manifest, secret, client.StreamOptions{Prefetch: 2})
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+
+	fmt.Println("\nplaying:")
+	var played []byte
+	start := time.Now()
+	for {
+		idx, data, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		played = append(played, data...)
+		digest := md5.Sum(data)
+		fmt.Printf("  chunk %d: %3d KiB at t=%-8v digest %x...\n",
+			idx, len(data)>>10, time.Since(start).Round(time.Millisecond), digest[:4])
+	}
+	if !bytes.Equal(played, video) {
+		return fmt.Errorf("playback differs from original")
+	}
+	stats := stream.Stats()
+	fmt.Printf("\nplayed %d KiB: %d messages (%d innovative) from %d peers\n",
+		len(played)>>10, stats.Messages, stats.Innovative, len(stats.BytesFrom))
+	fmt.Println("first chunk was playable long before the file finished — Sec. III-D streaming")
+	return nil
+}

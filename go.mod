@@ -1,0 +1,3 @@
+module asymshare
+
+go 1.22

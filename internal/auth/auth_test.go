@@ -1,0 +1,180 @@
+package auth
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func TestIdentityFromSeedDeterministic(t *testing.T) {
+	a, err := IdentityFromSeed(seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IdentityFromSeed(seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Error("same seed produced different keys")
+	}
+	c, err := IdentityFromSeed(seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Public(), c.Public()) {
+		t.Error("different seeds produced identical keys")
+	}
+	if _, err := IdentityFromSeed([]byte("short")); !errors.Is(err, ErrBadKey) {
+		t.Errorf("short seed error = %v", err)
+	}
+}
+
+func TestChallengeResponseRoundTrip(t *testing.T) {
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := id.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(id.Public(), challenge, resp); err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongKeyChallengeOrResponse(t *testing.T) {
+	alice, err := IdentityFromSeed(seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory, err := IdentityFromSeed(seed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := alice.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(mallory.Public(), challenge, resp); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("wrong key error = %v", err)
+	}
+	other, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(alice.Public(), other, resp); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("replayed response error = %v", err)
+	}
+	tampered := bytes.Clone(resp)
+	tampered[0] ^= 1
+	if err := Verify(alice.Public(), challenge, tampered); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered response error = %v", err)
+	}
+	if err := Verify(alice.Public()[:5], challenge, resp); !errors.Is(err, ErrBadKey) {
+		t.Errorf("short key error = %v", err)
+	}
+}
+
+func TestRespondValidatesChallengeLength(t *testing.T) {
+	id, err := IdentityFromSeed(seed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := id.Respond([]byte("too short")); !errors.Is(err, ErrBadKey) {
+		t.Errorf("short challenge error = %v", err)
+	}
+}
+
+func TestTrustSet(t *testing.T) {
+	alice, err := IdentityFromSeed(seed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := IdentityFromSeed(seed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eve, err := IdentityFromSeed(seed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustSet(alice.Public(), bob.Public())
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if !ts.Contains(alice.Public()) || ts.Contains(eve.Public()) {
+		t.Error("Contains wrong")
+	}
+	challenge, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := alice.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Check(alice.Public(), challenge, resp); err != nil {
+		t.Errorf("trusted key rejected: %v", err)
+	}
+	evResp, err := eve.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Check(eve.Public(), challenge, evResp); !errors.Is(err, ErrUntrusted) {
+		t.Errorf("untrusted key error = %v", err)
+	}
+	// Trusted key but signature by someone else.
+	if err := ts.Check(alice.Public(), challenge, evResp); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged response error = %v", err)
+	}
+	ts.Add(eve.Public())
+	if !ts.Contains(eve.Public()) {
+		t.Error("Add did not insert")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	id, err := IdentityFromSeed(seed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := id.Fingerprint()
+	if len(fp) != 16 {
+		t.Errorf("fingerprint %q has length %d, want 16 hex chars", fp, len(fp))
+	}
+	if got := Fingerprint(nil); got != "invalid" {
+		t.Errorf("nil key fingerprint = %q", got)
+	}
+}
+
+func TestChallengesAreUnique(t *testing.T) {
+	a, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two challenges identical")
+	}
+}

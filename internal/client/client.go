@@ -1,0 +1,399 @@
+// Package client implements the user side of Fig. 4: disseminating
+// encoded message batches to storage peers (initialization, Sec. III-A)
+// and later downloading from many peers in parallel to fill the remote
+// download pipe beyond any single peer's upload capacity (Sec. III-B).
+// The downloader feeds every arriving message into one shared decoder,
+// sends STOP to all peers as soon as rank k is reached, and reports
+// per-peer receipts for the user's periodic feedback to its own peer.
+package client
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/chunk"
+	"asymshare/internal/rlnc"
+	"asymshare/internal/wire"
+)
+
+var (
+	// ErrNoPeers is returned when a fetch is attempted with no peers.
+	ErrNoPeers = errors.New("client: no peers to contact")
+
+	// ErrIncomplete is returned when every peer is exhausted before the
+	// generation could be decoded.
+	ErrIncomplete = errors.New("client: peers exhausted before decode completed")
+)
+
+// Client is a user agent identified by a signing key.
+type Client struct {
+	id      *auth.Identity
+	trusted *auth.TrustSet // acceptable peer keys; nil trusts any
+	dialer  net.Dialer
+}
+
+// New returns a client. trusted, if non-nil, pins the set of peer keys
+// the client will talk to (the mutual-authentication direction).
+func New(id *auth.Identity, trusted *auth.TrustSet) (*Client, error) {
+	if id == nil {
+		return nil, errors.New("client: identity required")
+	}
+	return &Client{id: id, trusted: trusted}, nil
+}
+
+// Fingerprint returns the client's key fingerprint.
+func (c *Client) Fingerprint() string { return c.id.Fingerprint() }
+
+// dial connects and completes the mutual handshake.
+func (c *Client) dial(ctx context.Context, addr string, role wire.Role) (net.Conn, ed25519.PublicKey, error) {
+	conn, err := c.dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	peerKey, err := wire.InitiatorHandshake(conn, c.id, role, c.trusted)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("client: handshake with %s: %w", addr, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, peerKey, nil
+}
+
+// Disseminate uploads a batch of encoded messages to one peer,
+// confirming each PUT. This is the initialization-phase transfer that
+// runs "when some upload bandwidth is available".
+func (c *Client) Disseminate(ctx context.Context, addr string, msgs []*rlnc.Message) error {
+	conn, _, err := c.dial(ctx, addr, wire.RoleUser)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for _, msg := range msgs {
+		buf, err := msg.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(conn, wire.TypePut, buf); err != nil {
+			return err
+		}
+		if _, err := wire.Expect(conn, wire.TypePutOK); err != nil {
+			return fmt.Errorf("client: put to %s: %w", addr, err)
+		}
+	}
+	return wire.WriteFrame(conn, wire.TypeBye, nil)
+}
+
+// Patch sends delta messages to a peer, which applies each one to the
+// matching stored message — the data-modification path of Sec. VI-A.
+// Only the file's owner (the identity that first uploaded it) will be
+// accepted.
+func (c *Client) Patch(ctx context.Context, addr string, deltas []*rlnc.Message) error {
+	conn, _, err := c.dial(ctx, addr, wire.RoleUser)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for _, msg := range deltas {
+		buf, err := msg.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(conn, wire.TypePatch, buf); err != nil {
+			return err
+		}
+		if _, err := wire.Expect(conn, wire.TypePutOK); err != nil {
+			return fmt.Errorf("client: patch to %s: %w", addr, err)
+		}
+	}
+	return wire.WriteFrame(conn, wire.TypeBye, nil)
+}
+
+// ListFiles asks a peer which generations it stores (identifiers and
+// message counts only — no payloads), letting an owner audit where its
+// data is replicated.
+func (c *Client) ListFiles(ctx context.Context, addr string) ([]wire.FileEntry, error) {
+	conn, _, err := c.dial(ctx, addr, wire.RoleUser)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.TypeList, nil); err != nil {
+		return nil, err
+	}
+	frame, err := wire.Expect(conn, wire.TypeFileList)
+	if err != nil {
+		return nil, fmt.Errorf("client: list %s: %w", addr, err)
+	}
+	var list wire.FileList
+	if err := list.Unmarshal(frame.Payload); err != nil {
+		return nil, err
+	}
+	_ = wire.WriteFrame(conn, wire.TypeBye, nil)
+	return list.Files, nil
+}
+
+// SendFeedback delivers per-peer receipt reports to the user's own
+// peer (Sec. III-B's periodic informational update).
+func (c *Client) SendFeedback(ctx context.Context, ownPeerAddr string, received map[string]uint64) error {
+	conn, _, err := c.dial(ctx, ownPeerAddr, wire.RoleUser)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fb := wire.Feedback{Entries: make([]wire.FeedbackEntry, 0, len(received))}
+	keys := make([]string, 0, len(received))
+	for k := range received {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fb.Entries = append(fb.Entries, wire.FeedbackEntry{PeerFingerprint: k, Bytes: received[k]})
+	}
+	blob, err := fb.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, wire.TypeFeedback, blob); err != nil {
+		return err
+	}
+	// Wait for the acknowledgement so the credits are durable before we
+	// disconnect.
+	if _, err := wire.Expect(conn, wire.TypePutOK); err != nil {
+		return fmt.Errorf("client: feedback to %s: %w", ownPeerAddr, err)
+	}
+	return wire.WriteFrame(conn, wire.TypeBye, nil)
+}
+
+// FetchStats describes one parallel download.
+type FetchStats struct {
+	// BytesFrom maps peer fingerprint to message bytes received.
+	BytesFrom map[string]uint64
+
+	// Messages counts messages offered to the decoder.
+	Messages int
+
+	// Innovative counts messages that increased decoder rank.
+	Innovative int
+
+	// Rejected counts messages that failed digest authentication.
+	Rejected int
+
+	// Elapsed is the wall-clock download time.
+	Elapsed time.Duration
+}
+
+// EffectiveRate returns the achieved goodput in bytes/second.
+func (s FetchStats) EffectiveRate(decodedBytes int) float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(decodedBytes) / s.Elapsed.Seconds()
+}
+
+// FetchGeneration downloads one generation (file-id) from the given
+// peer addresses in parallel and decodes it.
+func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rlnc.Params,
+	fileID uint64, secret []byte, digests map[uint64]rlnc.Digest) ([]byte, FetchStats, error) {
+	stats := FetchStats{BytesFrom: make(map[string]uint64, len(addrs))}
+	if len(addrs) == 0 {
+		return nil, stats, ErrNoPeers
+	}
+	dec, err := rlnc.NewDecoder(params, fileID, secret, digests)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	start := time.Now()
+	fetchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu   sync.Mutex // guards dec and stats
+		done = make(chan struct{})
+		once sync.Once
+	)
+	finish := func() { once.Do(func() { close(done) }) }
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(addrs))
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			errs[i] = c.fetchFromPeer(fetchCtx, addr, fileID, dec, &mu, &stats, finish)
+		}(i, addr)
+	}
+	// Wait for either completion or all workers returning.
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-done:
+		cancel()
+		<-workersDone
+	case <-workersDone:
+	case <-ctx.Done():
+		cancel()
+		<-workersDone
+	}
+	stats.Elapsed = time.Since(start)
+
+	mu.Lock()
+	received, accepted, rejected, _ := dec.Stats()
+	stats.Messages = received
+	stats.Innovative = accepted
+	stats.Rejected = rejected
+	decodeReady := dec.Done()
+	mu.Unlock()
+
+	if !decodeReady {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		return nil, stats, fmt.Errorf("%w: rank %d of %d (%s)",
+			ErrIncomplete, dec.Rank(), params.K, joinErrs(errs))
+	}
+	data, err := dec.Decode()
+	if err != nil {
+		return nil, stats, err
+	}
+	return data, stats, nil
+}
+
+// fetchFromPeer streams messages from one peer into the shared decoder
+// until the decoder completes, the peer is exhausted, or the context is
+// cancelled.
+func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
+	dec *rlnc.Decoder, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fingerprint := auth.Fingerprint(peerKey)
+
+	// Close the connection on cancellation so reads unblock.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	get := wire.Get{FileID: fileID}
+	if err := wire.WriteFrame(conn, wire.TypeGet, get.Marshal()); err != nil {
+		return err
+	}
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // cancelled after completion, or orderly close
+			}
+			return err
+		}
+		switch frame.Type {
+		case wire.TypeData:
+			var msg rlnc.Message
+			if err := msg.UnmarshalBinary(frame.Payload); err != nil {
+				return err
+			}
+			mu.Lock()
+			_, addErr := dec.Add(&msg)
+			stats.BytesFrom[fingerprint] += uint64(len(frame.Payload))
+			completed := dec.Done()
+			mu.Unlock()
+			if addErr != nil && !errors.Is(addErr, rlnc.ErrBadDigest) {
+				return addErr
+			}
+			if completed {
+				// Politely tell the peer to stop before disconnecting.
+				stop := wire.Stop{FileID: fileID}
+				_ = wire.WriteFrame(conn, wire.TypeStop, stop.Marshal())
+				_ = wire.WriteFrame(conn, wire.TypeBye, nil)
+				finish()
+				return nil
+			}
+		case wire.TypeStop:
+			// Peer exhausted its stored messages.
+			return nil
+		case wire.TypeError:
+			var e wire.ErrorMsg
+			if err := e.Unmarshal(frame.Payload); err != nil {
+				return err
+			}
+			return &wire.RemoteError{Code: e.Code, Reason: e.Reason}
+		default:
+			return fmt.Errorf("%w: %s during fetch", wire.ErrUnexpectedFrame, frame.Type)
+		}
+	}
+}
+
+func joinErrs(errs []error) string {
+	var parts []string
+	for _, err := range errs {
+		if err != nil {
+			parts = append(parts, err.Error())
+		}
+	}
+	if len(parts) == 0 {
+		return "no peer errors"
+	}
+	sort.Strings(parts)
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "; " + p
+	}
+	return out
+}
+
+// FetchFile downloads and reassembles a whole manifest: every chunk is
+// fetched (sequentially, each chunk itself in parallel across peers)
+// and assembled, enabling the chunk-streaming mode of Sec. III-D.
+func (c *Client) FetchFile(ctx context.Context, addrs []string, m *chunk.Manifest,
+	secret []byte) ([]byte, FetchStats, error) {
+	total := FetchStats{BytesFrom: make(map[string]uint64)}
+	if err := m.Validate(); err != nil {
+		return nil, total, err
+	}
+	pieces := make([][]byte, len(m.Chunks))
+	for i, info := range m.Chunks {
+		params, err := info.Params(m.Plan)
+		if err != nil {
+			return nil, total, err
+		}
+		data, stats, err := c.FetchGeneration(ctx, addrs, params, info.FileID, secret, info.Digests)
+		if err != nil {
+			return nil, total, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		pieces[i] = data
+		total.Messages += stats.Messages
+		total.Innovative += stats.Innovative
+		total.Rejected += stats.Rejected
+		total.Elapsed += stats.Elapsed
+		for k, v := range stats.BytesFrom {
+			total.BytesFrom[k] += v
+		}
+	}
+	data, err := chunk.Assemble(m, pieces)
+	if err != nil {
+		return nil, total, err
+	}
+	return data, total, nil
+}

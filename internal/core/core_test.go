@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/chunk"
+	"asymshare/internal/client"
+	"asymshare/internal/core"
+	"asymshare/internal/gf"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+func identity(t *testing.T, b byte) *auth.Identity {
+	t.Helper()
+	id, err := auth.IdentityFromSeed(bytes.Repeat([]byte{b}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func smallPlan() chunk.Plan {
+	return chunk.Plan{FieldBits: gf.Bits8, M: 128, ChunkSize: 1024}
+}
+
+func startPeer(t *testing.T, b byte) *peer.Node {
+	t.Helper()
+	n, err := peer.New(peer.Config{Identity: identity(t, b), Store: store.NewMemory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := core.NewSystem(nil, nil); err == nil {
+		t.Error("nil identity accepted")
+	}
+	bad := chunk.Plan{FieldBits: 5, M: 1, ChunkSize: 1}
+	if _, err := core.NewSystem(identity(t, 1), nil, core.WithPlan(bad)); err == nil {
+		t.Error("bad plan accepted")
+	}
+	s, err := core.NewSystem(identity(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan().ChunkSize != chunk.DefaultChunkSize {
+		t.Errorf("default plan chunk size = %d", s.Plan().ChunkSize)
+	}
+	if s.Identity() == nil || s.Client() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestShareFetchRoundTripEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 3000)
+	rng.Read(data)
+
+	sys, err := core.NewSystem(identity(t, 2), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := byte(0); i < 3; i++ {
+		addrs = append(addrs, startPeer(t, 10+i).Addr().String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	res, err := sys.ShareFile(ctx, "notes.txt", data, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent == 0 || res.BytesSent == 0 {
+		t.Errorf("share stats: %+v", res)
+	}
+	if got := len(res.Handle.Manifest.Chunks); got != 3 {
+		t.Errorf("chunks = %d, want 3", got)
+	}
+
+	got, stats, err := sys.FetchFile(ctx, &res.Handle, res.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetched data mismatch")
+	}
+	if stats.Rejected != 0 {
+		t.Errorf("rejected = %d", stats.Rejected)
+	}
+	if len(stats.BytesFrom) == 0 {
+		t.Error("no per-peer receipts recorded")
+	}
+}
+
+func TestFetchWithWrongSecretFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 800)
+	rng.Read(data)
+	sys, err := core.NewSystem(identity(t, 3), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startPeer(t, 20).Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := sys.ShareFile(ctx, "secret.bin", data, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := make([]byte, len(res.Secret))
+	copy(wrong, res.Secret)
+	wrong[0] ^= 1
+	// With the wrong secret the derived coefficient rows are wrong, so
+	// decoding either yields garbage flagged by digests... but digests
+	// live in the manifest and authenticate *messages*, not the decode;
+	// the decode must simply not reproduce the data.
+	got, _, err := sys.FetchFile(ctx, &res.Handle, wrong)
+	if err == nil && bytes.Equal(got, data) {
+		t.Fatal("wrong secret decoded the file")
+	}
+}
+
+func TestFetchFileBadHandle(t *testing.T) {
+	sys, err := core.NewSystem(identity(t, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.FetchFile(context.Background(), nil, nil); !errors.Is(err, core.ErrBadHandle) {
+		t.Errorf("nil handle error = %v", err)
+	}
+	if _, _, err := sys.FetchFile(context.Background(), &core.Handle{}, nil); !errors.Is(err, core.ErrBadHandle) {
+		t.Errorf("empty handle error = %v", err)
+	}
+}
+
+func TestShareFileNoPeers(t *testing.T) {
+	sys, err := core.NewSystem(identity(t, 5), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ShareFile(context.Background(), "x", []byte{1}, nil); !errors.Is(err, client.ErrNoPeers) {
+		t.Errorf("no peers error = %v", err)
+	}
+}
+
+func TestHandleJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 600)
+	rng.Read(data)
+	sys, err := core.NewSystem(identity(t, 6), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startPeer(t, 30).Addr().String()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := sys.ShareFile(ctx, "doc", data, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h core.Handle
+	if err := json.Unmarshal(blob, &h); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sys.FetchFile(ctx, &h, res.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetch via serialized handle mismatch")
+	}
+}
+
+func TestReportFeedbackCreditsOwnPeer(t *testing.T) {
+	owner := identity(t, 7)
+	ownPeer, err := peer.New(peer.Config{
+		Identity: identity(t, 40),
+		Store:    store.NewMemory(),
+		Owner:    owner.Public(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownPeer.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ownPeer.Close() })
+
+	sys, err := core.NewSystem(owner, nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stats := client.FetchStats{BytesFrom: map[string]uint64{"peerZ": 4321}}
+	if err := sys.ReportFeedback(ctx, ownPeer.Addr().String(), stats); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ownPeer.Ledger().Received("peerZ") >= 4321 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("feedback not credited")
+}
+
+func TestReportFeedbackEmptyIsNoop(t *testing.T) {
+	sys, err := core.NewSystem(identity(t, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ReportFeedback(context.Background(), "127.0.0.1:1", client.FetchStats{}); err != nil {
+		t.Errorf("empty feedback error = %v", err)
+	}
+}

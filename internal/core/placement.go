@@ -1,0 +1,118 @@
+package core
+
+// Ring placement: instead of storing every generation on every peer,
+// ShareFilePlaced stores each generation on the r ring members closest
+// to its file-id (PAST-style). Storage per peer drops from the whole
+// file to ~r/n of it while any single responsible peer still suffices
+// to decode its generations (batch invertibility).
+
+import (
+	"context"
+	"fmt"
+
+	"asymshare/internal/chunk"
+	"asymshare/internal/client"
+	"asymshare/internal/ring"
+	"asymshare/internal/rlnc"
+)
+
+// PeersForChunk returns the addresses holding chunk i: the placed set
+// when the handle carries one, otherwise all peers.
+func (h *Handle) PeersForChunk(i int) []string {
+	if i < len(h.ChunkPeers) && len(h.ChunkPeers[i]) > 0 {
+		return h.ChunkPeers[i]
+	}
+	return h.Peers
+}
+
+// ShareFilePlaced encodes data and disseminates each generation to the
+// `replicas` ring members responsible for its file-id. The returned
+// handle records the per-chunk placement, so fetch, audit and repair
+// contact only the right peers.
+func (s *System) ShareFilePlaced(ctx context.Context, name string, data []byte,
+	r *ring.Ring, replicas int) (*ShareResult, error) {
+	if r == nil || r.Size() == 0 {
+		return nil, fmt.Errorf("%w: empty ring", ErrBadHandle)
+	}
+	if replicas <= 0 {
+		replicas = 2
+	}
+	secret, err := chunk.NewSecret()
+	if err != nil {
+		return nil, err
+	}
+	baseID, err := chunk.NewFileID()
+	if err != nil {
+		return nil, err
+	}
+	share, err := chunk.BuildShare(name, data, s.plan, baseID, secret)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &ShareResult{Secret: secret}
+	chunkPeers := make([][]string, share.NumChunks())
+	// Group uploads per peer address so each peer gets one connection.
+	perPeer := make(map[string][]*rlnc.Message)
+	for i := 0; i < share.NumChunks(); i++ {
+		info := share.Manifest.Chunks[i]
+		addrs := r.Place(info.FileID, replicas)
+		chunkPeers[i] = addrs
+		for rank, addr := range addrs {
+			batch, err := share.Encoder(i).BatchForPeer(rank, info.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: chunk %d rank %d: %w", i, rank, err)
+			}
+			for _, msg := range batch {
+				share.Manifest.Chunks[i].Digests[msg.MessageID] = msg.Digest()
+			}
+			perPeer[addr] = append(perPeer[addr], batch...)
+		}
+	}
+	for addr, msgs := range perPeer {
+		if err := s.client.Disseminate(ctx, addr, msgs); err != nil {
+			return nil, fmt.Errorf("core: disseminate to %s: %w", addr, err)
+		}
+		result.MessagesSent += len(msgs)
+		for _, m := range msgs {
+			result.BytesSent += int64(len(m.Payload) + 16)
+		}
+	}
+	result.Handle = Handle{
+		Manifest:   share.Manifest,
+		Peers:      r.Members(),
+		ChunkPeers: chunkPeers,
+	}
+	return result, nil
+}
+
+// fetchPlaced retrieves a handle whose chunks live on different peer
+// subsets.
+func (s *System) fetchPlaced(ctx context.Context, h *Handle, secret []byte) ([]byte, client.FetchStats, error) {
+	total := client.FetchStats{BytesFrom: make(map[string]uint64)}
+	pieces := make([][]byte, len(h.Manifest.Chunks))
+	for i, info := range h.Manifest.Chunks {
+		params, err := info.Params(h.Manifest.Plan)
+		if err != nil {
+			return nil, total, err
+		}
+		data, stats, err := s.client.FetchGeneration(ctx, h.PeersForChunk(i), params,
+			info.FileID, secret, info.Digests)
+		if err != nil {
+			return nil, total, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+		pieces[i] = data
+		total.Messages += stats.Messages
+		total.Innovative += stats.Innovative
+		total.Rejected += stats.Rejected
+		total.Elapsed += stats.Elapsed
+		for k, v := range stats.BytesFrom {
+			total.BytesFrom[k] += v
+		}
+	}
+	data, err := chunk.Assemble(&h.Manifest, pieces)
+	if err != nil {
+		return nil, total, err
+	}
+	return data, total, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+// Replication audit and repair. Because every message is a
+// deterministic function of (file-id, message-id, secret), the owner
+// can regenerate any peer's batch from the original data at any time —
+// so a peer that lost its store (disk failure, eviction) is repaired
+// with a plain re-dissemination, no inter-peer transfer or decode
+// needed. This realizes the paper's "geographic data robustness"
+// operationally.
+
+import (
+	"context"
+	"fmt"
+
+	"asymshare/internal/chunk"
+	"asymshare/internal/rlnc"
+)
+
+// AuditReport describes replication health for one handle.
+type AuditReport struct {
+	// MissingByPeer maps peer address to the number of (chunk, peer)
+	// batches that are absent or incomplete there.
+	MissingByPeer map[string]int
+
+	// TotalBatches is the number of batches expected across all peers.
+	TotalBatches int
+}
+
+// Healthy reports whether every expected batch is fully present.
+func (a *AuditReport) Healthy() bool {
+	for _, n := range a.MissingByPeer {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// expectedCounts returns, per chunk, the batch size each peer should
+// hold (k, capped by what BatchForPeer would mint).
+func expectedCounts(m *chunk.Manifest) []int {
+	out := make([]int, len(m.Chunks))
+	for i, info := range m.Chunks {
+		out[i] = info.K
+	}
+	return out
+}
+
+// holdsChunk reports whether addr is expected to hold chunk i.
+func (h *Handle) holdsChunk(addr string, i int) bool {
+	for _, a := range h.PeersForChunk(i) {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// batchRank returns the batch index addr was assigned for chunk i
+// (its position among the chunk's holders), or -1.
+func (h *Handle) batchRank(addr string, i int) int {
+	for rank, a := range h.PeersForChunk(i) {
+		if a == addr {
+			return rank
+		}
+	}
+	return -1
+}
+
+// Audit checks each peer's stored inventory against the handle,
+// respecting ring placement when present.
+func (s *System) Audit(ctx context.Context, h *Handle) (*AuditReport, error) {
+	if h == nil || len(h.Peers) == 0 {
+		return nil, fmt.Errorf("%w: missing peers", ErrBadHandle)
+	}
+	expected := expectedCounts(&h.Manifest)
+	report := &AuditReport{MissingByPeer: make(map[string]int, len(h.Peers))}
+	for _, addr := range h.Peers {
+		files, err := s.client.ListFiles(ctx, addr)
+		if err != nil {
+			return nil, fmt.Errorf("core: audit %s: %w", addr, err)
+		}
+		have := make(map[uint64]int, len(files))
+		for _, f := range files {
+			have[f.FileID] = f.Messages
+		}
+		missing := 0
+		for i, info := range h.Manifest.Chunks {
+			if !h.holdsChunk(addr, i) {
+				continue
+			}
+			if have[info.FileID] < expected[i] {
+				missing++
+			}
+			report.TotalBatches++
+		}
+		report.MissingByPeer[addr] = missing
+	}
+	return report, nil
+}
+
+// Repair re-disseminates every incomplete batch found by Audit,
+// regenerating the messages from the original data. It returns the
+// number of messages re-uploaded.
+func (s *System) Repair(ctx context.Context, h *Handle, secret, data []byte) (int, error) {
+	if h == nil || len(h.Peers) == 0 {
+		return 0, fmt.Errorf("%w: missing peers", ErrBadHandle)
+	}
+	if int64(len(data)) != h.Manifest.TotalSize {
+		return 0, fmt.Errorf("%w: data is %d bytes, manifest says %d",
+			ErrBadHandle, len(data), h.Manifest.TotalSize)
+	}
+	report, err := s.Audit(ctx, h)
+	if err != nil {
+		return 0, err
+	}
+	if report.Healthy() {
+		return 0, nil
+	}
+	pieces := chunk.Split(data, h.Manifest.Plan.ChunkSize)
+	repaired := 0
+	for _, addr := range h.Peers {
+		if report.MissingByPeer[addr] == 0 {
+			continue
+		}
+		files, err := s.client.ListFiles(ctx, addr)
+		if err != nil {
+			return repaired, err
+		}
+		have := make(map[uint64]int, len(files))
+		for _, f := range files {
+			have[f.FileID] = f.Messages
+		}
+		var resend []*rlnc.Message
+		for i, info := range h.Manifest.Chunks {
+			rank := h.batchRank(addr, i)
+			if rank < 0 || have[info.FileID] >= info.K {
+				continue
+			}
+			params, err := info.Params(h.Manifest.Plan)
+			if err != nil {
+				return repaired, err
+			}
+			enc, err := rlnc.NewEncoder(params, info.FileID, secret, pieces[i])
+			if err != nil {
+				return repaired, err
+			}
+			batch, err := enc.BatchForPeer(rank, params.K)
+			if err != nil {
+				return repaired, err
+			}
+			resend = append(resend, batch...)
+		}
+		if len(resend) == 0 {
+			continue
+		}
+		if err := s.client.Disseminate(ctx, addr, resend); err != nil {
+			return repaired, fmt.Errorf("core: repair %s: %w", addr, err)
+		}
+		repaired += len(resend)
+	}
+	return repaired, nil
+}

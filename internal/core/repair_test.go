@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asymshare/internal/core"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+func TestAuditAndRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, 2200) // 3 chunks under smallPlan
+	rng.Read(data)
+
+	sys, err := core.NewSystem(identity(t, 120), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep store references so the test can inject data loss.
+	stores := make([]*store.Memory, 2)
+	var addrs []string
+	for i := range stores {
+		stores[i] = store.NewMemory()
+		node, err := peer.New(peer.Config{Identity: identity(t, byte(121+i)), Store: stores[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := sys.ShareFile(ctx, "precious.dat", data, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := sys.Audit(ctx, &res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Healthy() {
+		t.Fatalf("fresh share unhealthy: %+v", report)
+	}
+	if report.TotalBatches != 2*3 {
+		t.Errorf("TotalBatches = %d, want 6", report.TotalBatches)
+	}
+
+	// Disaster: peer 0 loses one generation entirely.
+	lost := res.Handle.Manifest.Chunks[1].FileID
+	if err := stores[0].Drop(lost); err != nil {
+		t.Fatal(err)
+	}
+	report, err = sys.Audit(ctx, &res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Healthy() {
+		t.Fatal("audit missed the lost generation")
+	}
+	if report.MissingByPeer[addrs[0]] != 1 || report.MissingByPeer[addrs[1]] != 0 {
+		t.Errorf("MissingByPeer = %v", report.MissingByPeer)
+	}
+
+	// Repair regenerates and re-uploads exactly the lost batch.
+	n, err := sys.Repair(ctx, &res.Handle, res.Secret, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("repair uploaded nothing")
+	}
+	report, err = sys.Audit(ctx, &res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Healthy() {
+		t.Fatalf("still unhealthy after repair: %+v", report)
+	}
+
+	// A second repair is a no-op.
+	n, err = sys.Repair(ctx, &res.Handle, res.Secret, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("idempotent repair uploaded %d messages", n)
+	}
+
+	// And the file still fetches, now again from both peers.
+	got, _, err := sys.FetchFile(ctx, &res.Handle, res.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetch after repair mismatch")
+	}
+}
+
+func TestAuditRepairValidation(t *testing.T) {
+	sys, err := core.NewSystem(identity(t, 130), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.Audit(ctx, nil); !errors.Is(err, core.ErrBadHandle) {
+		t.Errorf("nil handle audit error = %v", err)
+	}
+	if _, err := sys.Repair(ctx, nil, nil, nil); !errors.Is(err, core.ErrBadHandle) {
+		t.Errorf("nil handle repair error = %v", err)
+	}
+	h := &core.Handle{Peers: []string{"x"}}
+	h.Manifest.TotalSize = 10
+	if _, err := sys.Repair(ctx, h, nil, make([]byte, 5)); !errors.Is(err, core.ErrBadHandle) {
+		t.Errorf("size mismatch repair error = %v", err)
+	}
+}

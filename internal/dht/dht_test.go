@@ -1,0 +1,268 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// startNode binds a loopback port, creates a node advertising it, and
+// starts serving.
+func startNode(t *testing.T) *Node {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StartListener(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// buildNetwork boots count nodes, all joined through the first.
+func buildNetwork(t *testing.T, count int) []*Node {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		nodes[i] = startNode(t)
+	}
+	for i := 1; i < count; i++ {
+		if err := nodes[i].Join(ctx, nodes[0].Addr()); err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+	return nodes
+}
+
+func TestIDHelpers(t *testing.T) {
+	a := NodeIDFromAddr("host:1")
+	b := NodeIDFromAddr("host:2")
+	if a == b {
+		t.Fatal("distinct addresses produced identical ids")
+	}
+	if a != NodeIDFromAddr("host:1") {
+		t.Fatal("id derivation not deterministic")
+	}
+	parsed, err := ParseID(a.String())
+	if err != nil || parsed != a {
+		t.Fatalf("ParseID round trip: %v", err)
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := ParseID("abcd"); err == nil {
+		t.Error("short id accepted")
+	}
+	if xorDistance(a, a) != (ID{}) {
+		t.Error("self distance not zero")
+	}
+	if !lessDistance(a, a, b) {
+		t.Error("a not closest to itself")
+	}
+}
+
+func TestContactParse(t *testing.T) {
+	good := Contact{ID: NodeIDFromAddr("x:1").String(), Addr: "x:1"}
+	if _, err := good.parse(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Contact{ID: "bad", Addr: "x"}).parse(); err == nil {
+		t.Error("bad id accepted")
+	}
+	if _, err := (Contact{ID: good.ID}).parse(); err == nil {
+		t.Error("missing addr accepted")
+	}
+}
+
+func TestTableObserveClosestEvict(t *testing.T) {
+	self := NodeIDFromAddr("self:0")
+	tb := newTable(self, 4)
+	for i := 0; i < 10; i++ {
+		addr := fmt.Sprintf("n%d:1", i)
+		tb.observe(parsedContact{id: NodeIDFromAddr(addr), addr: addr})
+	}
+	if tb.size() != 4 {
+		t.Fatalf("table size = %d, want cap 4", tb.size())
+	}
+	// Self is never stored.
+	tb.observe(parsedContact{id: self, addr: "self:0"})
+	if tb.size() != 4 {
+		t.Error("self was stored")
+	}
+	// closest returns sorted-by-distance contacts.
+	target := NodeIDFromAddr("t:9")
+	cs := tb.closest(target, 3)
+	for i := 1; i < len(cs); i++ {
+		if lessDistance(target, cs[i].id, cs[i-1].id) {
+			t.Fatal("closest not sorted")
+		}
+	}
+}
+
+func TestJoinPopulatesTables(t *testing.T) {
+	nodes := buildNetwork(t, 8)
+	for i, n := range nodes {
+		if n.TableSize() == 0 {
+			t.Errorf("node %d knows nobody", i)
+		}
+	}
+}
+
+func TestAnnounceAndLookupAcrossNetwork(t *testing.T) {
+	nodes := buildNetwork(t, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	key := KeyFromFileID(12345)
+	if err := nodes[3].Announce(ctx, key, "peerA:7070", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[7].Announce(ctx, key, "peerB:7070", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node can resolve the key, regardless of where it announced.
+	for i, n := range nodes {
+		got, err := n.Lookup(ctx, key)
+		if err != nil {
+			t.Fatalf("node %d lookup: %v", i, err)
+		}
+		if len(got) != 2 || got[0] != "peerA:7070" || got[1] != "peerB:7070" {
+			t.Fatalf("node %d lookup = %v", i, got)
+		}
+	}
+}
+
+func TestLookupUnknownKey(t *testing.T) {
+	nodes := buildNetwork(t, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	_, err := nodes[2].Lookup(ctx, KeyFromFileID(999999))
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown key error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupSurvivesReplicaFailures(t *testing.T) {
+	nodes := buildNetwork(t, 12)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	key := KeyFromFileID(777)
+	if err := nodes[1].Announce(ctx, key, "peerZ:7070", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a third of the network (values live on K=8 replicas, so a
+	// few must survive).
+	for i := 2; i < 6; i++ {
+		nodes[i].Close()
+	}
+	got, err := nodes[11].Lookup(ctx, key)
+	if err != nil {
+		t.Fatalf("lookup after failures: %v", err)
+	}
+	if len(got) != 1 || got[0] != "peerZ:7070" {
+		t.Fatalf("lookup = %v", got)
+	}
+}
+
+func TestValueExpiry(t *testing.T) {
+	n, err := NewNode("local:1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	n.now = func() time.Time { return now }
+	key := KeyFromFileID(5)
+	n.storeLocal(key, "v1", 60)   // 1 minute
+	n.storeLocal(key, "v2", 7200) // capped at 1 hour
+	if got := n.loadLocal(key); len(got) != 2 {
+		t.Fatalf("loadLocal = %v", got)
+	}
+	now = now.Add(2 * time.Minute)
+	if got := n.loadLocal(key); len(got) != 1 || got[0] != "v2" {
+		t.Fatalf("after short expiry = %v", got)
+	}
+	now = now.Add(2 * time.Hour)
+	if got := n.loadLocal(key); len(got) != 0 {
+		t.Fatalf("after cap expiry = %v", got)
+	}
+}
+
+func TestJoinDeadBootstrap(t *testing.T) {
+	n := startNode(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n.Join(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("join via dead bootstrap succeeded")
+	}
+	if n.TableSize() != 0 {
+		t.Error("dead bootstrap left in table")
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode("", 0); err == nil {
+		t.Error("empty advertise accepted")
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	n := startNode(t)
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	// A 12-node network with one announced key: steady-state resolve
+	// latency including the iterative routing.
+	nodes := make([]*Node, 12)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := NewNode(ln.Addr().String(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.StartListener(ln); err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	ctx := context.Background()
+	for i := 1; i < len(nodes); i++ {
+		if err := nodes[i].Join(ctx, nodes[0].Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	key := KeyFromFileID(42)
+	if err := nodes[1].Announce(ctx, key, "peer:1", 0); err != nil {
+		b.Fatal(err)
+	}
+	// Benchmark from a node that is NOT a replica-local hit if
+	// possible; worst case it is, which only makes the number better.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[11].Lookup(ctx, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

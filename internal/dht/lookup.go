@@ -1,0 +1,275 @@
+package dht
+
+// Client-side RPCs and the iterative lookup procedure.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"asymshare/internal/wire"
+)
+
+// rpc performs one request/response exchange with a remote node.
+func (n *Node) rpc(ctx context.Context, addr string, reqType wire.Type, req any,
+	respType wire.Type) ([]byte, error) {
+	var d net.Dialer
+	rpcCtx, cancel := context.WithTimeout(ctx, rpcTimeout)
+	defer cancel()
+	conn, err := d.DialContext(rpcCtx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dht: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := rpcCtx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, reqType, blob); err != nil {
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("dht: rpc to %s: %w", addr, err)
+	}
+	if frame.Type != respType {
+		return nil, fmt.Errorf("%w: got %s, want %s", wire.ErrUnexpectedFrame, frame.Type, respType)
+	}
+	return frame.Payload, nil
+}
+
+// Ping checks liveness and introduces this node to addr.
+func (n *Node) Ping(ctx context.Context, addr string) error {
+	_, err := n.rpc(ctx, addr, typePing, findNodeReq{rpcHeader: n.header()}, typePong)
+	return err
+}
+
+// findNodeRPC queries one node for contacts close to target.
+func (n *Node) findNodeRPC(ctx context.Context, c parsedContact, target ID) ([]parsedContact, error) {
+	payload, err := n.rpc(ctx, c.addr, typeFindNode,
+		findNodeReq{rpcHeader: n.header(), Target: target.String()}, typeNodes)
+	if err != nil {
+		n.table.remove(c.id)
+		return nil, err
+	}
+	var resp nodesResp
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, err
+	}
+	return n.absorb(resp.Contacts), nil
+}
+
+// findValueRPC queries one node for a key's values (or closer nodes).
+func (n *Node) findValueRPC(ctx context.Context, c parsedContact, key ID) ([]string, []parsedContact, error) {
+	payload, err := n.rpc(ctx, c.addr, typeFindValue,
+		findValueReq{rpcHeader: n.header(), Key: key.String()}, typeValues)
+	if err != nil {
+		n.table.remove(c.id)
+		return nil, nil, err
+	}
+	var resp valuesResp
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.Values, n.absorb(resp.Contacts), nil
+}
+
+// storeRPC stores a value on one node.
+func (n *Node) storeRPC(ctx context.Context, c parsedContact, key ID, value string, ttl time.Duration) error {
+	_, err := n.rpc(ctx, c.addr, typeStore, storeReq{
+		rpcHeader: n.header(),
+		Key:       key.String(),
+		Value:     value,
+		TTLSec:    int(ttl / time.Second),
+	}, typeStored)
+	if err != nil {
+		n.table.remove(c.id)
+	}
+	return err
+}
+
+// absorb parses remote contacts into the routing table.
+func (n *Node) absorb(cs []Contact) []parsedContact {
+	out := make([]parsedContact, 0, len(cs))
+	for _, c := range cs {
+		p, err := c.parse()
+		if err != nil || p.id == n.id {
+			continue
+		}
+		n.table.observe(p)
+		out = append(out, p)
+	}
+	return out
+}
+
+// Join bootstraps the node into the network through one known address.
+func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
+	boot := parsedContact{id: NodeIDFromAddr(bootstrapAddr), addr: bootstrapAddr}
+	n.table.observe(boot)
+	if err := n.Ping(ctx, bootstrapAddr); err != nil {
+		n.table.remove(boot.id)
+		return fmt.Errorf("dht: join: %w", err)
+	}
+	// Locate ourselves: populates the table with our neighbourhood.
+	_, err := n.iterativeFind(ctx, n.id, false)
+	return err
+}
+
+// lookupState tracks an iterative lookup's shortlist.
+type lookupState struct {
+	target  ID
+	queried map[ID]bool
+	short   []parsedContact
+}
+
+func (s *lookupState) add(cs []parsedContact) {
+	seen := make(map[ID]bool, len(s.short))
+	for _, c := range s.short {
+		seen[c.id] = true
+	}
+	for _, c := range cs {
+		if !seen[c.id] {
+			s.short = append(s.short, c)
+			seen[c.id] = true
+		}
+	}
+	sort.Slice(s.short, func(i, j int) bool {
+		if s.short[i].id == s.short[j].id {
+			return false
+		}
+		return lessDistance(s.target, s.short[i].id, s.short[j].id)
+	})
+	if len(s.short) > 2*K {
+		s.short = s.short[:2*K]
+	}
+}
+
+func (s *lookupState) nextBatch() []parsedContact {
+	out := make([]parsedContact, 0, Alpha)
+	for _, c := range s.short {
+		if len(out) == Alpha {
+			break
+		}
+		if !s.queried[c.id] {
+			out = append(out, c)
+			s.queried[c.id] = true
+		}
+	}
+	return out
+}
+
+// iterativeFind runs the Kademlia lookup. With wantValue it returns
+// the first values found; otherwise it converges on the K closest
+// contacts to target.
+func (n *Node) iterativeFind(ctx context.Context, target ID, wantValue bool) ([]string, error) {
+	state := &lookupState{target: target, queried: make(map[ID]bool)}
+	state.add(n.table.closest(target, K))
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := state.nextBatch()
+		if len(batch) == 0 {
+			if wantValue {
+				return nil, ErrNotFound
+			}
+			return nil, nil
+		}
+		type result struct {
+			values   []string
+			contacts []parsedContact
+		}
+		results := make(chan result, len(batch))
+		for _, c := range batch {
+			go func(c parsedContact) {
+				var res result
+				if wantValue {
+					res.values, res.contacts, _ = n.findValueRPC(ctx, c, target)
+				} else {
+					res.contacts, _ = n.findNodeRPC(ctx, c, target)
+				}
+				results <- res
+			}(c)
+		}
+		var values []string
+		for range batch {
+			res := <-results
+			values = append(values, res.values...)
+			state.add(res.contacts)
+		}
+		if wantValue && len(values) > 0 {
+			return dedupe(values), nil
+		}
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Announce replicates key -> value on the K nodes closest to key
+// (including this node if it is among them). A zero ttl uses the
+// node's maximum.
+func (n *Node) Announce(ctx context.Context, key ID, value string, ttl time.Duration) error {
+	if ttl <= 0 {
+		ttl = n.maxTTL
+	}
+	if _, err := n.iterativeFind(ctx, key, false); err != nil {
+		return err
+	}
+	targets := n.table.closest(key, K)
+	// Count ourselves as a candidate replica only if we can serve.
+	all := append([]parsedContact{}, targets...)
+	if n.Serving() {
+		all = append(all, parsedContact{id: n.id, addr: n.advertise})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].id == all[j].id {
+			return false
+		}
+		return lessDistance(key, all[i].id, all[j].id)
+	})
+	if len(all) > K {
+		all = all[:K]
+	}
+	stored := 0
+	for _, c := range all {
+		if c.id == n.id {
+			n.storeLocal(key, value, int(ttl/time.Second))
+			stored++
+			continue
+		}
+		if err := n.storeRPC(ctx, c, key, value, ttl); err == nil {
+			stored++
+		}
+	}
+	if stored == 0 {
+		return fmt.Errorf("dht: announce stored on 0 replicas")
+	}
+	return nil
+}
+
+// Lookup resolves a key to its values via iterative search, checking
+// the local store first.
+func (n *Node) Lookup(ctx context.Context, key ID) ([]string, error) {
+	if local := n.loadLocal(key); len(local) > 0 {
+		return dedupe(local), nil
+	}
+	return n.iterativeFind(ctx, key, true)
+}

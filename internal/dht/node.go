@@ -1,0 +1,316 @@
+package dht
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"asymshare/internal/wire"
+)
+
+// RPC frame types, in a range disjoint from the peer and tracker
+// protocols.
+const (
+	typePing wire.Type = 96 + iota
+	typePong
+	typeFindNode
+	typeNodes
+	typeStore
+	typeStored
+	typeFindValue
+	typeValues
+)
+
+// Protocol constants.
+const (
+	// K is the replication factor: values live on the K nodes closest
+	// to their key, and FIND_NODE returns up to K contacts.
+	K = 8
+
+	// Alpha is the lookup parallelism.
+	Alpha = 3
+
+	// DefaultTTL bounds value lifetime without refresh.
+	DefaultTTL = 10 * time.Minute
+
+	rpcTimeout = 3 * time.Second
+)
+
+// ErrNotFound is returned by Lookup when no value is reachable.
+var ErrNotFound = errors.New("dht: value not found")
+
+// Every request carries the sender's contact so receivers learn the
+// network passively.
+type rpcHeader struct {
+	FromID   string `json:"fromId"`
+	FromAddr string `json:"fromAddr"`
+}
+
+type findNodeReq struct {
+	rpcHeader
+	Target string `json:"target"`
+}
+
+type nodesResp struct {
+	Contacts []Contact `json:"contacts"`
+}
+
+type storeReq struct {
+	rpcHeader
+	Key    string `json:"key"`
+	Value  string `json:"value"`
+	TTLSec int    `json:"ttlSec,omitempty"`
+}
+
+type findValueReq struct {
+	rpcHeader
+	Key string `json:"key"`
+}
+
+type valuesResp struct {
+	Values   []string  `json:"values,omitempty"`
+	Contacts []Contact `json:"contacts,omitempty"`
+}
+
+type storedValue struct {
+	expires time.Time
+}
+
+// Node is one DHT participant.
+type Node struct {
+	id        ID
+	advertise string
+	table     *table
+	maxTTL    time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	values  map[ID]map[string]storedValue // key -> value -> expiry
+	ln      net.Listener
+	serving bool
+	closed  bool
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// NewNode creates a node that will advertise the given address to
+// other nodes (usually the listen address). maxTTL caps stored value
+// lifetimes; zero means DefaultTTL.
+func NewNode(advertise string, maxTTL time.Duration) (*Node, error) {
+	if advertise == "" {
+		return nil, errors.New("dht: advertise address required")
+	}
+	if maxTTL <= 0 {
+		maxTTL = DefaultTTL
+	}
+	n := &Node{
+		id:        NodeIDFromAddr(advertise),
+		advertise: advertise,
+		table:     newTable(NodeIDFromAddr(advertise), 0),
+		maxTTL:    maxTTL,
+		now:       time.Now,
+		values:    make(map[ID]map[string]storedValue),
+	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	return n, nil
+}
+
+// StartListener starts serving on a pre-bound listener whose address
+// matches the advertised one (used with "127.0.0.1:0" binds: bind
+// first, then NewNode with the real address).
+func (n *Node) StartListener(ln net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("dht: node closed")
+	}
+	n.ln = ln
+	n.serving = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// Serving reports whether the node accepts RPCs (a client-only node —
+// one that never started a listener — must not count itself as a
+// value replica, since nobody could read from it).
+func (n *Node) Serving() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.serving
+}
+
+// Start listens on the advertised address and serves.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.advertise)
+	if err != nil {
+		return fmt.Errorf("dht: listen: %w", err)
+	}
+	return n.StartListener(ln)
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Addr returns the advertised address.
+func (n *Node) Addr() string { return n.advertise }
+
+// TableSize reports how many contacts the node knows.
+func (n *Node) TableSize() int { return n.table.size() }
+
+// Close stops the node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.ln
+	n.mu.Unlock()
+	n.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			_ = conn.SetDeadline(n.now().Add(rpcTimeout))
+			n.handle(conn)
+		}()
+	}
+}
+
+func (n *Node) header() rpcHeader {
+	return rpcHeader{FromID: n.id.String(), FromAddr: n.advertise}
+}
+
+func (n *Node) observeSender(h rpcHeader) {
+	c, err := Contact{ID: h.FromID, Addr: h.FromAddr}.parse()
+	if err == nil {
+		n.table.observe(c)
+	}
+}
+
+func (n *Node) handle(conn net.Conn) {
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	switch frame.Type {
+	case typePing:
+		var req findNodeReq // header only
+		if json.Unmarshal(frame.Payload, &req) == nil {
+			n.observeSender(req.rpcHeader)
+		}
+		_ = wire.WriteFrame(conn, typePong, nil)
+	case typeFindNode:
+		var req findNodeReq
+		if err := json.Unmarshal(frame.Payload, &req); err != nil {
+			return
+		}
+		n.observeSender(req.rpcHeader)
+		target, err := ParseID(req.Target)
+		if err != nil {
+			return
+		}
+		n.reply(conn, typeNodes, nodesResp{Contacts: wireContacts(n.table.closest(target, K))})
+	case typeStore:
+		var req storeReq
+		if err := json.Unmarshal(frame.Payload, &req); err != nil {
+			return
+		}
+		n.observeSender(req.rpcHeader)
+		key, err := ParseID(req.Key)
+		if err != nil || req.Value == "" {
+			return
+		}
+		n.storeLocal(key, req.Value, req.TTLSec)
+		_ = wire.WriteFrame(conn, typeStored, nil)
+	case typeFindValue:
+		var req findValueReq
+		if err := json.Unmarshal(frame.Payload, &req); err != nil {
+			return
+		}
+		n.observeSender(req.rpcHeader)
+		key, err := ParseID(req.Key)
+		if err != nil {
+			return
+		}
+		resp := valuesResp{Values: n.loadLocal(key)}
+		if len(resp.Values) == 0 {
+			resp.Contacts = wireContacts(n.table.closest(key, K))
+		}
+		n.reply(conn, typeValues, resp)
+	}
+}
+
+func (n *Node) reply(conn net.Conn, t wire.Type, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_ = wire.WriteFrame(conn, t, blob)
+}
+
+func wireContacts(cs []parsedContact) []Contact {
+	out := make([]Contact, len(cs))
+	for i, c := range cs {
+		out[i] = c.wire()
+	}
+	return out
+}
+
+func (n *Node) storeLocal(key ID, value string, ttlSec int) {
+	ttl := n.maxTTL
+	if ttlSec > 0 {
+		if req := time.Duration(ttlSec) * time.Second; req < ttl {
+			ttl = req
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.values[key]
+	if !ok {
+		m = make(map[string]storedValue)
+		n.values[key] = m
+	}
+	m[value] = storedValue{expires: n.now().Add(ttl)}
+}
+
+func (n *Node) loadLocal(key ID) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.values[key]
+	now := n.now()
+	out := make([]string, 0, len(m))
+	for v, sv := range m {
+		if sv.expires.Before(now) {
+			delete(m, v)
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(m) == 0 {
+		delete(n.values, key)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+)
+
+// table is the simplified routing table: a bounded set of contacts,
+// evicting the contact farthest from self when full. See the package
+// comment for the trade-off versus per-prefix k-buckets.
+type table struct {
+	self ID
+	cap  int
+
+	mu       sync.Mutex
+	contacts map[ID]parsedContact
+}
+
+func newTable(self ID, capacity int) *table {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &table{self: self, cap: capacity, contacts: make(map[ID]parsedContact)}
+}
+
+// observe records a live contact (any node we heard from or about).
+func (t *table) observe(c parsedContact) {
+	if c.id == t.self {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.contacts[c.id]; ok {
+		t.contacts[c.id] = c // refresh address
+		return
+	}
+	t.contacts[c.id] = c
+	if len(t.contacts) <= t.cap {
+		return
+	}
+	// Evict the contact farthest from self.
+	var worst ID
+	first := true
+	for id := range t.contacts {
+		if first || lessDistance(t.self, worst, id) {
+			worst = id
+			first = false
+		}
+	}
+	delete(t.contacts, worst)
+}
+
+// remove drops a dead contact.
+func (t *table) remove(id ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.contacts, id)
+}
+
+// closest returns up to k known contacts nearest to target.
+func (t *table) closest(target ID, k int) []parsedContact {
+	t.mu.Lock()
+	out := make([]parsedContact, 0, len(t.contacts))
+	for _, c := range t.contacts {
+		out = append(out, c)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].id == out[j].id {
+			return false
+		}
+		return lessDistance(target, out[i].id, out[j].id)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// size returns the contact count.
+func (t *table) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.contacts)
+}

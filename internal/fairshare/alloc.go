@@ -1,0 +1,161 @@
+package fairshare
+
+// Allocation policies. Each policy answers one question for a single
+// peer at a single time slot: given my upload capacity and the set of
+// users currently requesting, how much do I give each of them?
+//
+// Honest peers run PairwiseProportional (Eq. 2). The other policies are
+// the paper's baselines and the adversarial strategies evaluated in
+// Sec. V: Theorem 1 guarantees an honest user's payoff no matter which
+// of these the other peers run.
+
+// Allocator divides a peer's upload capacity among requesting users.
+// Implementations must return non-negative shares summing to at most
+// capacity (exactly capacity when requesters is non-empty, unless the
+// policy deliberately withholds bandwidth).
+type Allocator interface {
+	// Allocate returns the bandwidth granted to each requester. ledger
+	// is the allocating peer's local receipt ledger.
+	Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64
+}
+
+// PairwiseProportional is the paper's proposed rule (Eq. 2): shares
+// proportional to cumulative bandwidth received from each requester,
+// measured locally.
+type PairwiseProportional struct{}
+
+var _ Allocator = PairwiseProportional{}
+
+// Allocate implements Allocator.
+func (PairwiseProportional) Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if capacity <= 0 || len(requesters) == 0 {
+		return out
+	}
+	weights := make([]float64, len(requesters))
+	var total float64
+	for i, r := range requesters {
+		weights[i] = ledger.Received(r)
+		total += weights[i]
+	}
+	if total <= 0 {
+		// No requester has ever contributed and the initial credit is
+		// zero: an even split bootstraps the system.
+		share := capacity / float64(len(requesters))
+		for _, r := range requesters {
+			out[r] = share
+		}
+		return out
+	}
+	for i, r := range requesters {
+		out[r] = capacity * weights[i] / total
+	}
+	return out
+}
+
+// GlobalProportional is the motivating rule of Sec. IV-B (Eq. 3,
+// following Yang & de Veciana): shares proportional to each requester's
+// *declared* upload capacity. It is fair only if declarations are
+// honest — a peer gains by over-declaring, which is why the paper
+// replaces it with local measurements.
+type GlobalProportional struct {
+	// DeclaredUpload maps each user to the upload capacity it claims to
+	// contribute. Missing users count as zero.
+	DeclaredUpload map[ID]float64
+}
+
+var _ Allocator = GlobalProportional{}
+
+// Allocate implements Allocator.
+func (g GlobalProportional) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if capacity <= 0 || len(requesters) == 0 {
+		return out
+	}
+	var total float64
+	for _, r := range requesters {
+		total += g.DeclaredUpload[r]
+	}
+	if total <= 0 {
+		share := capacity / float64(len(requesters))
+		for _, r := range requesters {
+			out[r] = share
+		}
+		return out
+	}
+	for _, r := range requesters {
+		out[r] = capacity * g.DeclaredUpload[r] / total
+	}
+	return out
+}
+
+// EqualSplit divides capacity evenly among requesters regardless of
+// contribution — the "no accounting" baseline.
+type EqualSplit struct{}
+
+var _ Allocator = EqualSplit{}
+
+// Allocate implements Allocator.
+func (EqualSplit) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if capacity <= 0 || len(requesters) == 0 {
+		return out
+	}
+	share := capacity / float64(len(requesters))
+	for _, r := range requesters {
+		out[r] = share
+	}
+	return out
+}
+
+// Withhold contributes nothing — the freeloading strategy. (A peer can
+// equivalently freeload by reporting zero capacity; this policy models
+// one that accepts storage but never serves.)
+type Withhold struct{}
+
+var _ Allocator = Withhold{}
+
+// Allocate implements Allocator.
+func (Withhold) Allocate(float64, []ID, *Ledger) map[ID]float64 {
+	return map[ID]float64{}
+}
+
+// Favor serves only a fixed coalition, splitting capacity evenly among
+// requesting members (a colluding strategy from the resilience
+// discussion of Sec. IV-C). Non-members get nothing.
+type Favor struct {
+	Members map[ID]bool
+}
+
+var _ Allocator = Favor{}
+
+// Allocate implements Allocator.
+func (f Favor) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if capacity <= 0 {
+		return out
+	}
+	var members []ID
+	for _, r := range requesters {
+		if f.Members[r] {
+			members = append(members, r)
+		}
+	}
+	if len(members) == 0 {
+		return out
+	}
+	share := capacity / float64(len(members))
+	for _, r := range members {
+		out[r] = share
+	}
+	return out
+}
+
+// Sum returns the total bandwidth granted by an allocation.
+func Sum(alloc map[ID]float64) float64 {
+	var s float64
+	for _, v := range alloc {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+package fairshare_test
+
+import (
+	"fmt"
+
+	"asymshare/internal/fairshare"
+)
+
+// Example shows Eq. (2) in one step: a peer divides its upload among
+// the users currently requesting, proportional to the bandwidth it has
+// received from each of them.
+func Example() {
+	ledger := fairshare.NewLedger(fairshare.DefaultInitialCredit)
+	ledger.Credit("alice", 300) // alice has served this peer 300 units
+	ledger.Credit("bob", 100)
+
+	alloc := fairshare.PairwiseProportional{}.Allocate(
+		1000,                           // this peer's upload capacity
+		[]fairshare.ID{"alice", "bob"}, // who is requesting right now
+		ledger,
+	)
+	fmt.Printf("alice: %.0f\nbob: %.0f\n", alloc["alice"], alloc["bob"])
+	// Output:
+	// alice: 750
+	// bob: 250
+}
+
+// ExampleGlobalProportional demonstrates the vulnerability of the
+// declared-capacity baseline (Eq. 3): inflating your declaration
+// inflates your share.
+func ExampleGlobalProportional() {
+	honest := fairshare.GlobalProportional{
+		DeclaredUpload: map[fairshare.ID]float64{"alice": 500, "bob": 500},
+	}
+	liar := fairshare.GlobalProportional{
+		DeclaredUpload: map[fairshare.ID]float64{"alice": 500, "bob": 500000},
+	}
+	requesters := []fairshare.ID{"alice", "bob"}
+	fmt.Printf("honest bob: %.0f\n", honest.Allocate(1000, requesters, nil)["bob"])
+	fmt.Printf("lying bob:  %.0f\n", liar.Allocate(1000, requesters, nil)["bob"])
+	// Output:
+	// honest bob: 500
+	// lying bob:  999
+}

@@ -1,0 +1,116 @@
+// Package fairshare implements the bandwidth allocation schemes of
+// Section IV of the paper.
+//
+// The proposed rule (Eq. 2) has each peer i divide its upload capacity
+// mu_i among the users requesting at slot t in proportion to the
+// cumulative bandwidth peer i has *received* from each of them:
+//
+//	mu_ij(t) = mu_i * I_j(t) * R_i[j] / sum_{l: I_l(t)=1} R_i[l]
+//
+// where R_i[l] = sum_{k<t} mu_li(k) is peer i's local receipt ledger.
+// Only local measurements are used — no declared values that a
+// malicious peer could inflate — which is exactly the fix over the
+// global proportional-fairness rule (Eq. 3) discussed in Sec. IV-B.
+package fairshare
+
+import (
+	"sort"
+	"sync"
+)
+
+// ID identifies a peer/user pair. In the simulator IDs are synthetic
+// names; in the real node they are public-key fingerprints.
+type ID = string
+
+// DefaultInitialCredit is the "arbitrary small positive initial value"
+// of Eq. (2) seeding every pairwise ledger entry so the system can
+// bootstrap.
+const DefaultInitialCredit = 1e-6
+
+// Ledger is one peer's local record of bandwidth received from each
+// counterpart. It is safe for concurrent use.
+type Ledger struct {
+	mu       sync.RWMutex
+	received map[ID]float64
+	initial  float64
+}
+
+// NewLedger returns a ledger whose unseen counterparts start with the
+// given initial credit (use DefaultInitialCredit unless testing
+// bootstrap behaviour).
+func NewLedger(initial float64) *Ledger {
+	if initial < 0 {
+		initial = 0
+	}
+	return &Ledger{received: make(map[ID]float64), initial: initial}
+}
+
+// Credit records that `amount` bandwidth was received from a
+// counterpart. Negative amounts are ignored.
+func (l *Ledger) Credit(from ID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.received[from]; !ok {
+		l.received[from] = l.initial
+	}
+	l.received[from] += amount
+}
+
+// Received returns the cumulative amount received from a counterpart,
+// or the initial credit if it has never contributed.
+func (l *Ledger) Received(from ID) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if v, ok := l.received[from]; ok {
+		return v
+	}
+	return l.initial
+}
+
+// Decay multiplies every entry by factor in (0, 1], implementing the
+// paper's future-work suggestion of "disproportionately weighing newer
+// contributions over older ones" to speed up adaptation (Sec. V-A,
+// Fig. 8(b) discussion).
+func (l *Ledger) Decay(factor float64) {
+	if factor >= 1 || factor < 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id := range l.received {
+		l.received[id] *= factor
+	}
+}
+
+// Snapshot returns a copy of the ledger contents.
+func (l *Ledger) Snapshot() map[ID]float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[ID]float64, len(l.received))
+	for id, v := range l.received {
+		out[id] = v
+	}
+	return out
+}
+
+// Total returns the sum over all recorded counterparts.
+func (l *Ledger) Total() float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var sum float64
+	for _, v := range l.received {
+		sum += v
+	}
+	return sum
+}
+
+// sortedIDs returns ids in deterministic order.
+func sortedIDs(ids []ID) []ID {
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package fairshare
+
+// Ledger persistence. A peer's receipt ledger is the only state the
+// allocation rule depends on; losing it on restart would zero every
+// contributor's standing. Ledgers serialize to a small JSON document.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ledgerDoc is the serialized form.
+type ledgerDoc struct {
+	Initial  float64        `json:"initial"`
+	Received map[ID]float64 `json:"received"`
+}
+
+// SaveJSON writes the ledger state to w.
+func (l *Ledger) SaveJSON(w io.Writer) error {
+	l.mu.RLock()
+	doc := ledgerDoc{Initial: l.initial, Received: make(map[ID]float64, len(l.received))}
+	for id, v := range l.received {
+		doc.Received[id] = v
+	}
+	l.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("fairshare: save ledger: %w", err)
+	}
+	return nil
+}
+
+// LoadLedgerJSON reads a ledger previously written by SaveJSON.
+func LoadLedgerJSON(r io.Reader) (*Ledger, error) {
+	var doc ledgerDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("fairshare: load ledger: %w", err)
+	}
+	l := NewLedger(doc.Initial)
+	for id, v := range doc.Received {
+		if v < 0 {
+			return nil, fmt.Errorf("fairshare: load ledger: negative entry for %q", id)
+		}
+		l.received[id] = v
+	}
+	return l, nil
+}
+
+// SaveFile atomically persists the ledger to path.
+func (l *Ledger) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "ledger-*")
+	if err != nil {
+		return fmt.Errorf("fairshare: save ledger: %w", err)
+	}
+	tmpName := tmp.Name()
+	ok := false
+	defer func() {
+		if !ok {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := l.SaveJSON(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fairshare: save ledger: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("fairshare: save ledger: %w", err)
+	}
+	ok = true
+	return nil
+}
+
+// LoadLedgerFile reads a ledger from path. A missing file yields a
+// fresh ledger with the given initial credit (first boot).
+func LoadLedgerFile(path string, initial float64) (*Ledger, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewLedger(initial), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fairshare: load ledger: %w", err)
+	}
+	defer f.Close()
+	return LoadLedgerJSON(f)
+}

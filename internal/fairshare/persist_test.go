@@ -1,0 +1,82 @@
+package fairshare
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLedgerJSONRoundTrip(t *testing.T) {
+	l := NewLedger(0.25)
+	l.Credit("alice", 100)
+	l.Credit("bob", 7.5)
+
+	var buf bytes.Buffer
+	if err := l.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLedgerJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Received("alice"); !almostEqual(v, 100.25) {
+		t.Errorf("alice = %v", v)
+	}
+	if v := got.Received("bob"); !almostEqual(v, 7.75) {
+		t.Errorf("bob = %v", v)
+	}
+	// Unseen counterpart still gets the preserved initial credit.
+	if v := got.Received("carol"); !almostEqual(v, 0.25) {
+		t.Errorf("carol = %v", v)
+	}
+}
+
+func TestLoadLedgerJSONErrors(t *testing.T) {
+	if _, err := LoadLedgerJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := LoadLedgerJSON(strings.NewReader(`{"initial":0,"received":{"x":-5}}`)); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestLedgerFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.json")
+
+	l := NewLedger(DefaultInitialCredit)
+	l.Credit("peerA", 5000)
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLedgerFile(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Received("peerA"); v < 5000 {
+		t.Errorf("peerA = %v", v)
+	}
+	// Overwrite is atomic and repeatable.
+	l.Credit("peerA", 1)
+	if err := l.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadLedgerFileMissingGivesFresh(t *testing.T) {
+	got, err := LoadLedgerFile(filepath.Join(t.TempDir(), "nope.json"), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Received("anyone"); v != 0.5 {
+		t.Errorf("fresh ledger initial = %v", v)
+	}
+}
+
+func TestSaveFileBadDir(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.SaveFile("/nonexistent-dir-xyz/ledger.json"); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+}

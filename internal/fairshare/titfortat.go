@@ -1,0 +1,45 @@
+package fairshare
+
+import "sort"
+
+// TitForTat is a BitTorrent-style baseline: the peer "unchokes" only
+// its top-N contributors (by ledger standing) among current requesters
+// and splits capacity evenly among them. The paper argues its system
+// does not need such symmetric instantaneous reciprocation because
+// contributions even out asymptotically (Sec. II-A); this policy exists
+// so that claim can be measured — under tit-for-tat a low-rate or
+// bursty contributor is frequently choked even though its long-run
+// contribution is honest.
+type TitForTat struct {
+	// N is the unchoke slot count; values < 1 behave as 1.
+	N int
+}
+
+var _ Allocator = TitForTat{}
+
+// Allocate implements Allocator.
+func (tt TitForTat) Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if capacity <= 0 || len(requesters) == 0 {
+		return out
+	}
+	n := tt.N
+	if n < 1 {
+		n = 1
+	}
+	ranked := sortedIDs(requesters) // deterministic tie-break
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ledger.Received(ranked[i]) > ledger.Received(ranked[j])
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	// Unchoking the top n even at zero standing doubles as the
+	// optimistic-unchoke bootstrap.
+	unchoked := ranked[:n]
+	share := capacity / float64(len(unchoked))
+	for _, id := range unchoked {
+		out[id] = share
+	}
+	return out
+}

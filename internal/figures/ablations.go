@@ -1,0 +1,185 @@
+package figures
+
+// Ablation experiments beyond the paper's published figures, each
+// probing one design decision Sec. IV argues for:
+//
+//   - LiarAblation: Eq. (2)'s local measurement versus Eq. (3)'s
+//     declared capacities when a peer lies (Sec. IV-B's motivation);
+//   - TitForTatAblation: asymptotic pairwise fairness versus
+//     BitTorrent-style instantaneous reciprocation (Sec. II-A);
+//   - DecayAblation: cumulative versus decaying ledgers on the
+//     Fig. 8(b) capacity drop (the paper's "slow dynamics" remark).
+
+import (
+	"fmt"
+
+	"asymshare/internal/fairshare"
+	"asymshare/internal/sim"
+	"asymshare/internal/trace"
+)
+
+// LiarAblationResult compares a lying free-rider's take under the two
+// allocation rules.
+type LiarAblationResult struct {
+	// LiarRateEq3 is the liar's mean download under global
+	// proportional fairness with declared (inflated) capacities.
+	LiarRateEq3 float64
+
+	// LiarRateEq2 is the liar's mean download under the paper's
+	// pairwise-proportional rule.
+	LiarRateEq2 float64
+
+	// HonestRateEq2 is an honest peer's mean download under Eq. (2).
+	HonestRateEq2 float64
+}
+
+// LiarAblation runs three saturated peers where one contributes nothing
+// but declares a huge capacity. slots <= 0 means 1500.
+func LiarAblation(slots int) (*LiarAblationResult, error) {
+	if slots <= 0 {
+		slots = 1500
+	}
+	runWith := func(policy func() fairshare.Allocator) (*sim.Result, error) {
+		cfg := sim.Config{Slots: slots}
+		specs := []struct {
+			name   string
+			upload float64
+		}{
+			{"liar", 0}, {"h0", 512}, {"h1", 512},
+		}
+		for _, sp := range specs {
+			cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+				Name:   sp.name,
+				Upload: trace.Const(sp.upload),
+				Demand: trace.Always{},
+				Policy: policy(),
+			})
+		}
+		return sim.Run(cfg)
+	}
+
+	declared := map[fairshare.ID]float64{"liar": 1e6, "h0": 512, "h1": 512}
+	eq3, err := runWith(func() fairshare.Allocator {
+		return fairshare.GlobalProportional{DeclaredUpload: declared}
+	})
+	if err != nil {
+		return nil, err
+	}
+	eq2, err := runWith(func() fairshare.Allocator {
+		return fairshare.PairwiseProportional{}
+	})
+	if err != nil {
+		return nil, err
+	}
+	warm := slots / 3
+	return &LiarAblationResult{
+		LiarRateEq3:   eq3.MeanDownload(0, warm, slots),
+		LiarRateEq2:   eq2.MeanDownload(0, warm, slots),
+		HonestRateEq2: eq2.MeanDownload(1, warm, slots),
+	}, nil
+}
+
+// TitForTatAblationResult compares fairness (Jain index of
+// download/upload ratios) under Eq. (2) and top-N tit-for-tat.
+type TitForTatAblationResult struct {
+	JainEq2 float64
+	JainTFT float64
+
+	// DownloadsTFT are the per-peer steady-state downloads under
+	// tit-for-tat, showing the winner-take-all lock-in.
+	DownloadsTFT []float64
+	Uploads      []float64
+}
+
+// TitForTatAblation runs a saturated heterogeneous network under both
+// rules. slots <= 0 means 4000.
+func TitForTatAblation(slots int) (*TitForTatAblationResult, error) {
+	if slots <= 0 {
+		slots = 4000
+	}
+	uploads := []float64{100, 300, 600, 1000}
+	runWith := func(policy fairshare.Allocator) (*sim.Result, error) {
+		cfg := sim.Config{Slots: slots}
+		for i, u := range uploads {
+			cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+				Name:   fmt.Sprintf("p%d", i),
+				Upload: trace.Const(u),
+				Demand: trace.Always{},
+				Policy: policy,
+			})
+		}
+		return sim.Run(cfg)
+	}
+	eq2, err := runWith(nil)
+	if err != nil {
+		return nil, err
+	}
+	tft, err := runWith(fairshare.TitForTat{N: 2})
+	if err != nil {
+		return nil, err
+	}
+	warm := 3 * slots / 4
+	res := &TitForTatAblationResult{
+		JainEq2: sim.JainIndex(eq2.NormalizedDownloads(warm, slots)),
+		JainTFT: sim.JainIndex(tft.NormalizedDownloads(warm, slots)),
+		Uploads: uploads,
+	}
+	for i := range uploads {
+		res.DownloadsTFT = append(res.DownloadsTFT, tft.MeanDownload(i, warm, slots))
+	}
+	return res, nil
+}
+
+// DecayAblationResult compares adaptation speed after the Fig. 8(b)
+// drop under cumulative and decaying ledgers.
+type DecayAblationResult struct {
+	// RateCumulative and RateDecayed are the degraded peer's mean
+	// download in the window shortly after the drop; lower means the
+	// system adapted (penalized the reduced contribution) faster.
+	RateCumulative float64
+	RateDecayed    float64
+
+	// Decay is the per-slot factor used for the decayed run.
+	Decay float64
+}
+
+// DecayAblation runs the capacity-drop scenario twice. slots <= 0 means
+// 2400; decay <= 0 or >= 1 means 0.995.
+func DecayAblation(slots int, decay float64) (*DecayAblationResult, error) {
+	if slots <= 0 {
+		slots = 2400
+	}
+	if decay <= 0 || decay >= 1 {
+		decay = 0.995
+	}
+	run := func(d float64) (*sim.Result, error) {
+		cfg := sim.Config{Slots: slots, LedgerDecay: d}
+		for i := 0; i < 6; i++ {
+			var upload trace.Schedule = trace.Const(1024)
+			if i == 0 {
+				upload = trace.Steps{{From: 0, Rate: 1024}, {From: slots / 2, Rate: 256}}
+			}
+			cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+				Name:   fmt.Sprintf("p%d", i),
+				Upload: upload,
+				Demand: trace.Always{},
+			})
+		}
+		return sim.Run(cfg)
+	}
+	cumulative, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	decayed, err := run(decay)
+	if err != nil {
+		return nil, err
+	}
+	from := slots/2 + slots/12
+	to := slots/2 + slots/6
+	return &DecayAblationResult{
+		RateCumulative: cumulative.MeanDownload(0, from, to),
+		RateDecayed:    decayed.MeanDownload(0, from, to),
+		Decay:          decay,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package figures
+
+// Churn: the "dynamic real-time environment" dimension of the paper's
+// future work (Sec. VI-A), probed in the simulator. Peers alternate
+// online sessions (contributing + requesting) and offline gaps; the
+// experiment measures how well the paper's asymptotic fairness holds
+// as sessions shrink — the trade-off between fairness and "quick
+// adaptation to changes in the networking environment" the paper
+// anticipates.
+
+import (
+	"fmt"
+
+	"asymshare/internal/sim"
+	"asymshare/internal/trace"
+)
+
+// ChurnResult reports fairness under one session-length setting.
+type ChurnResult struct {
+	// MeanSessionSlots is the configured mean online-session length.
+	MeanSessionSlots float64
+
+	// Jain is Jain's index over per-peer (download while online) /
+	// (upload while online) ratios — 1.0 means everyone got back
+	// exactly what they gave despite churn.
+	Jain float64
+
+	// MinNormalized is the worst peer's download/upload ratio; the
+	// incentive story survives churn as long as this stays near (or
+	// above) 1.
+	MinNormalized float64
+}
+
+// Churn runs n peers with exponential on/off sessions and measures
+// fairness. slots <= 0 means 20000; peers <= 0 means 8.
+func Churn(slots, peers int, meanSession float64, seed int64) (*ChurnResult, error) {
+	if slots <= 0 {
+		slots = 20000
+	}
+	if peers <= 0 {
+		peers = 8
+	}
+	if meanSession <= 0 {
+		meanSession = 1000
+	}
+	cfg := sim.Config{Slots: slots}
+	for i := 0; i < peers; i++ {
+		sessions, err := trace.NewRandomSessions(slots, meanSession, meanSession/2, seed+int64(i)*31)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   fmt.Sprintf("p%d", i),
+			Upload: trace.Gate{Capacity: 512, On: sessions},
+			Demand: sessions,
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	warm := slots / 5
+	norm := res.NormalizedDownloads(warm, slots)
+	minNorm := norm[0]
+	for _, v := range norm[1:] {
+		if v < minNorm {
+			minNorm = v
+		}
+	}
+	return &ChurnResult{
+		MeanSessionSlots: meanSession,
+		Jain:             sim.JainIndex(norm),
+		MinNormalized:    minNorm,
+	}, nil
+}
+
+// ChurnSweep evaluates fairness across several session lengths and
+// returns a table (rows: session length, cols: Jain and min ratio).
+func ChurnSweep(slots, peers int, sessions []float64, seed int64) (*Table, error) {
+	if len(sessions) == 0 {
+		sessions = []float64{100, 400, 1600, 6400}
+	}
+	t := &Table{
+		ID:       "churn",
+		Title:    "fairness under churn (exponential on/off sessions)",
+		RowLabel: "mean session (s)",
+		ColLabel: "metric",
+		Cols:     []string{"jain", "min_ratio"},
+		Format:   "%.3f",
+	}
+	for _, s := range sessions {
+		res, err := Churn(slots, peers, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%.0f", s))
+		t.Cells = append(t.Cells, []float64{res.Jain, res.MinNormalized})
+	}
+	return t, nil
+}

@@ -1,0 +1,215 @@
+package figures
+
+// Generators for the fairness/incentive experiments of Sec. V-A
+// (Figs. 5-8). Each builds the exact simulator configuration the paper
+// describes, runs it, and returns smoothed download-rate series ("our
+// graphs were smoothed with a running average of 10 seconds").
+
+import (
+	"fmt"
+
+	"asymshare/internal/sim"
+	"asymshare/internal/trace"
+)
+
+// SmoothWindow is the paper's 10-second running-average window.
+const SmoothWindow = 10
+
+// fromResult converts selected peers' download series into a Figure.
+func fromResult(res *sim.Result, id, title string, step int) *Figure {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "time (s)",
+		YLabel: "download rate (kbps)",
+	}
+	for i, name := range res.Names {
+		smooth := sim.RunningAverage(res.Download[i], SmoothWindow)
+		fig.Series = append(fig.Series, Series{Label: name, Points: downsample(smooth, step)})
+	}
+	return fig
+}
+
+// Fig5a reproduces Figure 5(a): ten saturated users whose peers upload
+// at 100..1000 kbps; every download rate converges to its own peer's
+// upload capacity. slots <= 0 means the paper's 3600 s.
+func Fig5a(slots int) (*Figure, *sim.Result, error) {
+	if slots <= 0 {
+		slots = 3600
+	}
+	cfg := sim.Config{Slots: slots}
+	for i := 0; i < 10; i++ {
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   fmt.Sprintf("UL=%dkbps", 100*(i+1)),
+			Upload: trace.Const(float64(100 * (i + 1))),
+			Demand: trace.Always{},
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromResult(res, "fig5a", "10 saturated users converge to own upload rate", slots/360+1), res, nil
+}
+
+// Fig5b reproduces Figure 5(b): three peers at 128/256/1024 kbps — the
+// dominant peer violates the non-dominant condition of [16], yet
+// fairness holds because self-allocation is permitted.
+func Fig5b(slots int) (*Figure, *sim.Result, error) {
+	if slots <= 0 {
+		slots = 3600
+	}
+	cfg := sim.Config{Slots: slots}
+	for _, u := range []float64{128, 256, 1024} {
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   fmt.Sprintf("UL=%.0fkbps", u),
+			Upload: trace.Const(u),
+			Demand: trace.Always{},
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromResult(res, "fig5b", "fairness with a dominating peer (128/256/1024)", slots/360+1), res, nil
+}
+
+// HomeVideoOptions scales the 24-hour experiments of Figs. 6 and 7.
+type HomeVideoOptions struct {
+	// SlotsPerHour sets the time resolution; zero means 3600 (real
+	// seconds). Use a smaller value for quick runs.
+	SlotsPerHour int
+
+	// Seed drives the random choice of 12 active hours per user.
+	Seed int64
+
+	// Peer1StartHour delays peer 1's *contribution* until this hour
+	// (Fig. 7 uses 3); zero reproduces Fig. 6.
+	Peer1StartHour int
+}
+
+// HomeVideo reproduces Figures 6 and 7: three peers with uploads
+// 256/512/1024 kbps whose users stream home videos during 12 randomly
+// chosen one-hour blocks of a 24-hour day. The returned gains hold the
+// average extra download each user enjoyed over its single-user
+// (isolated) rate while requesting.
+func HomeVideo(opts HomeVideoOptions) (*Figure, *sim.Result, []float64, error) {
+	sph := opts.SlotsPerHour
+	if sph <= 0 {
+		sph = 3600
+	}
+	uploads := []float64{256, 512, 1024}
+	cfg := sim.Config{Slots: 24 * sph}
+	for i, u := range uploads {
+		duty, err := trace.NewRandomDutyCycle(12, sph, 24, opts.Seed+int64(i)*101)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var upload trace.Schedule = trace.Const(u)
+		if i == 1 && opts.Peer1StartHour > 0 {
+			upload = trace.StartingAt{Start: opts.Peer1StartHour * sph, Inner: trace.Const(u)}
+		}
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   fmt.Sprintf("peer%d-%.0fkbps", i, u),
+			Upload: upload,
+			Demand: duty,
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	id, title := "fig6", "3-peer home-video day, 12h random duty cycles"
+	if opts.Peer1StartHour > 0 {
+		id, title = "fig7", fmt.Sprintf("home-video day, peer 1 contributes after hour %d", opts.Peer1StartHour)
+	}
+	gains := make([]float64, len(uploads))
+	for i, u := range uploads {
+		rate := res.MeanDownloadWhileRequesting(i, 0, cfg.Slots)
+		gains[i] = rate - u
+	}
+	return fromResult(res, id, title, sph/12+1), res, gains, nil
+}
+
+// Fig8a reproduces Figure 8(a): peers 0 and 1 request nothing until
+// t = 1000 s. Peer 0 contributes its 1024 kbps from t = 0, peer 1 only
+// from t = 1000; the other eight peers contribute and request
+// throughout. Peer 0's banked credit buys it a visibly better rate than
+// peer 1 once both start downloading.
+func Fig8a(slots int) (*Figure, *sim.Result, error) {
+	if slots <= 0 {
+		slots = 3500
+	}
+	const joinAt = 1000
+	cfg := sim.Config{
+		Slots: slots,
+		Peers: []sim.PeerConfig{
+			{
+				Name:   "peer0-contributes-from-0",
+				Upload: trace.Const(1024),
+				Demand: trace.After{Start: joinAt, Inner: trace.Always{}},
+			},
+			{
+				Name:   "peer1-contributes-from-1000",
+				Upload: trace.StartingAt{Start: joinAt, Inner: trace.Const(1024)},
+				Demand: trace.After{Start: joinAt, Inner: trace.Always{}},
+			},
+		},
+	}
+	for i := 0; i < 8; i++ {
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   fmt.Sprintf("other%d", i),
+			Upload: trace.Const(1024),
+			Demand: trace.Always{},
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromResult(res, "fig8a", "incentive for contributing while idle", slots/350+1), res, nil
+}
+
+// Fig8bOptions configures the capacity-drop experiment.
+type Fig8bOptions struct {
+	// Slots defaults to the paper's 10000 s.
+	Slots int
+
+	// LedgerDecay, if in (0,1), enables the decaying-ledger variant —
+	// the ablation for the paper's "slow dynamics" remark.
+	LedgerDecay float64
+}
+
+// Fig8b reproduces Figure 8(b): ten peers at 1024 kbps, all saturated;
+// peer 0's upload drops to 512 kbps at t = 1000 and recovers at
+// t = 3000. Its download follows, while the others redistribute the
+// lost service among themselves.
+func Fig8b(opts Fig8bOptions) (*Figure, *sim.Result, error) {
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = 10000
+	}
+	cfg := sim.Config{Slots: slots, LedgerDecay: opts.LedgerDecay}
+	for i := 0; i < 10; i++ {
+		var upload trace.Schedule = trace.Const(1024)
+		name := fmt.Sprintf("peer%d", i)
+		if i == 0 {
+			upload = trace.Steps{
+				{From: 0, Rate: 1024},
+				{From: 1000, Rate: 512},
+				{From: 3000, Rate: 1024},
+			}
+			name = "peer0-drops"
+		}
+		cfg.Peers = append(cfg.Peers, sim.PeerConfig{
+			Name:   name,
+			Upload: upload,
+			Demand: trace.Always{},
+		})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromResult(res, "fig8b", "one peer's upload drops 1024->512->1024", slots/500+1), res, nil
+}

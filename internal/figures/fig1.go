@@ -1,0 +1,65 @@
+package figures
+
+import "math"
+
+// Link speeds from Fig. 1 of the paper, in kbps.
+const (
+	DialupUploadKbps   = 28
+	DialupDownloadKbps = 56
+	CableUploadKbps    = 256
+	CableDownloadKbps  = 3000
+)
+
+// TransmissionSeconds returns the time to move sizeMB megabytes over a
+// rate of `kbps` kilobits per second (1 MB = 8000 kbit, matching the
+// paper's decimal axes).
+func TransmissionSeconds(sizeMB, kbps float64) float64 {
+	if kbps <= 0 {
+		return math.Inf(1)
+	}
+	return sizeMB * 8000 / kbps
+}
+
+// Fig1 reproduces Figure 1: transmission time versus size for typical
+// asymmetric links, on log-spaced sizes from 1 MB to 100 GB. The
+// headline gap — ~9 hours versus ~45 minutes for a 1-hour MPEG-2 video
+// (~1 GB) on a cable modem — falls directly out of these curves.
+func Fig1() *Figure {
+	lines := []struct {
+		label string
+		kbps  float64
+	}{
+		{"dialup-upload@28kbps", DialupUploadKbps},
+		{"dialup-download@56kbps", DialupDownloadKbps},
+		{"cable-upload@256kbps", CableUploadKbps},
+		{"cable-download@3Mbps", CableDownloadKbps},
+	}
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Transmission time vs size over asymmetric links",
+		XLabel: "size (MB)",
+		YLabel: "time (s)",
+	}
+	// 1 MB .. 100 GB, 10 points per decade.
+	var sizes []float64
+	for exp := 0.0; exp <= 5.0; exp += 0.1 {
+		sizes = append(sizes, math.Pow(10, exp))
+	}
+	for _, ln := range lines {
+		s := Series{Label: ln.label, Points: make([]Point, 0, len(sizes))}
+		for _, sz := range sizes {
+			s.Points = append(s.Points, Point{X: sz, Y: TransmissionSeconds(sz, ln.kbps)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig1Headline returns the paper's motivating comparison: the hours to
+// upload versus download a 1-hour TV-resolution MPEG-2 home video
+// (~1 GB) over a cable modem.
+func Fig1Headline() (uploadHours, downloadHours float64) {
+	const videoMB = 1000
+	return TransmissionSeconds(videoMB, CableUploadKbps) / 3600,
+		TransmissionSeconds(videoMB, CableDownloadKbps) / 3600
+}

@@ -1,0 +1,141 @@
+// Package figures defines one generator per table and figure of the
+// paper's evaluation (Sec. V plus the motivating Fig. 1), so that the
+// cmd/paperfig CLI and the benchmark harness reproduce exactly the same
+// series. Each generator returns plain data (Figure or Table) that can
+// be printed as TSV and compared against the published plots.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproducible plot: several series over a shared axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteTSV emits the figure as tab-separated columns: x followed by
+// one column per series (rows are aligned by sample index; series of
+// different lengths are padded with blanks).
+func (f *Figure) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n# x=%s y=%s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	header := "x"
+	for _, s := range f.Series {
+		header += "\t" + s.Label
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	rows := 0
+	for _, s := range f.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		line := ""
+		for si, s := range f.Series {
+			if i < len(s.Points) {
+				if si == 0 {
+					line += formatFloat(s.Points[i].X)
+				}
+				line += "\t" + formatFloat(s.Points[i].Y)
+			} else {
+				line += "\t"
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Table is a reproducible 2-D grid keyed by row and column headers.
+type Table struct {
+	ID       string
+	Title    string
+	RowLabel string
+	ColLabel string
+	Rows     []string
+	Cols     []string
+	Cells    [][]float64
+	// Format is the printf verb for cells, e.g. "%.0f" or "%.3f".
+	Format string
+}
+
+// Write emits the table as aligned TSV.
+func (t *Table) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s (rows: %s, cols: %s)\n", t.ID, t.Title, t.RowLabel, t.ColLabel); err != nil {
+		return err
+	}
+	header := t.RowLabel
+	for _, c := range t.Cols {
+		header += "\t" + c
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	format := t.Format
+	if format == "" {
+		format = "%g"
+	}
+	for i, r := range t.Rows {
+		line := r
+		for j := range t.Cols {
+			line += "\t" + fmt.Sprintf(format, t.Cells[i][j])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// downsample reduces a per-slot series to one averaged point every
+// `step` slots, which keeps the TSV output plottable.
+func downsample(series []float64, step int) []Point {
+	if step <= 0 {
+		step = 1
+	}
+	out := make([]Point, 0, len(series)/step+1)
+	for start := 0; start < len(series); start += step {
+		end := start + step
+		if end > len(series) {
+			end = len(series)
+		}
+		var sum float64
+		for _, v := range series[start:end] {
+			sum += v
+		}
+		out = append(out, Point{
+			X: float64(start+end) / 2,
+			Y: sum / float64(end-start),
+		})
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"asymshare/internal/gf"
+)
+
+func TestFig1CurvesAndHeadline(t *testing.T) {
+	fig := Fig1()
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Times scale linearly with size and inversely with rate.
+	if got := TransmissionSeconds(1, 8000); got != 1 {
+		t.Errorf("1MB @ 8000kbps = %v s", got)
+	}
+	if got := TransmissionSeconds(10, 28); math.Abs(got-2857.14) > 1 {
+		t.Errorf("10MB @ dialup = %v s", got)
+	}
+	up, down := Fig1Headline()
+	// The paper quotes ~9 hours upload vs ~45 minutes download for the
+	// 1-hour MPEG-2 video on a cable modem.
+	if up < 8 || up > 10 {
+		t.Errorf("upload hours = %v, want ~9", up)
+	}
+	if down < 0.6 || down > 0.9 {
+		t.Errorf("download hours = %v, want ~0.75", down)
+	}
+}
+
+func TestFigureWriteTSV(t *testing.T) {
+	fig := &Figure{
+		ID: "test", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1, 2}, {3, 4}}},
+			{Label: "b", Points: []Point{{1, 5}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x\ta\tb") {
+		t.Errorf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // 2 comments + header + 2 rows
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1()
+	// Spot-check the corners of Table I.
+	want := map[[2]int]float64{
+		{0, 0}: 256, // GF(2^4), m=2^13
+		{0, 5}: 8,   // GF(2^4), m=2^18
+		{3, 0}: 32,  // GF(2^32), m=2^13
+		{3, 5}: 1,   // GF(2^32), m=2^18
+		{1, 2}: 32,  // GF(2^8), m=2^15
+		{2, 3}: 8,   // GF(2^16), m=2^16
+	}
+	for pos, k := range want {
+		if got := tbl.Cells[pos[0]][pos[1]]; got != k {
+			t.Errorf("cell %v = %v, want %v", pos, got, k)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GF(2^32)") {
+		t.Error("table output missing row labels")
+	}
+}
+
+func TestTable2SmallGrid(t *testing.T) {
+	// Run the decode-timing grid at 64 KiB so the test stays quick; all
+	// cells must be positive and the k=1-ish cells near-instant.
+	tbl, err := Table2(Table2Options{DataBytes: 64 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tbl.Cells {
+		for j, v := range row {
+			if v <= 0 {
+				t.Errorf("cell (%d,%d) = %v, want > 0", i, j, v)
+			}
+		}
+	}
+	// Larger fields decode 1 MB faster than GF(2^4) at the same m
+	// (fewer, cheaper eliminations) — the core finding of Sec. V-B.
+	if tbl.Cells[0][0] < tbl.Cells[3][0] {
+		t.Errorf("GF(2^4) %.4fs should be slower than GF(2^32) %.4fs at m=2^13",
+			tbl.Cells[0][0], tbl.Cells[3][0])
+	}
+}
+
+func TestMeasureDecodeErrors(t *testing.T) {
+	f := gf.MustNew(gf.Bits4)
+	if _, err := MeasureDecode(f, 3, make([]byte, 10), []byte("s")); err == nil {
+		t.Error("unaligned m accepted")
+	}
+}
+
+func TestFig5aConvergence(t *testing.T) {
+	fig, res, err := Fig5a(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 10 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Final smoothed points approach each peer's upload rate.
+	for i := 0; i < 10; i++ {
+		want := float64(100 * (i + 1))
+		got := res.MeanDownload(i, 1000, 1200)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("peer %d final rate %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestFig5bDominantPeer(t *testing.T) {
+	_, res, err := Fig5b(2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{128, 256, 1024} {
+		got := res.MeanDownload(i, 2000, 2400)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("peer %d rate %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestHomeVideoGainsPositive(t *testing.T) {
+	fig, res, gains, err := HomeVideo(HomeVideoOptions{SlotsPerHour: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig6" {
+		t.Errorf("figure id = %s", fig.ID)
+	}
+	if res.Slots() != 24*300 {
+		t.Errorf("slots = %d", res.Slots())
+	}
+	// Cooperation must benefit every user: download while requesting
+	// exceeds the isolated upload rate (the shaded gains of Fig. 6).
+	for i, g := range gains {
+		if g <= 0 {
+			t.Errorf("peer %d gain = %v, want > 0", i, g)
+		}
+	}
+}
+
+func TestHomeVideoLateContributorPenalized(t *testing.T) {
+	// Fig. 7: peer 1 contributes only after hour 3; its total gain is
+	// smaller than in the Fig. 6 run with identical demand.
+	base, _, gainsBase, err := HomeVideo(HomeVideoOptions{SlotsPerHour: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, _, gainsLate, err := HomeVideo(HomeVideoOptions{SlotsPerHour: 300, Seed: 7, Peer1StartHour: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.ID != "fig7" || base.ID != "fig6" {
+		t.Errorf("ids = %s, %s", base.ID, late.ID)
+	}
+	if gainsLate[1] >= gainsBase[1] {
+		t.Errorf("late contributor gain %v not below baseline %v", gainsLate[1], gainsBase[1])
+	}
+}
+
+func TestFig8aSaverAdvantage(t *testing.T) {
+	_, res, err := Fig8a(1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saver := res.MeanDownload(0, 1000, 1200)
+	late := res.MeanDownload(1, 1000, 1200)
+	if saver <= 1.08*late {
+		t.Errorf("saver %v vs late %v: no clear advantage", saver, late)
+	}
+	// Before t=1000 the others enjoy the saver's idle bandwidth.
+	other := res.MeanDownload(2, 500, 1000)
+	if other <= 1024 {
+		t.Errorf("other peers rate %v, want > 1024", other)
+	}
+}
+
+func TestFig8bDropAndRecovery(t *testing.T) {
+	_, res, err := Fig8b(Fig8bOptions{Slots: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.MeanDownload(0, 800, 1000)
+	during := res.MeanDownload(0, 2800, 3000)
+	after := res.MeanDownload(0, 3800, 4000)
+	if during >= 0.9*before {
+		t.Errorf("drop not visible: before %v during %v", before, during)
+	}
+	if after <= during {
+		t.Errorf("no recovery: during %v after %v", during, after)
+	}
+}
+
+func TestFig8bDecayAblation(t *testing.T) {
+	// With ledger decay the during-drop rate is pulled down (adapts)
+	// faster than the cumulative default.
+	_, cumulative, err := Fig8b(Fig8bOptions{Slots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, decayed, err := Fig8b(Fig8bOptions{Slots: 2000, LedgerDecay: 0.995})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cumulative.MeanDownload(0, 1200, 1500)
+	d := decayed.MeanDownload(0, 1200, 1500)
+	if d >= c {
+		t.Errorf("decayed %v not adapting faster than cumulative %v", d, c)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	pts := downsample([]float64{1, 2, 3, 4, 5, 6}, 2)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Y != 1.5 || pts[2].Y != 5.5 {
+		t.Errorf("downsample = %v", pts)
+	}
+	if got := downsample([]float64{1, 2, 3}, 0); len(got) != 3 {
+		t.Errorf("step 0 should behave like 1: %v", got)
+	}
+}

@@ -1,0 +1,62 @@
+package figures
+
+// Quantization: Sec. III-D argues against very large message sizes m
+// because they "dilute our notion of fairness ... by introducing
+// quantization errors when nodes divide up their upload bandwidth
+// amongst requesting users". The message-granular simulator makes this
+// measurable: fairness error versus message size.
+
+import (
+	"fmt"
+	"math"
+
+	"asymshare/internal/eventsim"
+	"asymshare/internal/trace"
+)
+
+// Quantization runs the saturated heterogeneous scenario in the
+// event-driven simulator across message sizes and reports, for each,
+// the worst relative deviation of a user's steady-state rate from its
+// upload capacity (the Eq. 2 fixed point). duration <= 0 means 4000 s.
+func Quantization(duration float64, messageKbits []float64, seed int64) (*Table, error) {
+	if duration <= 0 {
+		duration = 4000
+	}
+	if len(messageKbits) == 0 {
+		messageKbits = []float64{64, 256, 1024, 4096, 16384}
+	}
+	uploads := []float64{128, 256, 512, 1024}
+
+	t := &Table{
+		ID:       "quantization",
+		Title:    "fairness error vs message size (event-driven, saturated 128/256/512/1024)",
+		RowLabel: "message (kbit)",
+		ColLabel: "metric",
+		Cols:     []string{"worst_dev_frac"},
+		Format:   "%.4f",
+	}
+	for _, mk := range messageKbits {
+		cfg := eventsim.Config{Duration: duration, MessageKbits: mk, Seed: seed}
+		for i, u := range uploads {
+			cfg.Peers = append(cfg.Peers, eventsim.PeerConfig{
+				Name:       fmt.Sprintf("p%d", i),
+				UploadKbps: u,
+				Demand:     trace.Always{},
+			})
+		}
+		res, err := eventsim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for i, u := range uploads {
+			dev := math.Abs(res.MeanRateKbps(i)-u) / u
+			if dev > worst {
+				worst = dev
+			}
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%.0f", mk))
+		t.Cells = append(t.Cells, []float64{worst})
+	}
+	return t, nil
+}

@@ -1,0 +1,145 @@
+package figures
+
+// Robustness: the paper claims "geographic data robustness" — data is
+// redundantly available from various sources, and any k innovative
+// messages reconstruct the file regardless of which peers are
+// reachable. This experiment measures decode success probability as a
+// function of how many storage peers are reachable when each peer
+// stores only k' <= k messages (the partial-storage mode of
+// Sec. III-D), making the redundancy/availability trade-off concrete.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asymshare/internal/gf"
+	"asymshare/internal/rlnc"
+)
+
+// RobustnessOptions configures the sweep.
+type RobustnessOptions struct {
+	// K is the generation size; zero means 16.
+	K int
+
+	// KPrimes are the per-peer storage levels to test; nil means
+	// {K/4, K/2, K}.
+	KPrimes []int
+
+	// MaxPeers is the largest reachable-peer count; zero means
+	// 2*K/min(KPrimes) capped at 8.
+	MaxPeers int
+
+	// Trials per cell; zero means 50.
+	Trials int
+
+	// FieldBits selects the coefficient field; zero means GF(2^8).
+	FieldBits uint
+
+	Seed int64
+}
+
+// Robustness runs the sweep and returns a table of decode success
+// fractions: rows are per-peer storage k', columns are reachable peer
+// counts.
+func Robustness(opts RobustnessOptions) (*Table, error) {
+	k := opts.K
+	if k <= 0 {
+		k = 16
+	}
+	kPrimes := opts.KPrimes
+	if len(kPrimes) == 0 {
+		kPrimes = []int{k / 4, k / 2, k}
+	}
+	for _, kp := range kPrimes {
+		if kp <= 0 || kp > k {
+			return nil, fmt.Errorf("%w: k'=%d with k=%d", rlnc.ErrBadParams, kp, k)
+		}
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 50
+	}
+	fieldBits := opts.FieldBits
+	if fieldBits == 0 {
+		fieldBits = gf.Bits8
+	}
+	field, err := gf.New(fieldBits)
+	if err != nil {
+		return nil, err
+	}
+	maxPeers := opts.MaxPeers
+	if maxPeers <= 0 {
+		minKP := kPrimes[0]
+		for _, kp := range kPrimes[1:] {
+			if kp < minKP {
+				minKP = kp
+			}
+		}
+		maxPeers = 2 * k / minKP
+		if maxPeers > 8 {
+			maxPeers = 8
+		}
+	}
+
+	const m = 8 // tiny payloads: we only care about rank behaviour
+	params, err := rlnc.NewParams(field, k, m, k*gf.VecBytes(field.Bits(), m))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	secret := make([]byte, rlnc.SecretLen)
+	rng.Read(secret)
+	data := make([]byte, params.DataLen)
+	rng.Read(data)
+
+	t := &Table{
+		ID:       "robustness",
+		Title:    fmt.Sprintf("decode success probability, k=%d over GF(2^%d)", k, fieldBits),
+		RowLabel: "k'/peer",
+		ColLabel: "reachable peers",
+		Format:   "%.2f",
+	}
+	for _, kp := range kPrimes {
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", kp))
+	}
+	for a := 1; a <= maxPeers; a++ {
+		t.Cols = append(t.Cols, fmt.Sprintf("%d", a))
+	}
+	t.Cells = make([][]float64, len(kPrimes))
+
+	for i, kp := range kPrimes {
+		t.Cells[i] = make([]float64, maxPeers)
+		for a := 1; a <= maxPeers; a++ {
+			success := 0
+			for trial := 0; trial < trials; trial++ {
+				// A fresh file-id per trial re-randomizes every
+				// coefficient row.
+				fileID := uint64(i*1000000+a*10000+trial) + 1
+				enc, err := rlnc.NewEncoder(params, fileID, secret, data)
+				if err != nil {
+					return nil, err
+				}
+				dec, err := rlnc.NewDecoder(params, fileID, secret, nil)
+				if err != nil {
+					return nil, err
+				}
+				for p := 0; p < a && !dec.Done(); p++ {
+					batch, err := enc.BatchForPeer(p, kp)
+					if err != nil {
+						return nil, err
+					}
+					for _, msg := range batch {
+						if _, err := dec.Add(msg); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if dec.Done() {
+					success++
+				}
+			}
+			t.Cells[i][a-1] = float64(success) / float64(trials)
+		}
+	}
+	return t, nil
+}

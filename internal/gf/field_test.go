@@ -1,0 +1,319 @@
+package gf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allFields(t *testing.T) []Field {
+	t.Helper()
+	fields := make([]Field, 0, 4)
+	for _, bits := range Widths() {
+		f, err := New(bits)
+		if err != nil {
+			t.Fatalf("New(%d): %v", bits, err)
+		}
+		fields = append(fields, f)
+	}
+	return fields
+}
+
+func TestNewUnsupported(t *testing.T) {
+	for _, bits := range []uint{0, 1, 2, 3, 5, 7, 12, 24, 64} {
+		if _, err := New(bits); !errors.Is(err, ErrUnsupportedBits) {
+			t.Errorf("New(%d) error = %v, want ErrUnsupportedBits", bits, err)
+		}
+	}
+}
+
+func TestNewReturnsSharedInstance(t *testing.T) {
+	a, err := New(Bits8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Bits8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("New(8) returned distinct instances, want shared")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(5) did not panic")
+		}
+	}()
+	MustNew(5)
+}
+
+func TestFieldMetadata(t *testing.T) {
+	for _, f := range allFields(t) {
+		if got := f.Order(); got != uint64(1)<<f.Bits() {
+			t.Errorf("GF(2^%d).Order() = %d", f.Bits(), got)
+		}
+		if got := f.Mask(); uint64(got) != f.Order()-1 {
+			t.Errorf("GF(2^%d).Mask() = %#x", f.Bits(), got)
+		}
+	}
+}
+
+// sampleElements returns a deterministic mix of structured and random
+// non-trivial elements of the field.
+func sampleElements(f Field, n int) []uint32 {
+	rng := rand.New(rand.NewSource(int64(f.Bits())))
+	out := []uint32{0, 1, 2, f.Mask(), f.Mask() >> 1, 3}
+	for len(out) < n {
+		out = append(out, rng.Uint32()&f.Mask())
+	}
+	return out[:n]
+}
+
+func TestAddIsXorAndSelfInverse(t *testing.T) {
+	for _, f := range allFields(t) {
+		for _, a := range sampleElements(f, 50) {
+			for _, b := range sampleElements(f, 20) {
+				s := f.Add(a, b)
+				if s != (a^b)&f.Mask() {
+					t.Fatalf("GF(2^%d): Add(%#x,%#x) = %#x", f.Bits(), a, b, s)
+				}
+				if f.Add(s, b) != a {
+					t.Fatalf("GF(2^%d): addition is not self-inverse", f.Bits())
+				}
+			}
+		}
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for _, f := range allFields(t) {
+		for _, a := range sampleElements(f, 100) {
+			if got := f.Mul(a, 1); got != a {
+				t.Fatalf("GF(2^%d): %#x * 1 = %#x", f.Bits(), a, got)
+			}
+			if got := f.Mul(a, 0); got != 0 {
+				t.Fatalf("GF(2^%d): %#x * 0 = %#x", f.Bits(), a, got)
+			}
+			if got := f.Mul(0, a); got != 0 {
+				t.Fatalf("GF(2^%d): 0 * %#x = %#x", f.Bits(), a, got)
+			}
+		}
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	for _, f := range allFields(t) {
+		elems := sampleElements(f, 25)
+		for _, a := range elems {
+			for _, b := range elems {
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("GF(2^%d): mul not commutative at %#x,%#x", f.Bits(), a, b)
+				}
+			}
+		}
+		small := elems[:12]
+		for _, a := range small {
+			for _, b := range small {
+				for _, c := range small {
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("GF(2^%d): mul not associative at %#x,%#x,%#x", f.Bits(), a, b, c)
+					}
+					left := f.Mul(a, f.Add(b, c))
+					right := f.Add(f.Mul(a, b), f.Mul(a, c))
+					if left != right {
+						t.Fatalf("GF(2^%d): not distributive at %#x,%#x,%#x", f.Bits(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulExhaustiveGF16AgainstPolyMulMod(t *testing.T) {
+	f := MustNew(Bits4)
+	const m = uint64(0x13)
+	for a := uint32(0); a < 16; a++ {
+		for b := uint32(0); b < 16; b++ {
+			want := uint32(polyMulMod(uint64(a), uint64(b), m))
+			if got := f.Mul(a, b); got != want {
+				t.Fatalf("GF(16): %#x * %#x = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulGF256AgainstPolyMulMod(t *testing.T) {
+	f := MustNew(Bits8)
+	const m = uint64(0x11D)
+	for a := uint32(0); a < 256; a++ {
+		for b := uint32(0); b < 256; b += 7 {
+			want := uint32(polyMulMod(uint64(a), uint64(b), m))
+			if got := f.Mul(a, b); got != want {
+				t.Fatalf("GF(256): %#x * %#x = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulLargeFieldsAgainstPolyMulMod(t *testing.T) {
+	cases := []struct {
+		bits uint
+		m    uint64
+	}{
+		{Bits16, uint64(1)<<16 | poly16&0xFFFF},
+		{Bits32, uint64(1)<<32 | poly32},
+	}
+	for _, tc := range cases {
+		f := MustNew(tc.bits)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 3000; i++ {
+			a := rng.Uint32() & f.Mask()
+			b := rng.Uint32() & f.Mask()
+			want := uint32(polyMulMod(uint64(a), uint64(b), tc.m))
+			if got := f.Mul(a, b); got != want {
+				t.Fatalf("GF(2^%d): %#x * %#x = %#x, want %#x", tc.bits, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for _, f := range allFields(t) {
+		if _, err := f.Inv(0); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("GF(2^%d): Inv(0) error = %v", f.Bits(), err)
+		}
+		if _, err := f.Div(5&f.Mask(), 0); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("GF(2^%d): Div(_, 0) error = %v", f.Bits(), err)
+		}
+		for _, a := range sampleElements(f, 200) {
+			if a == 0 {
+				if q, err := f.Div(0, 3); err != nil || q != 0 {
+					t.Fatalf("GF(2^%d): Div(0,3) = %#x, %v", f.Bits(), q, err)
+				}
+				continue
+			}
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("GF(2^%d): Inv(%#x): %v", f.Bits(), a, err)
+			}
+			if got := f.Mul(a, inv); got != 1 {
+				t.Fatalf("GF(2^%d): %#x * inv = %#x, want 1", f.Bits(), a, got)
+			}
+			for _, b := range sampleElements(f, 10) {
+				q, err := f.Div(b, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f.Mul(q, a) != b {
+					t.Fatalf("GF(2^%d): Div inconsistent with Mul", f.Bits())
+				}
+			}
+		}
+	}
+}
+
+func TestInvExhaustiveSmallFields(t *testing.T) {
+	for _, bits := range []uint{Bits4, Bits8} {
+		f := MustNew(bits)
+		for a := uint32(1); a < uint32(f.Order()); a++ {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("GF(2^%d): Inv(%#x) wrong", bits, a)
+			}
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	for _, f := range allFields(t) {
+		if got := f.Exp(0, 0); got != 1 {
+			t.Errorf("GF(2^%d): 0^0 = %#x, want 1", f.Bits(), got)
+		}
+		if got := f.Exp(0, 5); got != 0 {
+			t.Errorf("GF(2^%d): 0^5 = %#x, want 0", f.Bits(), got)
+		}
+		for _, a := range sampleElements(f, 20) {
+			if a == 0 {
+				continue
+			}
+			// a^(q-1) == 1 (Lagrange).
+			if got := f.Exp(a, f.Order()-1); got != 1 {
+				t.Fatalf("GF(2^%d): %#x^(q-1) = %#x, want 1", f.Bits(), a, got)
+			}
+			// Repeated-multiplication cross-check for small exponents.
+			want := uint32(1)
+			for e := uint64(0); e < 16; e++ {
+				if got := f.Exp(a, e); got != want {
+					t.Fatalf("GF(2^%d): %#x^%d = %#x, want %#x", f.Bits(), a, e, got, want)
+				}
+				want = f.Mul(want, a)
+			}
+		}
+	}
+}
+
+func TestExpMatchesGenericForTableFields(t *testing.T) {
+	for _, bits := range []uint{Bits4, Bits8, Bits16} {
+		f := MustNew(bits)
+		rng := rand.New(rand.NewSource(int64(bits)))
+		for i := 0; i < 300; i++ {
+			a := rng.Uint32() & f.Mask()
+			n := rng.Uint64()
+			if got, want := f.Exp(a, n), expGeneric(f, a, n); got != want {
+				t.Fatalf("GF(2^%d): Exp(%#x, %d) = %#x, want %#x", bits, a, n, got, want)
+			}
+		}
+	}
+}
+
+func TestMulInverseProperty(t *testing.T) {
+	f := MustNew(Bits32)
+	prop := func(a, b uint32) bool {
+		if a == 0 {
+			a = 1
+		}
+		p := f.Mul(a, b)
+		q, err := f.Div(p, a)
+		return err == nil && q == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrobeniusIsAdditive(t *testing.T) {
+	// In characteristic 2, squaring is a field automorphism:
+	// (a+b)^2 == a^2 + b^2.
+	for _, f := range allFields(t) {
+		prop := func(a, b uint32) bool {
+			a &= f.Mask()
+			b &= f.Mask()
+			lhs := f.Mul(f.Add(a, b), f.Add(a, b))
+			rhs := f.Add(f.Mul(a, a), f.Mul(b, b))
+			return lhs == rhs
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("GF(2^%d): %v", f.Bits(), err)
+		}
+	}
+}
+
+func TestNoZeroDivisors(t *testing.T) {
+	for _, f := range allFields(t) {
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 1000; i++ {
+			a := rng.Uint32()&f.Mask() | 1
+			b := rng.Uint32()&f.Mask() | 1
+			if f.Mul(a, b) == 0 {
+				t.Fatalf("GF(2^%d): zero divisor %#x * %#x", f.Bits(), a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package gf
+
+// GF(2^32) implementation. Log/antilog tables are infeasible at this
+// size, so element products use carry-less shift-and-xor multiplication
+// reduced by the primitive polynomial x^32 + x^22 + x^2 + x + 1, and the
+// packed-slice routines amortize that cost with per-constant 4-bit
+// window tables (eight tables of sixteen entries per call).
+
+import "encoding/binary"
+
+type gf32Field struct{}
+
+var _ Field = gf32Field{}
+
+func newGF32() Field { return gf32Field{} }
+
+func (gf32Field) Bits() uint    { return Bits32 }
+func (gf32Field) Order() uint64 { return 1 << 32 }
+func (gf32Field) Mask() uint32  { return 0xFFFFFFFF }
+
+func (gf32Field) Add(a, b uint32) uint32 { return a ^ b }
+
+func (gf32Field) Mul(a, b uint32) uint32 { return gf32Mul(a, b) }
+
+func gf32Mul(a, b uint32) uint32 {
+	var r uint32
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		b >>= 1
+		carry := a & 0x80000000
+		a <<= 1
+		if carry != 0 {
+			a ^= poly32
+		}
+	}
+	return r
+}
+
+func (f gf32Field) Inv(a uint32) (uint32, error) {
+	if a == 0 {
+		return 0, ErrDivideByZero
+	}
+	// Extended Euclid over GF(2)[x] against the full modulus
+	// x^32 + (reduced part).
+	const modulus = uint64(1)<<32 | poly32
+	inv, ok := polyInvMod(uint64(a), modulus)
+	if !ok {
+		// Unreachable for a non-zero element of a field defined by an
+		// irreducible polynomial.
+		return 0, ErrDivideByZero
+	}
+	return uint32(inv), nil
+}
+
+func (f gf32Field) Div(a, b uint32) (uint32, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return gf32Mul(a, bi), nil
+}
+
+func (f gf32Field) Exp(a uint32, n uint64) uint32 {
+	return expGeneric(f, a, n)
+}
+
+// windowTables builds the eight 16-entry tables t[w][n] = c * (n << 4w)
+// that let a 32-bit symbol be multiplied by c with eight lookups.
+func gf32WindowTables(c uint32) [8][16]uint32 {
+	var t [8][16]uint32
+	// t[0][n] = c*n for nibble n; each later window is the previous one
+	// multiplied by x^4 (i.e. shifted up one nibble in the field).
+	for n := uint32(1); n < 16; n++ {
+		t[0][n] = gf32Mul(c, n)
+	}
+	for w := 1; w < 8; w++ {
+		for n := 1; n < 16; n++ {
+			t[w][n] = gf32Mul(t[w-1][n], 0x10)
+		}
+	}
+	return t
+}
+
+func (f gf32Field) AddScaledSlice(dst, src []byte, c uint32) {
+	if len(dst) != len(src) {
+		panic("gf: AddScaledSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		AddSlice(dst, src)
+		return
+	}
+	t := gf32WindowTables(c)
+	for i := 0; i+3 < len(src); i += 4 {
+		s := binary.LittleEndian.Uint32(src[i:])
+		if s == 0 {
+			continue
+		}
+		p := t[0][s&0xF] ^ t[1][(s>>4)&0xF] ^ t[2][(s>>8)&0xF] ^ t[3][(s>>12)&0xF] ^
+			t[4][(s>>16)&0xF] ^ t[5][(s>>20)&0xF] ^ t[6][(s>>24)&0xF] ^ t[7][s>>28]
+		binary.LittleEndian.PutUint32(dst[i:], binary.LittleEndian.Uint32(dst[i:])^p)
+	}
+}
+
+func (f gf32Field) ScaleSlice(dst []byte, c uint32) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	t := gf32WindowTables(c)
+	for i := 0; i+3 < len(dst); i += 4 {
+		s := binary.LittleEndian.Uint32(dst[i:])
+		if s == 0 {
+			continue
+		}
+		p := t[0][s&0xF] ^ t[1][(s>>4)&0xF] ^ t[2][(s>>8)&0xF] ^ t[3][(s>>12)&0xF] ^
+			t[4][(s>>16)&0xF] ^ t[5][(s>>20)&0xF] ^ t[6][(s>>24)&0xF] ^ t[7][s>>28]
+		binary.LittleEndian.PutUint32(dst[i:], p)
+	}
+}

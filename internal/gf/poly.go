@@ -1,0 +1,147 @@
+package gf
+
+// Polynomial arithmetic over GF(2), with polynomials represented as
+// uint64 bit vectors (bit i is the coefficient of x^i). These routines
+// back the GF(2^32) implementation and the irreducibility checks in the
+// test suite; they favour clarity over speed since they never sit on the
+// encode/decode hot path.
+
+import "math/bits"
+
+// polyDegree returns the degree of p, or -1 for the zero polynomial.
+func polyDegree(p uint64) int {
+	if p == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(p)
+}
+
+// polyMul returns the carry-less product of a and b. The inputs must be
+// small enough that the product fits in 64 bits (deg a + deg b < 64).
+func polyMul(a, b uint64) uint64 {
+	var r uint64
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		a <<= 1
+		b >>= 1
+	}
+	return r
+}
+
+// polyMod returns a mod m for a non-zero modulus m.
+func polyMod(a, m uint64) uint64 {
+	dm := polyDegree(m)
+	for {
+		da := polyDegree(a)
+		if da < dm {
+			return a
+		}
+		a ^= m << uint(da-dm)
+	}
+}
+
+// polyMulMod returns (a * b) mod m, keeping intermediate values reduced
+// so the computation never overflows for deg m <= 32.
+func polyMulMod(a, b, m uint64) uint64 {
+	a = polyMod(a, m)
+	b = polyMod(b, m)
+	var r uint64
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if polyDegree(a) >= polyDegree(m) {
+			a ^= m
+		}
+	}
+	return r
+}
+
+// polyGCD returns the greatest common divisor of a and b.
+func polyGCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, polyMod(a, b)
+	}
+	return a
+}
+
+// polyInvMod returns the inverse of a modulo m using the extended
+// Euclidean algorithm, and reports whether the inverse exists (it does
+// whenever gcd(a, m) == 1 and a mod m != 0).
+func polyInvMod(a, m uint64) (uint64, bool) {
+	a = polyMod(a, m)
+	if a == 0 {
+		return 0, false
+	}
+	// Invariants: r0 = t0*a (mod m), r1 = t1*a (mod m).
+	r0, r1 := m, a
+	var t0, t1 uint64 = 0, 1
+	for r1 != 0 {
+		dq := polyDegree(r0) - polyDegree(r1)
+		if dq < 0 {
+			r0, r1 = r1, r0
+			t0, t1 = t1, t0
+			continue
+		}
+		r0 ^= r1 << uint(dq)
+		t0 ^= t1 << uint(dq)
+	}
+	if r0 != 1 {
+		return 0, false
+	}
+	return polyMod(t0, m), true
+}
+
+// polyIrreducible reports whether the degree-d polynomial m (including
+// its leading term) is irreducible over GF(2), using the standard
+// Rabin test: x^(2^d) == x (mod m) and gcd(x^(2^(d/p)) - x, m) == 1
+// for every prime p dividing d.
+func polyIrreducible(m uint64) bool {
+	d := polyDegree(m)
+	if d <= 0 {
+		return false
+	}
+	if d == 1 {
+		return true
+	}
+	// x^(2^k) mod m is computed by k successive squarings of x.
+	xPow2k := func(k int) uint64 {
+		p := uint64(2) // x
+		for i := 0; i < k; i++ {
+			p = polyMulMod(p, p, m)
+		}
+		return p
+	}
+	if xPow2k(d) != 2 {
+		return false
+	}
+	for _, prime := range primeFactors(d) {
+		sub := xPow2k(d / prime)
+		if polyGCD(sub^2, m) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// primeFactors returns the distinct prime factors of n in ascending
+// order. n is a field degree, so it is tiny.
+func primeFactors(n int) []int {
+	var factors []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			factors = append(factors, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}

@@ -1,0 +1,175 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyDegree(t *testing.T) {
+	tests := []struct {
+		p    uint64
+		want int
+	}{
+		{0, -1},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{0x13, 4},
+		{1 << 32, 32},
+		{1 << 63, 63},
+	}
+	for _, tt := range tests {
+		if got := polyDegree(tt.p); got != tt.want {
+			t.Errorf("polyDegree(%#x) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPolyMulBasics(t *testing.T) {
+	tests := []struct {
+		a, b, want uint64
+	}{
+		{0, 5, 0},
+		{1, 5, 5},
+		{2, 2, 4}, // x * x = x^2
+		{3, 3, 5}, // (x+1)^2 = x^2+1
+		{0x13, 1, 0x13},
+		{6, 5, 0x1E}, // (x^2+x)(x^2+1) = x^4+x^3+x^2+x
+	}
+	for _, tt := range tests {
+		if got := polyMul(tt.a, tt.b); got != tt.want {
+			t.Errorf("polyMul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPolyMulCommutativeDistributive(t *testing.T) {
+	comm := func(a, b uint32) bool {
+		return polyMul(uint64(a), uint64(b)) == polyMul(uint64(b), uint64(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("polyMul not commutative: %v", err)
+	}
+	dist := func(a, b, c uint16) bool {
+		ab := polyMul(uint64(a), uint64(c)) ^ polyMul(uint64(b), uint64(c))
+		return polyMul(uint64(a)^uint64(b), uint64(c)) == ab
+	}
+	if err := quick.Check(dist, nil); err != nil {
+		t.Errorf("polyMul not distributive: %v", err)
+	}
+}
+
+func TestPolyModInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := rng.Uint64()
+		m := rng.Uint64()>>32 | 1<<31 // degree-31 modulus
+		r := polyMod(a, m)
+		if polyDegree(r) >= polyDegree(m) {
+			t.Fatalf("polyMod(%#x, %#x) = %#x has degree >= modulus", a, m, r)
+		}
+	}
+}
+
+func TestPolyIrreducibleKnownValues(t *testing.T) {
+	irreducible := []uint64{
+		0x7,            // x^2+x+1
+		0xB,            // x^3+x+1
+		0x13,           // x^4+x+1
+		0x11D,          // GF(2^8) polynomial
+		0x1100B,        // GF(2^16) polynomial
+		1<<32 | poly32, // GF(2^32) polynomial
+	}
+	for _, p := range irreducible {
+		if !polyIrreducible(p) {
+			t.Errorf("polyIrreducible(%#x) = false, want true", p)
+		}
+	}
+	reducible := []uint64{
+		0x5,         // x^2+1 = (x+1)^2
+		0xF,         // x^3+x^2+x+1 = (x+1)(x^2+1)
+		0x6,         // x^2+x = x(x+1)
+		0x100,       // x^8
+		0x11B ^ 0x2, // x^8+x^4+x^3+1 = (x+1)(...)
+	}
+	for _, p := range reducible {
+		if polyIrreducible(p) {
+			t.Errorf("polyIrreducible(%#x) = true, want false", p)
+		}
+	}
+}
+
+func TestPolyIrreducibleCountsDegree4(t *testing.T) {
+	// There are exactly 3 irreducible polynomials of degree 4 over GF(2).
+	count := 0
+	for p := uint64(1 << 4); p < 1<<5; p++ {
+		if polyIrreducible(p) {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("found %d irreducible degree-4 polynomials, want 3", count)
+	}
+}
+
+func TestPolyInvMod(t *testing.T) {
+	const m = uint64(0x11D) // GF(2^8) modulus
+	for a := uint64(1); a < 256; a++ {
+		inv, ok := polyInvMod(a, m)
+		if !ok {
+			t.Fatalf("polyInvMod(%#x) failed", a)
+		}
+		if got := polyMulMod(a, inv, m); got != 1 {
+			t.Fatalf("a * a^-1 = %#x for a=%#x, want 1", got, a)
+		}
+	}
+	if _, ok := polyInvMod(0, m); ok {
+		t.Error("polyInvMod(0) succeeded, want failure")
+	}
+}
+
+func TestPolyGCD(t *testing.T) {
+	tests := []struct {
+		a, b, want uint64
+	}{
+		{0, 7, 7},
+		{7, 0, 7},
+		{6, 3, 3},       // x^2+x = x(x+1), gcd with x+1
+		{0x5, 0x3, 0x3}, // (x+1)^2 and x+1
+		{0x13, 0xB, 1},  // two distinct irreducibles
+	}
+	for _, tt := range tests {
+		if got := polyGCD(tt.a, tt.b); got != tt.want {
+			t.Errorf("polyGCD(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	tests := []struct {
+		n    int
+		want []int
+	}{
+		{2, []int{2}},
+		{4, []int{2}},
+		{8, []int{2}},
+		{12, []int{2, 3}},
+		{16, []int{2}},
+		{30, []int{2, 3, 5}},
+		{32, []int{2}},
+	}
+	for _, tt := range tests {
+		got := primeFactors(tt.n)
+		if len(got) != len(tt.want) {
+			t.Errorf("primeFactors(%d) = %v, want %v", tt.n, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("primeFactors(%d) = %v, want %v", tt.n, got, tt.want)
+				break
+			}
+		}
+	}
+}

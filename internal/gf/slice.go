@@ -1,0 +1,92 @@
+package gf
+
+// Packed symbol vector helpers. Vectors pack m symbols of p bits into
+// ceil(m*p/8) bytes:
+//
+//	p = 4:   two symbols per byte, low nibble first;
+//	p = 8:   one symbol per byte;
+//	p = 16:  little-endian 16-bit words;
+//	p = 32:  little-endian 32-bit words.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VecBytes returns the number of bytes needed to pack m symbols of the
+// given width.
+func VecBytes(bits uint, m int) int {
+	return (m*int(bits) + 7) / 8
+}
+
+// VecSymbols returns the number of whole symbols packed in n bytes.
+func VecSymbols(bits uint, n int) int {
+	return n * 8 / int(bits)
+}
+
+// GetSym extracts symbol i from a packed vector.
+func GetSym(bits uint, vec []byte, i int) uint32 {
+	switch bits {
+	case Bits4:
+		b := vec[i/2]
+		if i%2 == 0 {
+			return uint32(b & 0xF)
+		}
+		return uint32(b >> 4)
+	case Bits8:
+		return uint32(vec[i])
+	case Bits16:
+		return uint32(binary.LittleEndian.Uint16(vec[2*i:]))
+	case Bits32:
+		return binary.LittleEndian.Uint32(vec[4*i:])
+	default:
+		panic(fmt.Sprintf("gf: GetSym unsupported width %d", bits))
+	}
+}
+
+// SetSym stores symbol value v at index i in a packed vector.
+func SetSym(bits uint, vec []byte, i int, v uint32) {
+	switch bits {
+	case Bits4:
+		if i%2 == 0 {
+			vec[i/2] = vec[i/2]&0xF0 | byte(v&0xF)
+		} else {
+			vec[i/2] = vec[i/2]&0x0F | byte(v&0xF)<<4
+		}
+	case Bits8:
+		vec[i] = byte(v)
+	case Bits16:
+		binary.LittleEndian.PutUint16(vec[2*i:], uint16(v))
+	case Bits32:
+		binary.LittleEndian.PutUint32(vec[4*i:], v)
+	default:
+		panic(fmt.Sprintf("gf: SetSym unsupported width %d", bits))
+	}
+}
+
+// AddSlice computes dst[i] += src[i] symbol-wise, which in
+// characteristic 2 is a plain XOR independent of symbol width. The
+// bulk of the work runs 64 bits at a time.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: AddSlice length mismatch")
+	}
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// IsZeroSlice reports whether every symbol in the packed vector is zero.
+func IsZeroSlice(vec []byte) bool {
+	for _, b := range vec {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package netbench
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty config error = %v", err)
+	}
+	if _, err := Run(context.Background(), Config{Peers: []PeerSpec{{Name: "only"}}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("single peer error = %v", err)
+	}
+}
+
+func TestRunUnshapedRoundTrip(t *testing.T) {
+	// Smoke test the full loop (disseminate, concurrent fetch, decode,
+	// feedback) with unshaped links; rates just have to be positive.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Peers: []PeerSpec{
+			{Name: "a"}, {Name: "b"}, {Name: "c"},
+		},
+		DataBytes: 16 << 10,
+		Rounds:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range res.Names {
+		for r := 0; r < 2; r++ {
+			if res.RateBytesPerSec[i][r] <= 0 {
+				t.Errorf("%s round %d rate = %v", name, r, res.RateBytesPerSec[i][r])
+			}
+		}
+	}
+}
+
+func TestFeedbackCreditsArriveInLedgers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Peers:     []PeerSpec{{Name: "a"}, {Name: "b"}},
+		DataBytes: 8 << 10,
+		Rounds:    1,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each peer's ledger should have been credited (via its owner's
+	// feedback) for the peers that served — totals well above the
+	// initial epsilon. Feedback lands asynchronously after the fetch
+	// returns, so poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if res.Ledgers[0].Total() > 1000 && res.Ledgers[1].Total() > 1000 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("ledgers not credited: %v / %v", res.Ledgers[0].Total(), res.Ledgers[1].Total())
+}
+
+func TestFreeloaderPenalizedOverRealTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second shaped network experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Peers: []PeerSpec{
+			{Name: "honest0", UploadBytesPerSec: 256 << 10},
+			{Name: "honest1", UploadBytesPerSec: 256 << 10},
+			{Name: "honest2", UploadBytesPerSec: 256 << 10},
+			{Name: "leech", UploadBytesPerSec: 256 << 10, Withhold: true},
+		},
+		DataBytes:   256 << 10,
+		Rounds:      3,
+		StreamBurst: 16 << 10,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the bootstrap round the honest users' feedback has credited
+	// each other; the withholding leech's standing stays at epsilon, so
+	// while fetches compete it is starved and its goodput lags.
+	honest := (res.MeanRate(0, 1, 3) + res.MeanRate(1, 1, 3) + res.MeanRate(2, 1, 3)) / 3
+	leech := res.MeanRate(3, 1, 3)
+	if leech <= 0 || honest <= 0 {
+		t.Fatalf("rates: honest %v leech %v", honest, leech)
+	}
+	if honest < 1.15*leech {
+		t.Errorf("honest mean %0.f B/s not clearly above leech %0.f B/s", honest, leech)
+	}
+}

@@ -1,0 +1,300 @@
+package peer
+
+// Per-connection protocol handling. After the mutual handshake the peer
+// processes PUT (initialization uploads), GET (download requests,
+// served by a shaped writer goroutine), STOP, FEEDBACK (owner only) and
+// BYE frames. DATA writes and control replies share the connection, so
+// all writes go through a per-connection mutex.
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/fairshare"
+	"asymshare/internal/ratelimit"
+	"asymshare/internal/wire"
+
+	"asymshare/internal/rlnc"
+)
+
+// lockedWriter serializes frame writes from the control loop and the
+// data-stream goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) writeFrame(t wire.Type, payload []byte) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return wire.WriteFrame(lw.w, t, payload)
+}
+
+func (n *Node) handleConn(conn net.Conn) {
+	defer conn.Close()
+	clientKey, role, err := wire.ResponderHandshake(conn, n.cfg.Identity, n.cfg.Trusted)
+	if err != nil {
+		n.log.Debug("handshake failed", "remote", conn.RemoteAddr().String(), "err", err)
+		return
+	}
+	client := auth.Fingerprint(clientKey)
+	n.log.Debug("session open", "client", client, "role", role)
+
+	lw := &lockedWriter{w: conn}
+	// Streams started by this connection, so they are torn down when
+	// the connection dies.
+	var streamWG sync.WaitGroup
+	connCtx, connCancel := context.WithCancel(n.ctx)
+	defer func() {
+		connCancel()
+		streamWG.Wait()
+	}()
+	active := make(map[uint64]*stream)
+	var activeMu sync.Mutex
+
+	// Close the connection when the node shuts down so the read loop
+	// unblocks.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		select {
+		case <-n.ctx.Done():
+			conn.Close()
+		case <-stopWatch:
+		}
+	}()
+
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.log.Debug("read error", "client", client, "err", err)
+			}
+			return
+		}
+		switch frame.Type {
+		case wire.TypePut:
+			if err := n.handlePut(lw, client, frame.Payload); err != nil {
+				n.log.Debug("put failed", "client", client, "err", err)
+				return
+			}
+		case wire.TypePatch:
+			if err := n.handlePatch(lw, client, frame.Payload); err != nil {
+				n.log.Debug("patch failed", "client", client, "err", err)
+				return
+			}
+		case wire.TypeGet:
+			var get wire.Get
+			if err := get.Unmarshal(frame.Payload); err != nil {
+				wire.SendError(conn, wire.CodeBadRequest, "malformed get")
+				return
+			}
+			s, err := n.startStream(connCtx, lw, client, get, &streamWG, func(s *stream) {
+				activeMu.Lock()
+				delete(active, s.fileID)
+				activeMu.Unlock()
+			})
+			if err != nil {
+				var remote *wire.RemoteError
+				if !errors.As(err, &remote) {
+					n.log.Debug("get failed", "client", client, "err", err)
+				}
+				continue
+			}
+			activeMu.Lock()
+			active[get.FileID] = s
+			activeMu.Unlock()
+		case wire.TypeStop:
+			var stop wire.Stop
+			if err := stop.Unmarshal(frame.Payload); err != nil {
+				wire.SendError(conn, wire.CodeBadRequest, "malformed stop")
+				return
+			}
+			activeMu.Lock()
+			if s, ok := active[stop.FileID]; ok {
+				s.cancel()
+				delete(active, stop.FileID)
+			}
+			activeMu.Unlock()
+		case wire.TypeList:
+			list := wire.FileList{}
+			for _, fileID := range n.cfg.Store.Files() {
+				list.Files = append(list.Files, wire.FileEntry{
+					FileID:   fileID,
+					Messages: n.cfg.Store.Count(fileID),
+				})
+			}
+			blob, err := list.Marshal()
+			if err != nil {
+				return
+			}
+			if err := lw.writeFrame(wire.TypeFileList, blob); err != nil {
+				return
+			}
+		case wire.TypeFeedback:
+			n.handleFeedback(clientKey, client, frame.Payload)
+			// Acknowledge so the sender knows the credits landed before
+			// it disconnects.
+			if err := lw.writeFrame(wire.TypePutOK, nil); err != nil {
+				return
+			}
+		case wire.TypeBye:
+			return
+		default:
+			wire.SendError(conn, wire.CodeBadRequest, "unexpected frame "+frame.Type.String())
+			return
+		}
+	}
+}
+
+// handlePut stores one uploaded message. The first uploader of a
+// file-id becomes its owner; writes from anyone else are refused.
+func (n *Node) handlePut(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+	var msg rlnc.Message
+	if err := msg.UnmarshalBinary(payload); err != nil {
+		return err
+	}
+	if !n.claimFile(msg.FileID, client) {
+		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeNotPermitted, "file owned by another user")
+		return fmt.Errorf("put for file %d owned by another user", msg.FileID)
+	}
+	if err := n.cfg.Store.Put(&msg); err != nil {
+		return err
+	}
+	n.recordStored(len(payload))
+	return lw.writeFrame(wire.TypePutOK, nil)
+}
+
+// handlePatch applies a delta message (Sec. VI-A data modification) to
+// the matching stored message. Only the file's owner may patch.
+func (n *Node) handlePatch(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+	var delta rlnc.Message
+	if err := delta.UnmarshalBinary(payload); err != nil {
+		return err
+	}
+	if !n.claimFile(delta.FileID, client) {
+		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeNotPermitted, "file owned by another user")
+		return fmt.Errorf("patch for file %d owned by another user", delta.FileID)
+	}
+	stored, err := n.cfg.Store.Get(delta.FileID, delta.MessageID)
+	if err != nil {
+		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeUnknownFile,
+			fmt.Sprintf("no stored message (%d,%d)", delta.FileID, delta.MessageID))
+		return err
+	}
+	if err := rlnc.ApplyDelta(stored, &delta); err != nil {
+		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeBadRequest, "delta mismatch")
+		return err
+	}
+	if err := n.cfg.Store.Put(stored); err != nil {
+		return err
+	}
+	return lw.writeFrame(wire.TypePutOK, nil)
+}
+
+// handleFeedback folds the owner's receipt report into the ledger.
+// Reports from anyone but the owner are ignored: a malicious user
+// cannot inflate another peer's standing.
+func (n *Node) handleFeedback(clientKey ed25519.PublicKey, client fairshare.ID, payload []byte) {
+	if n.cfg.Owner == nil || !clientKey.Equal(n.cfg.Owner) {
+		n.log.Debug("feedback ignored from non-owner", "client", client)
+		return
+	}
+	var fb wire.Feedback
+	if err := fb.Unmarshal(payload); err != nil {
+		n.log.Debug("malformed feedback", "client", client, "err", err)
+		return
+	}
+	for _, e := range fb.Entries {
+		n.ledger.Credit(e.PeerFingerprint, float64(e.Bytes))
+	}
+}
+
+// startStream begins serving a GET request on its own goroutine.
+func (n *Node) startStream(ctx context.Context, lw *lockedWriter, client fairshare.ID,
+	get wire.Get, wg *sync.WaitGroup, onDone func(*stream)) (*stream, error) {
+	msgs, err := n.cfg.Store.Messages(get.FileID)
+	if err != nil {
+		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeUnknownFile, fmt.Sprintf("file %d", get.FileID))
+		return nil, &wire.RemoteError{Code: wire.CodeUnknownFile}
+	}
+	if get.Limit > 0 && int(get.Limit) < len(msgs) {
+		msgs = msgs[:get.Limit]
+	}
+	// The burst must cover at least one full message frame or WaitN
+	// could never succeed.
+	burst := n.cfg.StreamBurst
+	if burst <= 0 {
+		burst = streamBurst
+	}
+	for _, m := range msgs {
+		if need := float64(len(m.Payload) + 64); need > burst {
+			burst = need
+		}
+	}
+	streamCtx, cancel := context.WithCancel(ctx)
+	s := &stream{
+		client: client,
+		bucket: ratelimit.NewBucket(0, burst),
+		cancel: cancel,
+		fileID: get.FileID,
+	}
+	if n.cfg.UploadBytesPerSec <= 0 {
+		// Unlimited: a generous fixed rate so WaitN never stalls.
+		s.bucket.SetRate(1 << 30)
+	}
+	n.registerStream(s)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer n.unregisterStream(s)
+		defer cancel()
+		defer onDone(s)
+		n.serveStream(streamCtx, lw, s, msgs)
+	}()
+	return s, nil
+}
+
+// serveStream writes DATA frames at the allocator-assigned rate until
+// the messages are exhausted or the stream is cancelled.
+func (n *Node) serveStream(ctx context.Context, lw *lockedWriter, s *stream, msgs []*rlnc.Message) {
+	for _, msg := range msgs {
+		buf, err := msg.MarshalBinary()
+		if err != nil {
+			n.log.Warn("marshal stored message", "err", err)
+			return
+		}
+		if err := s.bucket.WaitN(ctx, len(buf)); err != nil {
+			return // cancelled or burst misconfiguration
+		}
+		if err := lw.writeFrame(wire.TypeData, buf); err != nil {
+			return
+		}
+		n.recordServed(s.client, len(buf))
+	}
+	// All stored messages sent: signal end-of-stream with a STOP frame
+	// so the downloader knows this peer is exhausted.
+	select {
+	case <-ctx.Done():
+	default:
+		eos := wire.Stop{FileID: s.fileID}
+		_ = lw.writeFrame(wire.TypeStop, eos.Marshal())
+	}
+}
+
+// writeFrameIgnoreErr sends a best-effort error frame.
+func (lw *lockedWriter) writeFrameIgnoreErr(t wire.Type, code uint16, reason string) {
+	if t != wire.TypeError {
+		return
+	}
+	msg := wire.ErrorMsg{Code: code, Reason: reason}
+	_ = lw.writeFrame(wire.TypeError, msg.Marshal())
+}

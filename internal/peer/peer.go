@@ -1,0 +1,355 @@
+// Package peer implements a storage peer daemon: the home computer of
+// Fig. 4(a). A peer accepts authenticated connections, stores encoded
+// messages uploaded during the initialization phase (Sec. III-A),
+// serves stored messages to requesting users at rates chosen by its
+// fairshare allocator (Sec. IV, Eq. 2), and accepts periodic feedback
+// from its own user reporting service received from other peers — the
+// only input the allocation rule needs.
+package peer
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/fairshare"
+	"asymshare/internal/ratelimit"
+	"asymshare/internal/store"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("peer: node closed")
+
+// DefaultReallocInterval matches the paper's evaluation, where "each
+// peer reallocated their upload bandwidths once per second".
+const DefaultReallocInterval = time.Second
+
+// streamBurst is the token-bucket burst granted to each download
+// stream, in bytes.
+const streamBurst = 64 << 10
+
+// Config configures a Node.
+type Config struct {
+	// Identity is the peer's long-term key. Required.
+	Identity *auth.Identity
+
+	// Store holds the peer's encoded messages. Required.
+	Store store.Store
+
+	// Trusted restricts which counterpart keys are served. Nil accepts
+	// any key that completes the challenge-response (open federation).
+	Trusted *auth.TrustSet
+
+	// Owner is the public key of the peer's own user; only the owner
+	// may submit ledger feedback. Nil disables feedback.
+	Owner ed25519.PublicKey
+
+	// UploadBytesPerSec is the peer's upload capacity mu_i in
+	// bytes/second. Zero or negative means unlimited (no shaping).
+	UploadBytesPerSec float64
+
+	// Allocator divides capacity among concurrent downloaders; nil
+	// means the paper's pairwise-proportional rule.
+	Allocator fairshare.Allocator
+
+	// Ledger is the peer's receipt ledger; nil creates a fresh one with
+	// the default initial credit.
+	Ledger *fairshare.Ledger
+
+	// ReallocInterval is how often stream rates are recomputed; zero
+	// means DefaultReallocInterval.
+	ReallocInterval time.Duration
+
+	// StreamBurst is the per-stream token-bucket burst in bytes; zero
+	// means 64 KiB. It is always raised to cover at least one full
+	// message frame of the stream being served.
+	StreamBurst float64
+
+	// MaxConns bounds concurrent connections; excess connections are
+	// closed immediately. Zero means unlimited.
+	MaxConns int
+
+	// Logger receives operational events; nil discards them.
+	Logger *slog.Logger
+}
+
+// Node is a running peer.
+type Node struct {
+	cfg      Config
+	ledger   *fairshare.Ledger
+	alloc    fairshare.Allocator
+	log      *slog.Logger
+	interval time.Duration
+
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	streams map[*stream]struct{}
+	closed  bool
+
+	statsMu    sync.Mutex
+	bytesOut   map[fairshare.ID]int64 // per-downloader served bytes
+	putBytesIn int64
+
+	ownersMu sync.Mutex
+	owners   map[uint64]fairshare.ID // file-id -> first uploader
+}
+
+// stream is one active download being served.
+type stream struct {
+	client fairshare.ID
+	bucket *ratelimit.Bucket
+	cancel context.CancelFunc
+	fileID uint64
+}
+
+// New validates the configuration and creates a node (not yet
+// listening).
+func New(cfg Config) (*Node, error) {
+	if cfg.Identity == nil {
+		return nil, errors.New("peer: config requires an identity")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("peer: config requires a store")
+	}
+	n := &Node{
+		cfg:      cfg,
+		ledger:   cfg.Ledger,
+		alloc:    cfg.Allocator,
+		log:      cfg.Logger,
+		interval: cfg.ReallocInterval,
+		streams:  make(map[*stream]struct{}),
+		bytesOut: make(map[fairshare.ID]int64),
+		owners:   make(map[uint64]fairshare.ID),
+	}
+	if n.ledger == nil {
+		n.ledger = fairshare.NewLedger(fairshare.DefaultInitialCredit)
+	}
+	if n.alloc == nil {
+		n.alloc = fairshare.PairwiseProportional{}
+	}
+	if n.log == nil {
+		n.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if n.interval <= 0 {
+		n.interval = DefaultReallocInterval
+	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+	return n, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and begins serving.
+func (n *Node) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("peer: listen: %w", err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	n.ln = ln
+	n.mu.Unlock()
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.reallocLoop()
+	n.log.Info("peer started", "addr", ln.Addr().String(), "fingerprint", n.cfg.Identity.Fingerprint())
+	return nil
+}
+
+// Addr returns the listen address, or nil before Start.
+func (n *Node) Addr() net.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return nil
+	}
+	return n.ln.Addr()
+}
+
+// Ledger exposes the node's receipt ledger (shared, concurrent-safe).
+func (n *Node) Ledger() *fairshare.Ledger { return n.ledger }
+
+// Close stops serving and waits for all connection handlers to exit.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.ln
+	n.mu.Unlock()
+	n.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// ServedBytes reports the total bytes served per downloader
+// fingerprint.
+func (n *Node) ServedBytes() map[fairshare.ID]int64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	out := make(map[fairshare.ID]int64, len(n.bytesOut))
+	for k, v := range n.bytesOut {
+		out[k] = v
+	}
+	return out
+}
+
+// StoredBytes reports the total bytes accepted via PUT.
+func (n *Node) StoredBytes() int64 {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.putBytesIn
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	var sem chan struct{}
+	if n.cfg.MaxConns > 0 {
+		sem = make(chan struct{}, n.cfg.MaxConns)
+	}
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.ctx.Done():
+				return
+			default:
+			}
+			n.log.Warn("accept error", "err", err)
+			return
+		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				// At capacity: shed the connection rather than queueing
+				// unauthenticated strangers.
+				n.log.Debug("connection shed", "remote", conn.RemoteAddr().String())
+				conn.Close()
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if sem != nil {
+				defer func() { <-sem }()
+			}
+			n.handleConn(conn)
+		}()
+	}
+}
+
+// reallocLoop recomputes each active stream's rate once per interval,
+// dividing capacity with the allocator over the currently-downloading
+// clients — the real-time counterpart of the simulator's per-slot
+// allocation.
+func (n *Node) reallocLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-ticker.C:
+			n.reallocate()
+		}
+	}
+}
+
+func (n *Node) reallocate() {
+	if n.cfg.UploadBytesPerSec <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reallocateLocked()
+}
+
+func (n *Node) reallocateLocked() {
+	if n.cfg.UploadBytesPerSec <= 0 {
+		return
+	}
+	// Distinct requesting clients (a client may run several streams).
+	clients := make(map[fairshare.ID][]*stream, len(n.streams))
+	for s := range n.streams {
+		clients[s.client] = append(clients[s.client], s)
+	}
+	if len(clients) == 0 {
+		return
+	}
+	ids := make([]fairshare.ID, 0, len(clients))
+	for id := range clients {
+		ids = append(ids, id)
+	}
+	alloc := n.alloc.Allocate(n.cfg.UploadBytesPerSec, ids, n.ledger)
+	for id, ss := range clients {
+		perStream := alloc[id] / float64(len(ss))
+		for _, s := range ss {
+			s.bucket.SetRate(perStream)
+		}
+	}
+}
+
+func (n *Node) registerStream(s *stream) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.streams[s] = struct{}{}
+	// Give the new stream a sane rate immediately rather than waiting
+	// out the first tick.
+	n.reallocateLocked()
+}
+
+func (n *Node) unregisterStream(s *stream) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.streams, s)
+	n.reallocateLocked()
+}
+
+func (n *Node) recordServed(client fairshare.ID, bytes int) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.bytesOut[client] += int64(bytes)
+}
+
+func (n *Node) recordStored(bytes int) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.putBytesIn += int64(bytes)
+}
+
+// claimFile records the first uploader of a file-id as its owner and
+// reports whether client is (now) the owner. Only the owner may write
+// further messages or patches for that file, so one trusted user
+// cannot corrupt another's stored generations.
+func (n *Node) claimFile(fileID uint64, client fairshare.ID) bool {
+	n.ownersMu.Lock()
+	defer n.ownersMu.Unlock()
+	owner, ok := n.owners[fileID]
+	if !ok {
+		n.owners[fileID] = client
+		return true
+	}
+	return owner == client
+}

@@ -1,0 +1,163 @@
+// Package ratelimit provides a token-bucket shaper used by peers to
+// hold each peer->user stream to the rate assigned by the fairshare
+// allocator. Peer j "may choose to transmit to u at any rate up to its
+// available upload capacity" (Sec. III-B); the bucket enforces the rate
+// the allocator chose while allowing short bursts of one quantum.
+package ratelimit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBurstExceeded is returned when a single request exceeds the bucket
+// capacity and could therefore never be satisfied.
+var ErrBurstExceeded = errors.New("ratelimit: request exceeds burst capacity")
+
+// Bucket is a token bucket measured in bytes. The zero value is not
+// usable; use NewBucket. Bucket is safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewBucket returns a bucket refilling at rate bytes/second with the
+// given burst capacity. The bucket starts full.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = 1
+	}
+	b := &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// newBucketWithClock is the test constructor.
+func newBucketWithClock(rate, burst float64, clock func() time.Time) *Bucket {
+	b := NewBucket(rate, burst)
+	b.now = clock
+	b.last = clock()
+	return b
+}
+
+// SetRate changes the refill rate. Accumulated tokens are preserved,
+// so a stream smoothly transitions when the allocator re-divides
+// bandwidth (once per second in the paper's evaluation).
+func (b *Bucket) SetRate(rate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if rate < 0 {
+		rate = 0
+	}
+	b.rate = rate
+}
+
+// Rate returns the current refill rate.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// refillLocked accrues tokens since the last refill.
+func (b *Bucket) refillLocked() {
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// take reserves n tokens, returning how long the caller must wait for
+// the reservation to become valid (0 if tokens were available).
+func (b *Bucket) take(n float64) (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.burst {
+		return 0, fmt.Errorf("%w: need %.0f, burst %.0f", ErrBurstExceeded, n, b.burst)
+	}
+	b.refillLocked()
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0, nil
+	}
+	if b.rate <= 0 {
+		// Debt can never be repaid at zero rate; report an hour and let
+		// the caller re-check (the allocator may raise the rate).
+		return time.Hour, nil
+	}
+	wait := time.Duration(-b.tokens / b.rate * float64(time.Second))
+	return wait, nil
+}
+
+// WaitN blocks until n bytes may be sent, or until ctx is done. A zero
+// current rate does not fail — the call keeps waiting, re-checking
+// periodically, because the allocator may assign bandwidth later.
+func (b *Bucket) WaitN(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	const recheck = 50 * time.Millisecond
+	for {
+		wait, err := b.take(float64(n))
+		if err != nil {
+			return err
+		}
+		if wait <= 0 {
+			return nil
+		}
+		// At zero rate the token debt stays; return it and retry so a
+		// later SetRate takes effect promptly.
+		if wait > recheck && b.Rate() <= 0 {
+			b.refund(float64(n))
+			wait = recheck
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+		return sleepCtx(ctx, wait)
+	}
+}
+
+// refund returns tokens taken speculatively.
+func (b *Bucket) refund(n float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Available returns the current token count (may be negative while a
+// reservation is being waited out).
+func (b *Bucket) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

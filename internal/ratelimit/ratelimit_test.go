@@ -1,0 +1,218 @@
+package ratelimit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestBucketStartsFull(t *testing.T) {
+	clock := newFakeClock()
+	b := newBucketWithClock(100, 50, clock.Now)
+	if got := b.Available(); got != 50 {
+		t.Errorf("Available = %v, want 50", got)
+	}
+	wait, err := b.take(50)
+	if err != nil || wait != 0 {
+		t.Errorf("take(50) = %v, %v", wait, err)
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	clock := newFakeClock()
+	b := newBucketWithClock(100, 100, clock.Now)
+	if _, err := b.take(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Available(); got != 0 {
+		t.Fatalf("Available after drain = %v", got)
+	}
+	clock.Advance(500 * time.Millisecond)
+	if got := b.Available(); got != 50 {
+		t.Errorf("Available after 0.5s = %v, want 50", got)
+	}
+	clock.Advance(10 * time.Second)
+	if got := b.Available(); got != 100 {
+		t.Errorf("Available capped = %v, want 100 (burst)", got)
+	}
+}
+
+func TestTakeComputesWait(t *testing.T) {
+	clock := newFakeClock()
+	b := newBucketWithClock(100, 100, clock.Now)
+	if _, err := b.take(100); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := b.take(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 500*time.Millisecond {
+		t.Errorf("wait = %v, want 500ms", wait)
+	}
+}
+
+func TestTakeBurstExceeded(t *testing.T) {
+	b := NewBucket(100, 10)
+	if _, err := b.take(11); !errors.Is(err, ErrBurstExceeded) {
+		t.Errorf("error = %v, want ErrBurstExceeded", err)
+	}
+}
+
+func TestSetRateKeepsTokens(t *testing.T) {
+	clock := newFakeClock()
+	b := newBucketWithClock(100, 100, clock.Now)
+	if _, err := b.take(60); err != nil {
+		t.Fatal(err)
+	}
+	b.SetRate(10)
+	if got := b.Rate(); got != 10 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := b.Available(); got != 40 {
+		t.Errorf("Available after SetRate = %v, want 40", got)
+	}
+	clock.Advance(time.Second)
+	if got := b.Available(); got != 50 {
+		t.Errorf("Available after 1s at new rate = %v, want 50", got)
+	}
+	b.SetRate(-5)
+	if got := b.Rate(); got != 0 {
+		t.Errorf("negative rate clamped to %v, want 0", got)
+	}
+}
+
+func TestZeroRateWait(t *testing.T) {
+	clock := newFakeClock()
+	b := newBucketWithClock(0, 100, clock.Now)
+	if _, err := b.take(100); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := b.take(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait < time.Minute {
+		t.Errorf("zero-rate wait = %v, want a long backoff", wait)
+	}
+}
+
+func TestWaitNImmediate(t *testing.T) {
+	b := NewBucket(1000, 1000)
+	ctx := context.Background()
+	if err := b.WaitN(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitN(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitN(ctx, -3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitNBlocksAtRealRate(t *testing.T) {
+	// 10 kB/s bucket, drained; sending 500 B must take ~50 ms.
+	b := NewBucket(10000, 500)
+	ctx := context.Background()
+	if err := b.WaitN(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := b.WaitN(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Errorf("WaitN returned after %v, want >= ~50ms", elapsed)
+	}
+}
+
+func TestWaitNCancellation(t *testing.T) {
+	b := NewBucket(1, 10) // 1 B/s: the next 10 bytes take 10 s
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.WaitN(ctx, 10); err != nil {
+		t.Fatal(err) // bucket starts full
+	}
+	err := b.WaitN(ctx, 10)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestWaitNZeroRateThenRaise(t *testing.T) {
+	b := NewBucket(0, 100)
+	if err := b.WaitN(context.Background(), 100); err != nil {
+		t.Fatal(err) // initial burst
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		done <- b.WaitN(ctx, 50)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	b.SetRate(1e6) // allocator assigns bandwidth
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("WaitN after rate raise = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("WaitN did not observe the raised rate")
+	}
+}
+
+func TestWaitNBurstExceeded(t *testing.T) {
+	b := NewBucket(100, 10)
+	if err := b.WaitN(context.Background(), 11); !errors.Is(err, ErrBurstExceeded) {
+		t.Errorf("error = %v, want ErrBurstExceeded", err)
+	}
+}
+
+func TestConcurrentWaiters(t *testing.T) {
+	b := NewBucket(1e6, 1000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			errs <- b.WaitN(ctx, 100)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("concurrent WaitN: %v", err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package ring implements PAST-style consistent-hashing placement
+// (Sec. II cites PAST-over-Pastry as the canonical way "to route
+// content requests to the appropriate storage nodes"): peers and
+// file-ids hash onto one circle, and a generation is stored on the r
+// distinct peers that follow its point clockwise. Placement is a pure
+// function of the membership set, so any party that knows the peers
+// can recompute where every chunk lives — no lookup protocol needed.
+//
+// Virtual nodes smooth the load: each member appears at several points
+// so that the expected share of the keyspace per member concentrates
+// around 1/n.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member vnode count.
+const DefaultVirtualNodes = 64
+
+// ErrBadRing is returned for invalid construction parameters.
+var ErrBadRing = errors.New("ring: invalid parameters")
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hashing ring.
+type Ring struct {
+	points  []point
+	members []string
+}
+
+// New builds a ring over the given distinct member addresses. vnodes
+// <= 0 means DefaultVirtualNodes.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: no members", ErrBadRing)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{
+		points:  make([]point, 0, len(members)*vnodes),
+		members: make([]string, 0, len(members)),
+	}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			return nil, fmt.Errorf("%w: empty or duplicate member %q", ErrBadRing, m)
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashString(m, v), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	sort.Strings(r.members)
+	return r, nil
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Place returns the `replicas` distinct members responsible for the
+// given file-id, clockwise from its point. replicas is capped at the
+// member count.
+func (r *Ring) Place(fileID uint64, replicas int) []string {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(r.members) {
+		replicas = len(r.members)
+	}
+	h := hashID(fileID)
+	// First point clockwise of (or at) h.
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, replicas)
+	taken := make(map[string]bool, replicas)
+	for i := 0; len(out) < replicas && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if taken[p.member] {
+			continue
+		}
+		taken[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}
+
+func hashString(member string, vnode int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(member))
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], uint32(vnode))
+	h.Write(v[:])
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+func hashID(fileID uint64) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], fileID)
+	sum := sha256.Sum256(b[:])
+	return binary.BigEndian.Uint64(sum[:])
+}

@@ -1,0 +1,128 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("peer%02d:7070", i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); !errors.Is(err, ErrBadRing) {
+		t.Errorf("empty members error = %v", err)
+	}
+	if _, err := New([]string{"a", "a"}, 0); !errors.Is(err, ErrBadRing) {
+		t.Errorf("duplicate member error = %v", err)
+	}
+	if _, err := New([]string{""}, 0); !errors.Is(err, ErrBadRing) {
+		t.Errorf("empty member error = %v", err)
+	}
+}
+
+func TestPlaceDeterministicDistinct(t *testing.T) {
+	r, err := New(members(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 8 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	for fileID := uint64(0); fileID < 100; fileID++ {
+		a := r.Place(fileID, 3)
+		b := r.Place(fileID, 3)
+		if len(a) != 3 {
+			t.Fatalf("Place returned %d members", len(a))
+		}
+		seen := map[string]bool{}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("placement not deterministic")
+			}
+			if seen[a[i]] {
+				t.Fatal("duplicate member in placement")
+			}
+			seen[a[i]] = true
+		}
+	}
+}
+
+func TestPlaceReplicaClamping(t *testing.T) {
+	r, err := New(members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Place(1, 10); len(got) != 3 {
+		t.Errorf("over-replication = %d members", len(got))
+	}
+	if got := r.Place(1, 0); len(got) != 1 {
+		t.Errorf("replicas=0 = %d members", len(got))
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	// With vnodes, responsibility for many file-ids spreads roughly
+	// evenly across members.
+	r, err := New(members(10), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const files = 5000
+	for fileID := uint64(0); fileID < files; fileID++ {
+		for _, m := range r.Place(fileID, 2) {
+			counts[m]++
+		}
+	}
+	expect := float64(files*2) / 10
+	for m, c := range counts {
+		if float64(c) < 0.6*expect || float64(c) > 1.4*expect {
+			t.Errorf("member %s holds %d placements, expectation %.0f", m, c, expect)
+		}
+	}
+}
+
+func TestMembershipChangeMovesFewKeys(t *testing.T) {
+	// The consistent-hashing property: adding one member relocates only
+	// ~1/(n+1) of primary responsibilities.
+	before, err := New(members(10), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(append(members(10), "newcomer:7070"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const files = 4000
+	for fileID := uint64(0); fileID < files; fileID++ {
+		if before.Place(fileID, 1)[0] != after.Place(fileID, 1)[0] {
+			moved++
+		}
+	}
+	frac := float64(moved) / files
+	if frac > 0.2 {
+		t.Errorf("membership change moved %.1f%% of keys, want ~9%%", frac*100)
+	}
+	if frac < 0.02 {
+		t.Errorf("membership change moved only %.1f%%: newcomer underloaded", frac*100)
+	}
+}
+
+func TestMembersCopy(t *testing.T) {
+	r, err := New(members(3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	got[0] = "mutated"
+	if r.Members()[0] == "mutated" {
+		t.Error("Members returned internal slice")
+	}
+}

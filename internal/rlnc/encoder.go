@@ -1,0 +1,177 @@
+package rlnc
+
+// Encoder for Eq. (1) of the paper: Y_i = sum_{j=1..k} beta_ij * X_j,
+// with beta rows derived from a secret key (coeff.go). Messages are
+// deterministic in (fileID, messageID), so the encoder can regenerate
+// any message on demand and storage peers can be replenished without
+// the owner keeping the encoded form around.
+
+import (
+	"fmt"
+
+	"asymshare/internal/gf"
+)
+
+// Encoder produces encoded messages for one generation (one file, or
+// one 1 MB chunk of a large file — see package chunk).
+type Encoder struct {
+	params Params
+	fileID uint64
+	gen    *CoeffGenerator
+	chunks [][]byte // k packed chunks, zero-padded to ChunkBytes
+}
+
+// NewEncoder splits data into k chunks per params and prepares the
+// coefficient generator. data must be at most params.CapacityBytes()
+// and exactly params.DataLen bytes.
+func NewEncoder(params Params, fileID uint64, secret, data []byte) (*Encoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != params.DataLen {
+		return nil, fmt.Errorf("%w: data is %d bytes, params say %d",
+			ErrBadParams, len(data), params.DataLen)
+	}
+	gen, err := NewCoeffGenerator(params.Field, params.K, secret)
+	if err != nil {
+		return nil, err
+	}
+	cb := params.ChunkBytes()
+	chunks := make([][]byte, params.K)
+	for j := range chunks {
+		chunk := make([]byte, cb)
+		lo := j * cb
+		if lo < len(data) {
+			hi := min(lo+cb, len(data))
+			copy(chunk, data[lo:hi])
+		}
+		chunks[j] = chunk
+	}
+	return &Encoder{params: params, fileID: fileID, gen: gen, chunks: chunks}, nil
+}
+
+// Params returns the coding parameters.
+func (e *Encoder) Params() Params { return e.params }
+
+// FileID returns the generation's file identifier.
+func (e *Encoder) FileID() uint64 { return e.fileID }
+
+// Message deterministically produces the encoded message with the given
+// message-id.
+func (e *Encoder) Message(messageID uint64) *Message {
+	f := e.params.Field
+	row := e.gen.Row(e.fileID, messageID)
+	payload := make([]byte, e.params.ChunkBytes())
+	for j, c := range row {
+		if c != 0 {
+			f.AddScaledSlice(payload, e.chunks[j], c)
+		}
+	}
+	return &Message{FileID: e.fileID, MessageID: messageID, Payload: payload}
+}
+
+// batchStride separates the message-id ranges assigned to different
+// peers, leaving room for the encoder to skip linearly dependent ids.
+const batchStride = uint64(1) << 32
+
+// BatchForPeer generates the batch of up to k messages destined for the
+// peer with the given index (0-based), per the initialization phase of
+// Sec. III-A. The paper's encoder "tests generated rows for linear
+// independence before encoding"; we realize that guarantee by scanning
+// message-ids from peer*2^32 upward and skipping any id whose
+// coefficient row is dependent on the ids already chosen, so the batch
+// coefficient matrix is always invertible and a user can decode from any
+// single complete batch. The decoder re-derives rows from the ids, so
+// skipped ids cost nothing.
+func (e *Encoder) BatchForPeer(peer, n int) ([]*Message, error) {
+	if peer < 0 || n <= 0 || n > e.params.K {
+		return nil, fmt.Errorf("%w: peer=%d n=%d (k=%d)", ErrBadParams, peer, n, e.params.K)
+	}
+	ids, err := e.independentIDs(uint64(peer)*batchStride, n)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]*Message, 0, n)
+	for _, id := range ids {
+		msgs = append(msgs, e.Message(id))
+	}
+	return msgs, nil
+}
+
+// independentIDs scans ids from start, returning the first n whose
+// coefficient rows are jointly linearly independent.
+func (e *Encoder) independentIDs(start uint64, n int) ([]uint64, error) {
+	f := e.params.Field
+	// Maintain a row-echelon basis of chosen rows for O(k) dependence
+	// checks per candidate.
+	echelon := make([][]uint32, 0, n)
+	pivots := make([]int, 0, n)
+	ids := make([]uint64, 0, n)
+	row := make([]uint32, e.params.K)
+
+	// The scan window is far smaller than batchStride; with random rows
+	// the expected number of skips is < 2 even over GF(16).
+	const maxScan = 1 << 16
+	for off := uint64(0); off < maxScan && len(ids) < n; off++ {
+		id := start + off
+		e.gen.RowInto(e.fileID, id, row)
+		cand := make([]uint32, e.params.K)
+		copy(cand, row)
+		if !reduceRow(f, cand, echelon, pivots, nil, nil) {
+			continue // dependent; skip this id
+		}
+		echelon = append(echelon, cand)
+		pivots = append(pivots, leadingIndex(cand))
+		ids = append(ids, id)
+	}
+	if len(ids) < n {
+		return nil, fmt.Errorf("%w: could not find %d independent rows", ErrBadParams, n)
+	}
+	return ids, nil
+}
+
+// leadingIndex returns the index of the first non-zero element, or -1.
+func leadingIndex(row []uint32) int {
+	for j, v := range row {
+		if v != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// reduceRow reduces cand against the echelon rows (normalizing its
+// pivot if it survives) and reports whether cand is independent. If
+// payload and echelonPayloads are non-nil the same operations are
+// applied to the payload vector, which is how the decoder performs
+// incremental Gaussian elimination.
+func reduceRow(f gf.Field, cand []uint32, echelon [][]uint32, pivots []int,
+	payload []byte, echelonPayloads [][]byte) bool {
+	for i, er := range echelon {
+		p := pivots[i]
+		if cand[p] == 0 {
+			continue
+		}
+		factor := cand[p] // echelon rows have unit pivots
+		addScaledRow(f, cand, er, factor)
+		if payload != nil {
+			f.AddScaledSlice(payload, echelonPayloads[i], factor)
+		}
+	}
+	lead := leadingIndex(cand)
+	if lead < 0 {
+		return false
+	}
+	// Normalize so the pivot is 1.
+	inv, err := f.Inv(cand[lead])
+	if err != nil {
+		return false // unreachable: cand[lead] != 0
+	}
+	if inv != 1 {
+		scaleRow(f, cand, inv)
+		if payload != nil {
+			f.ScaleSlice(payload, inv)
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package rlnc
+
+// Property-based invariants of the incremental decoder.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asymshare/internal/gf"
+)
+
+// TestDecoderRankMonotoneAndBounded: rank never decreases, never
+// exceeds k, and equals the number of accepted (innovative) messages.
+func TestDecoderRankMonotoneAndBounded(t *testing.T) {
+	f := gf.MustNew(gf.Bits4) // small field maximizes dependent rows
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(6)
+		p, err := NewParams(f, k, 16, k*gf.VecBytes(f.Bits(), 16))
+		if err != nil {
+			return false
+		}
+		data := randomData(rng, p.DataLen)
+		enc, err := NewEncoder(p, 1, testSecret(), data)
+		if err != nil {
+			return false
+		}
+		dec, err := NewDecoder(p, 1, testSecret(), nil)
+		if err != nil {
+			return false
+		}
+		prevRank := 0
+		for id := uint64(0); id < uint64(6*k); id++ {
+			innovative, err := dec.Add(enc.Message(id))
+			if err != nil {
+				return false
+			}
+			rank := dec.Rank()
+			if rank < prevRank || rank > k {
+				return false
+			}
+			if innovative && rank != prevRank+1 {
+				return false
+			}
+			if !innovative && rank != prevRank {
+				return false
+			}
+			prevRank = rank
+			_, accepted, _, _ := dec.Stats()
+			if accepted != rank {
+				return false
+			}
+			if dec.Needed() != k-rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeIsIdempotent: calling Decode twice yields the same bytes.
+func TestDecodeIsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := gf.MustNew(gf.Bits8)
+	k := 7
+	p := mustParams(t, f, k, 16, k*16)
+	data := randomData(rng, p.DataLen)
+	enc, err := NewEncoder(p, 1, testSecret(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(p, 1, testSecret(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); !dec.Done(); id++ {
+		if _, err := dec.Add(enc.Message(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("Decode not idempotent")
+	}
+	if !bytes.Equal(first, data) {
+		t.Fatal("Decode wrong")
+	}
+}
+
+// TestMessagesAfterDoneAreIgnored: extra messages after rank k change
+// nothing.
+func TestMessagesAfterDoneAreIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	f := gf.MustNew(gf.Bits32)
+	k := 5
+	p := mustParams(t, f, k, 8, k*32)
+	data := randomData(rng, p.DataLen)
+	enc, err := NewEncoder(p, 1, testSecret(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(p, 1, testSecret(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(0)
+	for ; !dec.Done(); id++ {
+		if _, err := dec.Add(enc.Message(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for extra := uint64(0); extra < 5; extra++ {
+		innovative, err := dec.Add(enc.Message(id + extra))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if innovative {
+			t.Fatal("message counted innovative after rank k")
+		}
+	}
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode wrong after extra messages")
+	}
+}
+
+// TestEncoderLinearity: Y(id) payloads are linear — the message of the
+// sum of two files equals the XOR of the messages (same id, same
+// secret), since coefficients depend only on (fileID, id).
+func TestEncoderLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	f := gf.MustNew(gf.Bits8)
+	k := 4
+	p := mustParams(t, f, k, 16, k*16)
+	a := randomData(rng, p.DataLen)
+	b := randomData(rng, p.DataLen)
+	sum := make([]byte, len(a))
+	for i := range sum {
+		sum[i] = a[i] ^ b[i]
+	}
+	encA, err := NewEncoder(p, 9, testSecret(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := NewEncoder(p, 9, testSecret(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encSum, err := NewEncoder(p, 9, testSecret(), sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 8; id++ {
+		ya := encA.Message(id).Payload
+		yb := encB.Message(id).Payload
+		ys := encSum.Message(id).Payload
+		for i := range ys {
+			if ys[i] != ya[i]^yb[i] {
+				t.Fatalf("linearity violated at message %d byte %d", id, i)
+			}
+		}
+	}
+}
+
+func FuzzMessageUnmarshal(f *testing.F) {
+	msg := Message{FileID: 1, MessageID: 2, Payload: []byte{1, 2, 3}}
+	seed, err := msg.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// A successful parse must round-trip.
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %x vs %x", out, data)
+		}
+	})
+}
+
+func FuzzPacketUnmarshal(f *testing.F) {
+	field := gf.MustNew(gf.Bits8)
+	p := CodedPacket{FileID: 1, Coeffs: []uint32{1, 2, 3}, Payload: []byte{9}}
+	seed, err := p.Marshal(field)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic, whatever the bytes.
+		_, _ = UnmarshalPacket(field, 3, data)
+	})
+}

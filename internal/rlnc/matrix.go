@@ -1,0 +1,281 @@
+package rlnc
+
+// Dense matrices over GF(2^p). These back the encoder's batch
+// invertibility checks, the decoder tests, and the Table II benchmark
+// (inverting the k x k coefficient matrix). Elements are uint32 field
+// values; matrices are small (k <= a few hundred), so clarity wins over
+// cache games here — the payload-size work lives in gf's slice routines.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asymshare/internal/gf"
+)
+
+// Matrix is a dense rows x cols matrix over a field.
+type Matrix struct {
+	field gf.Field
+	rows  int
+	cols  int
+	data  []uint32 // row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(field gf.Field, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("rlnc: negative matrix dimension")
+	}
+	return &Matrix{field: field, rows: rows, cols: cols, data: make([]uint32, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(field gf.Field, n int) *Matrix {
+	m := NewMatrix(field, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MatrixFromRows builds a matrix from row slices, which must all have
+// equal length. The rows are copied.
+func MatrixFromRows(field gf.Field, rows [][]uint32) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(field, 0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(field, len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: ragged rows (%d vs %d)", ErrBadParams, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// RandomMatrix fills a rows x cols matrix with uniform field elements
+// from rng.
+func RandomMatrix(field gf.Field, rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(field, rows, cols)
+	for i := range m.data {
+		m.data[i] = rng.Uint32() & field.Mask()
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Field returns the field the matrix is defined over.
+func (m *Matrix) Field() gf.Field { return m.field }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) uint32 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v uint32) { m.data[i*m.cols+j] = v & m.field.Mask() }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []uint32 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.field, m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether the two matrices have identical shape and
+// contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrBadParams, m.rows, m.cols, o.rows, o.cols)
+	}
+	f := m.field
+	out := NewMatrix(f, m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for t := 0; t < m.cols; t++ {
+			a := mi[t]
+			if a == 0 {
+				continue
+			}
+			or := o.Row(t)
+			for j := 0; j < o.cols; j++ {
+				if or[j] != 0 {
+					oi[j] ^= f.Mul(a, or[j])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []uint32) ([]uint32, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("%w: vec len %d vs %d cols", ErrBadParams, len(v), m.cols)
+	}
+	f := m.field
+	out := make([]uint32, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var acc uint32
+		for j, a := range row {
+			if a != 0 && v[j] != 0 {
+				acc ^= f.Mul(a, v[j])
+			}
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// Rank returns the rank of the matrix, computed on a scratch copy by
+// Gaussian elimination.
+func (m *Matrix) Rank() int {
+	work := m.Clone()
+	return work.rankInPlace()
+}
+
+func (m *Matrix) rankInPlace() int {
+	f := m.field
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		// Find a pivot at or below row `rank`.
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.swapRows(rank, pivot)
+		// Eliminate the column below the pivot.
+		pv := m.At(rank, col)
+		pinv, err := f.Inv(pv)
+		if err != nil {
+			panic("rlnc: zero pivot after selection") // unreachable
+		}
+		for r := rank + 1; r < m.rows; r++ {
+			factor := f.Mul(m.At(r, col), pinv)
+			if factor == 0 {
+				continue
+			}
+			mr, pr := m.Row(r), m.Row(rank)
+			for j := col; j < m.cols; j++ {
+				mr[j] ^= f.Mul(factor, pr[j])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Invertible reports whether the matrix is square with full rank.
+func (m *Matrix) Invertible() bool {
+	return m.rows == m.cols && m.Rank() == m.rows
+}
+
+// Inverse returns the matrix inverse via Gauss-Jordan elimination, or
+// ErrSingular if the matrix is not square or not of full rank.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: %dx%d is not square", ErrSingular, m.rows, m.cols)
+	}
+	f := m.field
+	n := m.rows
+	work := m.Clone()
+	inv := Identity(f, n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("%w: rank deficiency at column %d", ErrSingular, col)
+		}
+		work.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+		// Normalize the pivot row.
+		pinv, err := f.Inv(work.At(col, col))
+		if err != nil {
+			return nil, ErrSingular
+		}
+		scaleRow(f, work.Row(col), pinv)
+		scaleRow(f, inv.Row(col), pinv)
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			addScaledRow(f, work.Row(r), work.Row(col), factor)
+			addScaledRow(f, inv.Row(r), inv.Row(col), factor)
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.Row(a), m.Row(b)
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+func (m *Matrix) String() string {
+	return fmt.Sprintf("rlnc.Matrix(%dx%d over GF(2^%d))", m.rows, m.cols, m.field.Bits())
+}
+
+// scaleRow multiplies every element of row by c.
+func scaleRow(f gf.Field, row []uint32, c uint32) {
+	for j, v := range row {
+		if v != 0 {
+			row[j] = f.Mul(v, c)
+		}
+	}
+}
+
+// addScaledRow computes dst += c * src element-wise.
+func addScaledRow(f gf.Field, dst, src []uint32, c uint32) {
+	if c == 0 {
+		return
+	}
+	for j, v := range src {
+		if v != 0 {
+			dst[j] ^= f.Mul(c, v)
+		}
+	}
+}

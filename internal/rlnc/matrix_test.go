@@ -1,0 +1,257 @@
+package rlnc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"asymshare/internal/gf"
+)
+
+func testFields(t *testing.T) []gf.Field {
+	t.Helper()
+	out := make([]gf.Field, 0, 4)
+	for _, bits := range gf.Widths() {
+		f, err := gf.New(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestIdentityProperties(t *testing.T) {
+	for _, f := range testFields(t) {
+		id := Identity(f, 5)
+		if !id.Invertible() {
+			t.Errorf("GF(2^%d): identity not invertible", f.Bits())
+		}
+		if id.Rank() != 5 {
+			t.Errorf("GF(2^%d): identity rank = %d", f.Bits(), id.Rank())
+		}
+		inv, err := id.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inv.Equal(id) {
+			t.Errorf("GF(2^%d): identity inverse != identity", f.Bits())
+		}
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	f := gf.MustNew(gf.Bits8)
+	_, err := MatrixFromRows(f, [][]uint32{{1, 2}, {3}})
+	if !errors.Is(err, ErrBadParams) {
+		t.Errorf("ragged rows error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestRandomMatrixInverse(t *testing.T) {
+	for _, f := range testFields(t) {
+		rng := rand.New(rand.NewSource(int64(f.Bits())))
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(12)
+			m := RandomMatrix(f, rng, n, n)
+			inv, err := m.Inverse()
+			if errors.Is(err, ErrSingular) {
+				if m.Rank() == n {
+					t.Fatalf("GF(2^%d): full-rank matrix reported singular", f.Bits())
+				}
+				continue // genuinely singular random draw (likely only in GF(16))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			prod, err := m.Mul(inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.Equal(Identity(f, n)) {
+				t.Fatalf("GF(2^%d): M * M^-1 != I for n=%d", f.Bits(), n)
+			}
+			prod2, err := inv.Mul(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod2.Equal(Identity(f, n)) {
+				t.Fatalf("GF(2^%d): M^-1 * M != I for n=%d", f.Bits(), n)
+			}
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	f := gf.MustNew(gf.Bits8)
+	m := NewMatrix(f, 3, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row
+	m.Set(2, 2, 7)
+	if got := m.Rank(); got != 2 {
+		t.Errorf("Rank() = %d, want 2", got)
+	}
+	if m.Invertible() {
+		t.Error("singular matrix reported invertible")
+	}
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Errorf("Inverse error = %v, want ErrSingular", err)
+	}
+}
+
+func TestNonSquareInverse(t *testing.T) {
+	f := gf.MustNew(gf.Bits8)
+	m := NewMatrix(f, 2, 3)
+	if _, err := m.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Errorf("non-square Inverse error = %v, want ErrSingular", err)
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	f := gf.MustNew(gf.Bits8)
+	a := NewMatrix(f, 2, 3)
+	b := NewMatrix(f, 3, 4)
+	prod, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Rows() != 2 || prod.Cols() != 4 {
+		t.Errorf("product shape %dx%d, want 2x4", prod.Rows(), prod.Cols())
+	}
+	if _, err := b.Mul(a); err == nil {
+		t.Error("3x4 * 2x3 should fail")
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	f := gf.MustNew(gf.Bits16)
+	rng := rand.New(rand.NewSource(4))
+	m := RandomMatrix(f, rng, 6, 5)
+	v := make([]uint32, 5)
+	for i := range v {
+		v[i] = rng.Uint32() & f.Mask()
+	}
+	got, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against matrix-matrix product with v as a column.
+	col := NewMatrix(f, 5, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	prod, err := m.Mul(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != prod.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %#x, want %#x", i, got[i], prod.At(i, 0))
+		}
+	}
+	if _, err := m.MulVec(v[:3]); err == nil {
+		t.Error("MulVec with wrong length should fail")
+	}
+}
+
+func TestRankOfWideAndTall(t *testing.T) {
+	f := gf.MustNew(gf.Bits32)
+	rng := rand.New(rand.NewSource(5))
+	wide := RandomMatrix(f, rng, 3, 10)
+	if got := wide.Rank(); got != 3 {
+		t.Errorf("wide random rank = %d, want 3 (w.h.p.)", got)
+	}
+	tall := RandomMatrix(f, rng, 10, 3)
+	if got := tall.Rank(); got != 3 {
+		t.Errorf("tall random rank = %d, want 3 (w.h.p.)", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := gf.MustNew(gf.Bits8)
+	m := NewMatrix(f, 2, 2)
+	m.Set(0, 0, 9)
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 9 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSolveViaInverse(t *testing.T) {
+	// Decoding sanity: for random invertible A and data x, A^-1 (A x) == x.
+	for _, f := range testFields(t) {
+		rng := rand.New(rand.NewSource(21))
+		n := 8
+		var a *Matrix
+		for {
+			a = RandomMatrix(f, rng, n, n)
+			if a.Invertible() {
+				break
+			}
+		}
+		x := make([]uint32, n)
+		for i := range x {
+			x[i] = rng.Uint32() & f.Mask()
+		}
+		y, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ainv, err := a.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ainv.MulVec(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("GF(2^%d): solve mismatch at %d", f.Bits(), i)
+			}
+		}
+	}
+}
+
+func BenchmarkMatrixInverse(b *testing.B) {
+	for _, bits := range gf.Widths() {
+		f := gf.MustNew(bits)
+		for _, n := range []int{8, 32, 128} {
+			rng := rand.New(rand.NewSource(1))
+			var m *Matrix
+			for {
+				m = RandomMatrix(f, rng, n, n)
+				if m.Invertible() {
+					break
+				}
+			}
+			b.Run(benchLabel(bits, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Inverse(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchLabel(bits uint, n int) string {
+	digits := func(x int) string {
+		if x == 0 {
+			return "0"
+		}
+		var buf [12]byte
+		i := len(buf)
+		for x > 0 {
+			i--
+			buf[i] = byte('0' + x%10)
+			x /= 10
+		}
+		return string(buf[i:])
+	}
+	return "GF2_" + digits(int(bits)) + "/k=" + digits(n)
+}

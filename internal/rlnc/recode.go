@@ -1,0 +1,186 @@
+package rlnc
+
+// Coefficient-header mode and recoding. The paper's scheme differs from
+// practical network coding [28] in two deliberate ways (Sec. III-A):
+// coefficients travel as a secret key rather than as message headers,
+// and storage peers forward verbatim rather than re-encoding. This file
+// implements the classic alternative so the trade-off can be measured:
+// CodedPacket carries its coefficient row in plaintext, and Recoder
+// lets any relay mint fresh random combinations of what it holds —
+// at the cost of per-message header overhead (k*p bits) and of giving
+// every holder of k packets the ability to decode.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asymshare/internal/gf"
+)
+
+// CodedPacket is an encoded message with an explicit coefficient
+// header.
+type CodedPacket struct {
+	FileID  uint64
+	Coeffs  []uint32 // k coefficients over the generation's field
+	Payload []byte
+}
+
+// HeaderBytes returns the size of the plaintext coefficient header —
+// the per-packet overhead the paper's secret-key mode avoids.
+func (p *CodedPacket) HeaderBytes(field gf.Field) int {
+	return 8 + gf.VecBytes(field.Bits(), len(p.Coeffs))
+}
+
+// Marshal serializes the packet: file-id, coefficient count, packed
+// coefficients, payload.
+func (p *CodedPacket) Marshal(field gf.Field) ([]byte, error) {
+	if len(p.Coeffs) == 0 {
+		return nil, fmt.Errorf("%w: packet without coefficients", ErrBadParams)
+	}
+	coeffBytes := gf.VecBytes(field.Bits(), len(p.Coeffs))
+	out := make([]byte, 8+4+coeffBytes+len(p.Payload))
+	be64(out[0:], p.FileID)
+	be32(out[8:], uint32(len(p.Coeffs)))
+	packed := out[12 : 12+coeffBytes]
+	for i, c := range p.Coeffs {
+		gf.SetSym(field.Bits(), packed, i, c)
+	}
+	copy(out[12+coeffBytes:], p.Payload)
+	return out, nil
+}
+
+// UnmarshalPacket parses a serialized packet for a generation with k
+// coefficients over the given field.
+func UnmarshalPacket(field gf.Field, k int, data []byte) (*CodedPacket, error) {
+	coeffBytes := gf.VecBytes(field.Bits(), k)
+	if len(data) < 12+coeffBytes {
+		return nil, fmt.Errorf("%w: packet of %d bytes", ErrBadParams, len(data))
+	}
+	count := rd32(data[8:])
+	if int(count) != k {
+		return nil, fmt.Errorf("%w: packet has %d coefficients, want %d", ErrBadParams, count, k)
+	}
+	p := &CodedPacket{
+		FileID: rd64(data),
+		Coeffs: make([]uint32, k),
+	}
+	packed := data[12 : 12+coeffBytes]
+	for i := range p.Coeffs {
+		p.Coeffs[i] = gf.GetSym(field.Bits(), packed, i)
+	}
+	p.Payload = append([]byte(nil), data[12+coeffBytes:]...)
+	return p, nil
+}
+
+func be64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func be32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (24 - 8*i))
+	}
+}
+
+func rd64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func rd32(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v = v<<8 | uint32(b[i])
+	}
+	return v
+}
+
+// PacketFromMessage converts an owner message into coefficient-header
+// form by re-deriving its secret row — only the owner (or anyone
+// holding the secret) can do this, which is the point.
+func PacketFromMessage(gen *CoeffGenerator, msg *Message) *CodedPacket {
+	payload := make([]byte, len(msg.Payload))
+	copy(payload, msg.Payload)
+	return &CodedPacket{
+		FileID:  msg.FileID,
+		Coeffs:  gen.Row(msg.FileID, msg.MessageID),
+		Payload: payload,
+	}
+}
+
+// Recoder accumulates coded packets and emits fresh uniform random
+// combinations of them — the relay operation of practical network
+// coding.
+type Recoder struct {
+	params  Params
+	fileID  uint64
+	rng     *rand.Rand
+	coeffs  [][]uint32
+	payload [][]byte
+}
+
+// NewRecoder creates a relay for one generation.
+func NewRecoder(params Params, fileID uint64, seed int64) (*Recoder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recoder{
+		params: params,
+		fileID: fileID,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Absorb stores one packet for future recombination.
+func (r *Recoder) Absorb(p *CodedPacket) error {
+	if p.FileID != r.fileID {
+		return fmt.Errorf("%w: got file %d, want %d", ErrWrongFile, p.FileID, r.fileID)
+	}
+	if len(p.Coeffs) != r.params.K {
+		return fmt.Errorf("%w: %d coefficients, want %d", ErrBadParams, len(p.Coeffs), r.params.K)
+	}
+	if len(p.Payload) != r.params.ChunkBytes() {
+		return fmt.Errorf("%w: payload %d bytes, want %d",
+			ErrBadParams, len(p.Payload), r.params.ChunkBytes())
+	}
+	coeffs := make([]uint32, len(p.Coeffs))
+	copy(coeffs, p.Coeffs)
+	payload := make([]byte, len(p.Payload))
+	copy(payload, p.Payload)
+	r.coeffs = append(r.coeffs, coeffs)
+	r.payload = append(r.payload, payload)
+	return nil
+}
+
+// Held returns how many packets the relay holds.
+func (r *Recoder) Held() int { return len(r.coeffs) }
+
+// Emit produces a fresh random combination of all absorbed packets.
+// The emitted packet's coefficient row is the same combination applied
+// to the absorbed rows, so downstream decoders treat it like any other
+// packet.
+func (r *Recoder) Emit() (*CodedPacket, error) {
+	if len(r.coeffs) == 0 {
+		return nil, fmt.Errorf("%w: recoder holds no packets", ErrBadParams)
+	}
+	f := r.params.Field
+	out := &CodedPacket{
+		FileID:  r.fileID,
+		Coeffs:  make([]uint32, r.params.K),
+		Payload: make([]byte, r.params.ChunkBytes()),
+	}
+	for i := range r.coeffs {
+		c := r.rng.Uint32() & f.Mask()
+		if c == 0 {
+			continue
+		}
+		addScaledRow(f, out.Coeffs, r.coeffs[i], c)
+		f.AddScaledSlice(out.Payload, r.payload[i], c)
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"asymshare/internal/sim"
+	"asymshare/internal/trace"
+)
+
+// Example runs the paper's saturated-network experiment in miniature:
+// three peers with different upload capacities, everyone requesting
+// all the time. Each user's download converges to its own upload rate
+// — the Eq. (2) fixed point of Fig. 5.
+func Example() {
+	cfg := sim.Config{
+		Slots: 2000,
+		Peers: []sim.PeerConfig{
+			{Name: "slow", Upload: trace.Const(128), Demand: trace.Always{}},
+			{Name: "mid", Upload: trace.Const(256), Demand: trace.Always{}},
+			{Name: "fast", Upload: trace.Const(1024), Demand: trace.Always{}},
+		},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i, name := range res.Names {
+		fmt.Printf("%s: %.0f kbps\n", name, res.MeanDownload(i, 1800, 2000))
+	}
+	// Output:
+	// slow: 128 kbps
+	// mid: 256 kbps
+	// fast: 1024 kbps
+}
+
+// ExampleJainIndex shows the fairness metric used throughout the
+// ablations.
+func ExampleJainIndex() {
+	fmt.Printf("equal:   %.2f\n", sim.JainIndex([]float64{5, 5, 5, 5}))
+	fmt.Printf("one hog: %.2f\n", sim.JainIndex([]float64{20, 0, 0, 0}))
+	// Output:
+	// equal:   1.00
+	// one hog: 0.25
+}

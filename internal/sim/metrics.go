@@ -1,0 +1,103 @@
+package sim
+
+// Analysis helpers used by the figure generators, the ablation
+// benchmarks and the tests to turn raw per-slot series into the
+// quantities the paper discusses.
+
+import "math"
+
+// JainIndex returns Jain's fairness index of the given values:
+// (sum x)^2 / (n * sum x^2), in (0, 1], 1 meaning perfectly equal.
+// An empty or all-zero input returns 0.
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// NormalizedDownloads returns each user's mean download over
+// [from, to) divided by its mean upload capacity over the same window —
+// the "got back what you gave" ratio that the paper's fairness notion
+// predicts converges to >= 1 for contributors.
+func (r *Result) NormalizedDownloads(from, to int) []float64 {
+	out := make([]float64, len(r.Names))
+	for i := range r.Names {
+		up := mean(r.Upload[i], from, to)
+		down := mean(r.Download[i], from, to)
+		if up <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = down / up
+	}
+	return out
+}
+
+// ConvergenceSlot returns the first slot after which the smoothed
+// series stays within tol (relative) of target for the remainder of
+// the run, or -1 if it never settles. window is the smoothing window.
+func ConvergenceSlot(series []float64, target, tol float64, window int) int {
+	if target == 0 || len(series) == 0 {
+		return -1
+	}
+	smooth := RunningAverage(series, window)
+	settled := -1
+	for t, v := range smooth {
+		if math.Abs(v-target)/math.Abs(target) <= tol {
+			if settled < 0 {
+				settled = t
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}
+
+// PairwiseAsymmetry returns the maximum relative asymmetry
+// |x_ij - x_ji| / max(x_ij, x_ji) over all peer pairs with non-zero
+// exchange — the quantity Corollary 1 drives to zero in saturation.
+func (r *Result) PairwiseAsymmetry() float64 {
+	worst := 0.0
+	n := len(r.Names)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := r.Exchanged[i][j], r.Exchanged[j][i]
+			high := math.Max(a, b)
+			if high == 0 {
+				continue
+			}
+			if asym := math.Abs(a-b) / high; asym > worst {
+				worst = asym
+			}
+		}
+	}
+	return worst
+}
+
+// TotalGain returns the aggregate bandwidth users received beyond what
+// their own peers granted them while requesting in isolation terms:
+// sum over users of (download - own-upload-consumed), i.e. how much the
+// cooperative system moved across peer boundaries.
+func (r *Result) TotalGain(from, to int) float64 {
+	var gain float64
+	for i := range r.Names {
+		for t := clamp(from, 0, r.Slots()); t < clamp(to, 0, r.Slots()); t++ {
+			// Download from others only: total minus the self-exchange
+			// share cannot be extracted per slot, so approximate with
+			// download minus own upload granted (self-loops cancel in
+			// the sum across users anyway).
+			gain += r.Download[i][t] - r.Upload[i][t]
+		}
+	}
+	return gain
+}

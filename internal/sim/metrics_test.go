@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asymshare/internal/fairshare"
+	"asymshare/internal/trace"
+)
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all zero = %v", got)
+	}
+	if got := JainIndex([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal values = %v, want 1", got)
+	}
+	// One user hogging everything: index -> 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("hog = %v, want 0.25", got)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			vals[i] = float64(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		idx := JainIndex(vals)
+		if !nonzero {
+			return idx == 0
+		}
+		return idx > 0 && idx <= 1+1e-12 && idx >= 1/float64(len(vals))-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergenceSlot(t *testing.T) {
+	series := []float64{0, 0, 50, 90, 99, 100, 101, 100, 100}
+	got := ConvergenceSlot(series, 100, 0.05, 1)
+	if got != 4 {
+		t.Errorf("ConvergenceSlot = %d, want 4", got)
+	}
+	// A series that leaves the band never settles before the end.
+	diverge := []float64{100, 100, 0}
+	if got := ConvergenceSlot(diverge, 100, 0.05, 1); got != -1 {
+		t.Errorf("diverging series = %d, want -1", got)
+	}
+	if got := ConvergenceSlot(nil, 100, 0.05, 1); got != -1 {
+		t.Errorf("empty series = %d", got)
+	}
+	if got := ConvergenceSlot(series, 0, 0.05, 1); got != -1 {
+		t.Errorf("zero target = %d", got)
+	}
+}
+
+func TestPairwiseAsymmetryAndJainOnSaturatedRun(t *testing.T) {
+	res, err := Run(saturatedConfig([]float64{200, 400, 800}, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asym := res.PairwiseAsymmetry(); asym > 0.06 {
+		t.Errorf("pairwise asymmetry = %v, want ~0 in saturation", asym)
+	}
+	// Normalized downloads (download/upload) are ~1 for everyone in
+	// saturation — equal ratios, so Jain index ~1.
+	norm := res.NormalizedDownloads(5000, 6000)
+	if idx := JainIndex(norm); idx < 0.999 {
+		t.Errorf("Jain index of normalized downloads = %v", idx)
+	}
+	for i, v := range norm {
+		if math.Abs(v-1) > 0.02 {
+			t.Errorf("peer %d normalized download = %v, want ~1", i, v)
+		}
+	}
+}
+
+func TestConvergenceSlotOnFig5a(t *testing.T) {
+	// The paper observes convergence "quickly" (well within the hour);
+	// every peer settles within 5% of its upload rate.
+	uploads := make([]float64, 10)
+	for i := range uploads {
+		uploads[i] = float64(100 * (i + 1))
+	}
+	res, err := Run(saturatedConfig(uploads, 3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range uploads {
+		slot := ConvergenceSlot(res.Download[i], u, 0.05, 10)
+		if slot < 0 {
+			t.Errorf("peer %d never converged", i)
+			continue
+		}
+		if slot > 3000 {
+			t.Errorf("peer %d converged only at %d s", i, slot)
+		}
+	}
+}
+
+func TestTotalGainZeroSum(t *testing.T) {
+	// Download equals upload system-wide, so the cross-peer "gain" sums
+	// to zero: the system moves bandwidth, it does not create it.
+	res, err := Run(saturatedConfig([]float64{100, 500}, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := res.TotalGain(0, 500); math.Abs(gain) > 1e-6 {
+		t.Errorf("total gain = %v, want 0", gain)
+	}
+}
+
+func TestNormalizedDownloadsZeroUpload(t *testing.T) {
+	cfg := Config{
+		Slots: 100,
+		Peers: []PeerConfig{
+			{Name: "free", Upload: trace.Const(0), Demand: trace.Always{}},
+			{Name: "giver", Upload: trace.Const(100), Demand: trace.Always{}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := res.NormalizedDownloads(0, 100)
+	if norm[0] != 0 {
+		t.Errorf("zero-upload peer normalized = %v", norm[0])
+	}
+}
+
+// TestTitForTatUnfairVersusEq2 demonstrates why the paper rejects
+// instantaneous symmetric reciprocation (Sec. II-A): with a
+// BitTorrent-style top-N unchoke, the saturated heterogeneous network
+// locks into winner-take-all pairings — downloads no longer track
+// contributions (Jain index of download/upload ratios collapses) —
+// whereas Eq. (2) returns exactly what each peer gave.
+func TestTitForTatUnfairVersusEq2(t *testing.T) {
+	build := func(policy fairshare.Allocator) *Result {
+		cfg := Config{Slots: 4000}
+		uploads := []float64{100, 300, 600, 1000}
+		for i, u := range uploads {
+			cfg.Peers = append(cfg.Peers, PeerConfig{
+				Name:   fmt.Sprintf("p%d", i),
+				Upload: trace.Const(u),
+				Demand: trace.Always{},
+				Policy: policy,
+			})
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	eq2 := build(nil) // default pairwise-proportional
+	tft := build(fairshare.TitForTat{N: 2})
+
+	eq2Jain := JainIndex(eq2.NormalizedDownloads(3000, 4000))
+	tftJain := JainIndex(tft.NormalizedDownloads(3000, 4000))
+	if eq2Jain < 0.99 {
+		t.Errorf("Eq.2 Jain index = %v, want ~1", eq2Jain)
+	}
+	if tftJain > 0.8 {
+		t.Errorf("tit-for-tat Jain index = %v, expected clearly unfair (< 0.8)", tftJain)
+	}
+}

@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"asymshare/internal/fairshare"
+	"asymshare/internal/trace"
+)
+
+func saturatedConfig(uploads []float64, slots int) Config {
+	cfg := Config{Slots: slots}
+	for i, u := range uploads {
+		cfg.Peers = append(cfg.Peers, PeerConfig{
+			Name:   fmt.Sprintf("p%d", i),
+			Upload: trace.Const(u),
+			Demand: trace.Always{},
+		})
+	}
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Slots: 10}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no peers error = %v", err)
+	}
+	cfg := saturatedConfig([]float64{100}, 0)
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero slots error = %v", err)
+	}
+	cfg = saturatedConfig([]float64{100, 200}, 10)
+	cfg.Peers[1].Name = cfg.Peers[0].Name
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("duplicate name error = %v", err)
+	}
+	cfg = saturatedConfig([]float64{100}, 10)
+	cfg.Peers[0].Name = ""
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty name error = %v", err)
+	}
+	cfg = saturatedConfig([]float64{100}, 10)
+	cfg.Peers[0].Demand = nil
+	if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil demand error = %v", err)
+	}
+}
+
+func TestConservationOfBandwidth(t *testing.T) {
+	cfg := saturatedConfig([]float64{100, 300, 700}, 200)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCapacity := 1100.0
+	for tt := 0; tt < cfg.Slots; tt++ {
+		var down, up float64
+		for i := range cfg.Peers {
+			down += res.Download[i][tt]
+			up += res.Upload[i][tt]
+		}
+		if math.Abs(down-up) > 1e-6 {
+			t.Fatalf("slot %d: download %v != upload %v", tt, down, up)
+		}
+		if up > totalCapacity+1e-6 {
+			t.Fatalf("slot %d: granted %v exceeds capacity %v", tt, up, totalCapacity)
+		}
+		// All peers are saturated and honest: the full capacity is used.
+		if math.Abs(up-totalCapacity) > 1e-6 {
+			t.Fatalf("slot %d: granted %v, want full capacity %v", tt, up, totalCapacity)
+		}
+	}
+}
+
+func TestSaturatedConvergesToOwnUpload(t *testing.T) {
+	// Fig. 5(a): ten saturated users with uploads 100..1000 kbps; each
+	// download rate converges to its own peer's upload rate.
+	uploads := make([]float64, 10)
+	for i := range uploads {
+		uploads[i] = float64(100 * (i + 1))
+	}
+	res, err := Run(saturatedConfig(uploads, 3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range uploads {
+		got := res.MeanDownload(i, 3000, 3600)
+		if math.Abs(got-u)/u > 0.05 {
+			t.Errorf("peer %d: steady-state download %v, want ~%v", i, got, u)
+		}
+	}
+}
+
+func TestSaturatedFairnessWithDominantPeer(t *testing.T) {
+	// Fig. 5(b): fairness holds even when one peer's upload (1024)
+	// exceeds the sum of all others (128+256) — the non-dominant
+	// condition of [16] is not required because self-allocation is
+	// allowed.
+	res, err := Run(saturatedConfig([]float64{128, 256, 1024}, 3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{128, 256, 1024} {
+		got := res.MeanDownload(i, 3000, 3600)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("peer %d: steady-state download %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPairwiseFairnessCorollary1(t *testing.T) {
+	// Corollary 1: in the saturated regime the long-run average
+	// bandwidth exchanged between every pair of peers is equal.
+	res, err := Run(saturatedConfig([]float64{100, 400, 900, 250}, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Names)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a := res.Exchanged[i][j]
+			b := res.Exchanged[j][i]
+			if a == 0 && b == 0 {
+				continue
+			}
+			asym := math.Abs(a-b) / math.Max(a, b)
+			if asym > 0.05 {
+				t.Errorf("pair (%d,%d): exchanged %v vs %v (asym %.3f)", i, j, a, b, asym)
+			}
+		}
+	}
+}
+
+func TestTheoremOneIncentiveBound(t *testing.T) {
+	// Theorem 1: with random demand, every honest user averages at
+	// least gamma_i * mu_i — its bandwidth in isolation — regardless of
+	// other peers' strategies.
+	gammas := []float64{0.3, 0.6, 0.9}
+	uploads := []float64{200, 500, 800}
+	cfg := Config{Slots: 20000}
+	for i := range uploads {
+		cfg.Peers = append(cfg.Peers, PeerConfig{
+			Name:   fmt.Sprintf("p%d", i),
+			Upload: trace.Const(uploads[i]),
+			Demand: trace.NewBernoulli(gammas[i], int64(100+i)),
+		})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uploads {
+		isolation := gammas[i] * uploads[i]
+		got := res.MeanDownload(i, 2000, cfg.Slots)
+		// Allow 5% statistical slack below the bound.
+		if got < 0.95*isolation {
+			t.Errorf("peer %d: mean download %v below isolation bound %v", i, got, isolation)
+		}
+	}
+}
+
+func TestTheoremOneHoldsAgainstMaliciousCoalition(t *testing.T) {
+	// Two colluding peers serve only each other; the honest third peer
+	// must still receive at least its isolated bandwidth.
+	coalition := map[fairshare.ID]bool{"evil0": true, "evil1": true}
+	cfg := Config{
+		Slots: 8000,
+		Peers: []PeerConfig{
+			{Name: "honest", Upload: trace.Const(500), Demand: trace.NewBernoulli(0.5, 1)},
+			{Name: "evil0", Upload: trace.Const(500), Demand: trace.NewBernoulli(0.5, 2),
+				Policy: fairshare.Favor{Members: coalition}},
+			{Name: "evil1", Upload: trace.Const(500), Demand: trace.NewBernoulli(0.5, 3),
+				Policy: fairshare.Favor{Members: coalition}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolation := 0.5 * 500.0
+	got := res.MeanDownload(0, 1000, cfg.Slots)
+	if got < 0.95*isolation {
+		t.Errorf("honest peer mean download %v below isolation bound %v", got, isolation)
+	}
+}
+
+func TestFreeloaderIsStarved(t *testing.T) {
+	// A peer that never contributes (zero upload) gets almost nothing
+	// once ledgers converge, while contributors split the capacity.
+	cfg := Config{
+		Slots: 4000,
+		Peers: []PeerConfig{
+			{Name: "free", Upload: trace.Const(0), Demand: trace.Always{}},
+			{Name: "a", Upload: trace.Const(500), Demand: trace.Always{}},
+			{Name: "b", Upload: trace.Const(500), Demand: trace.Always{}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeRate := res.MeanDownload(0, 3000, cfg.Slots)
+	honestRate := res.MeanDownload(1, 3000, cfg.Slots)
+	if freeRate > 0.02*honestRate {
+		t.Errorf("freeloader rate %v not starved relative to honest %v", freeRate, honestRate)
+	}
+	if math.Abs(honestRate-500) > 25 {
+		t.Errorf("honest rate %v, want ~500", honestRate)
+	}
+}
+
+func TestWithholdingServerStillCounted(t *testing.T) {
+	// A peer with capacity that refuses to serve (Withhold) hurts the
+	// others' totals but cannot be forced; the honest peers simply
+	// trade among themselves.
+	cfg := Config{
+		Slots: 2000,
+		Peers: []PeerConfig{
+			{Name: "miser", Upload: trace.Const(1000), Demand: trace.Always{},
+				Policy: fairshare.Withhold{}},
+			{Name: "a", Upload: trace.Const(400), Demand: trace.Always{}},
+			{Name: "b", Upload: trace.Const(400), Demand: trace.Always{}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The miser's download decays toward zero since it never credits
+	// anyone's ledger.
+	miser := res.MeanDownload(0, 1500, cfg.Slots)
+	honest := res.MeanDownload(1, 1500, cfg.Slots)
+	if miser > 0.05*honest {
+		t.Errorf("withholding peer still receives %v vs honest %v", miser, honest)
+	}
+}
+
+func TestIdleContributorBanksCredit(t *testing.T) {
+	// Fig. 8(a): peer 0 contributes from t=0 but only starts requesting
+	// at t=1000 alongside newcomer peer 1; peer 0's early contribution
+	// must buy it a strictly better rate than peer 1 right after both
+	// join.
+	cfg := Config{
+		Slots: 2000,
+		Peers: []PeerConfig{
+			{Name: "saver", Upload: trace.Const(1024), Demand: trace.After{Start: 1000, Inner: trace.Always{}}},
+			{Name: "late", Upload: trace.StartingAt{Start: 1000, Inner: trace.Const(1024)},
+				Demand: trace.After{Start: 1000, Inner: trace.Always{}}},
+		},
+	}
+	for i := 0; i < 8; i++ {
+		cfg.Peers = append(cfg.Peers, PeerConfig{
+			Name:   fmt.Sprintf("other%d", i),
+			Upload: trace.Const(1024),
+			Demand: trace.Always{},
+		})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saver := res.MeanDownload(0, 1000, 1200)
+	late := res.MeanDownload(1, 1000, 1200)
+	if saver <= 1.1*late {
+		t.Errorf("saver %v not clearly ahead of late joiner %v", saver, late)
+	}
+	if late >= 1024 {
+		t.Errorf("late joiner rate %v should start below its upload capacity", late)
+	}
+	// Before t=1000 the others benefit from the saver's idle capacity:
+	// they receive more than their own upload rate.
+	other := res.MeanDownload(2, 200, 1000)
+	if other <= 1024 {
+		t.Errorf("others rate %v should exceed own upload 1024 while saver is idle", other)
+	}
+}
+
+func TestAdaptationToCapacityDrop(t *testing.T) {
+	// Fig. 8(b): one of ten peers halves its upload at t=1000 and
+	// restores it at t=3000; its download tracks the change.
+	cfg := Config{Slots: 5000}
+	for i := 0; i < 10; i++ {
+		var upload trace.Schedule = trace.Const(1024)
+		if i == 0 {
+			upload = trace.Steps{{From: 0, Rate: 1024}, {From: 1000, Rate: 512}, {From: 3000, Rate: 1024}}
+		}
+		cfg.Peers = append(cfg.Peers, PeerConfig{
+			Name:   fmt.Sprintf("p%d", i),
+			Upload: upload,
+			Demand: trace.Always{},
+		})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.MeanDownload(0, 800, 1000)
+	during := res.MeanDownload(0, 2700, 3000)
+	if before < 950 {
+		t.Errorf("pre-drop rate %v, want ~1024", before)
+	}
+	if during > 0.85*before {
+		t.Errorf("during-drop rate %v did not fall from %v", during, before)
+	}
+	// Other peers recover the lost service among themselves.
+	others := res.MeanDownload(5, 2700, 3000)
+	if others < 1000 {
+		t.Errorf("other peers rate %v during drop, want ~1024", others)
+	}
+}
+
+func TestLedgerDecaySpeedsAdaptation(t *testing.T) {
+	// Ablation: with a decaying ledger the drop in Fig. 8(b) is
+	// reflected faster (the paper notes the cumulative system "has slow
+	// dynamics" that could be sped up by weighing newer contributions).
+	build := func(decay float64) float64 {
+		cfg := Config{Slots: 2400, LedgerDecay: decay}
+		for i := 0; i < 6; i++ {
+			var upload trace.Schedule = trace.Const(1024)
+			if i == 0 {
+				upload = trace.Steps{{From: 0, Rate: 1024}, {From: 1200, Rate: 256}}
+			}
+			cfg.Peers = append(cfg.Peers, PeerConfig{
+				Name:   fmt.Sprintf("p%d", i),
+				Upload: upload,
+				Demand: trace.Always{},
+			})
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Download of the degraded peer shortly after the drop: lower
+		// means the system adapted faster.
+		return res.MeanDownload(0, 1400, 1600)
+	}
+	cumulative := build(0)
+	decayed := build(0.995)
+	if decayed >= cumulative {
+		t.Errorf("decayed ledger rate %v not faster-adapting than cumulative %v", decayed, cumulative)
+	}
+}
+
+func TestRunningAverage(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5}
+	got := RunningAverage(series, 1)
+	for i := range series {
+		if got[i] != series[i] {
+			t.Fatalf("window=1 should copy: %v", got)
+		}
+	}
+	got = RunningAverage(series, 3)
+	want := []float64{1, 1.5, 2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("RunningAverage = %v, want %v", got, want)
+		}
+	}
+	if out := RunningAverage(nil, 5); len(out) != 0 {
+		t.Errorf("nil series = %v", out)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res, err := Run(saturatedConfig([]float64{100, 200}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots() != 50 {
+		t.Errorf("Slots = %d", res.Slots())
+	}
+	if res.PeerIndex("p1") != 1 || res.PeerIndex("zz") != -1 {
+		t.Error("PeerIndex wrong")
+	}
+	if got := res.MeanDownload(0, 40, 10); got != 0 {
+		t.Errorf("inverted range mean = %v", got)
+	}
+	if got := res.MeanDownloadWhileRequesting(0, 0, 50); got <= 0 {
+		t.Errorf("while-requesting mean = %v", got)
+	}
+	if got := res.MeanUpload(1, 0, 50); got <= 0 {
+		t.Errorf("MeanUpload = %v", got)
+	}
+	empty := &Result{}
+	if empty.Slots() != 0 {
+		t.Error("empty result Slots != 0")
+	}
+}
+
+func TestDemandGating(t *testing.T) {
+	// A user that never requests receives nothing, even with credit.
+	cfg := Config{
+		Slots: 100,
+		Peers: []PeerConfig{
+			{Name: "idle", Upload: trace.Const(500), Demand: trace.Never{}},
+			{Name: "busy", Upload: trace.Const(500), Demand: trace.Always{}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanDownload(0, 0, 100); got != 0 {
+		t.Errorf("idle user downloaded %v", got)
+	}
+	// The busy user gets both peers' capacity.
+	if got := res.MeanDownload(1, 10, 100); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("busy user rate %v, want 1000", got)
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+// Directory-backed store. Each file-id is persisted as
+// `<file-id-hex>.dat` containing the concatenation of its messages in
+// the Fig. 3 record layout, each record prefixed with a 4-byte
+// big-endian payload length so mixed payload sizes can coexist:
+//
+//	[4-byte len][8-byte file-id][8-byte message-id][payload]...
+//
+// Writes go through an in-memory index and are flushed synchronously;
+// the store is small (a peer caches other users' generations), so a
+// full-file rewrite per Put batch is acceptable and keeps recovery
+// trivial.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"asymshare/internal/rlnc"
+)
+
+const maxRecordPayload = 64 << 20 // sanity bound when reading
+
+// Disk is a Store persisted under a directory.
+type Disk struct {
+	dir string
+
+	mu  sync.Mutex
+	mem *Memory // authoritative in-memory index
+}
+
+var _ Store = (*Disk)(nil)
+
+// OpenDisk opens (creating if needed) a directory-backed store and
+// loads any existing data files.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, mem: NewMemory()}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".dat") {
+			continue
+		}
+		if err := d.loadFile(filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Dir returns the backing directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) loadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		payloadLen := binary.BigEndian.Uint32(lenBuf[:])
+		if payloadLen > maxRecordPayload {
+			return fmt.Errorf("%w: %s: record of %d bytes", ErrCorrupt, path, payloadLen)
+		}
+		msg, err := rlnc.ReadMessage(f, int(payloadLen))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		if err := d.mem.Put(msg); err != nil {
+			return err
+		}
+	}
+}
+
+func (d *Disk) pathFor(fileID uint64) string {
+	return filepath.Join(d.dir, strconv.FormatUint(fileID, 16)+".dat")
+}
+
+// Put implements Store. The file's data file is rewritten atomically.
+func (d *Disk) Put(msg *rlnc.Message) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.mem.Put(msg); err != nil {
+		return err
+	}
+	return d.flushFile(msg.FileID)
+}
+
+// PutBatch stores several messages with a single rewrite per file-id.
+func (d *Disk) PutBatch(msgs []*rlnc.Message) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	touched := make(map[uint64]bool)
+	for _, msg := range msgs {
+		if err := d.mem.Put(msg); err != nil {
+			return err
+		}
+		touched[msg.FileID] = true
+	}
+	for fileID := range touched {
+		if err := d.flushFile(fileID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Disk) flushFile(fileID uint64) error {
+	msgs, err := d.mem.Messages(fileID)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	ok := false
+	defer func() {
+		if !ok {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	var lenBuf [4]byte
+	for _, msg := range msgs {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(msg.Payload)))
+		if _, err := tmp.Write(lenBuf[:]); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := msg.WriteTo(tmp); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, d.pathFor(fileID)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	ok = true
+	return nil
+}
+
+// Messages implements Store.
+func (d *Disk) Messages(fileID uint64) ([]*rlnc.Message, error) {
+	return d.mem.Messages(fileID)
+}
+
+// Get implements Store.
+func (d *Disk) Get(fileID, messageID uint64) (*rlnc.Message, error) {
+	return d.mem.Get(fileID, messageID)
+}
+
+// Count implements Store.
+func (d *Disk) Count(fileID uint64) int { return d.mem.Count(fileID) }
+
+// Files implements Store.
+func (d *Disk) Files() []uint64 { return d.mem.Files() }
+
+// Drop implements Store and removes the data file.
+func (d *Disk) Drop(fileID uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.mem.Drop(fileID); err != nil {
+		return err
+	}
+	if err := os.Remove(d.pathFor(fileID)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

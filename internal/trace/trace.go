@@ -1,0 +1,266 @@
+// Package trace provides the workload generators used in the paper's
+// evaluation (Sec. V): i.i.d. Bernoulli demand (Sec. IV-A's model),
+// 24-hour duty cycles with 1-hour blocks (Figs. 6-7), delayed starts
+// (Figs. 7, 8a) and piecewise-constant upload-capacity schedules
+// (Fig. 8b). All generators are deterministic functions of the slot
+// index and their seed, so simulations reproduce exactly.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Demand decides whether a user requests download bandwidth at a slot
+// (the indicator I_i(t) of Sec. IV-A).
+type Demand interface {
+	Requests(slot int) bool
+}
+
+// Schedule gives a peer's upload capacity at a slot.
+type Schedule interface {
+	Rate(slot int) float64
+}
+
+// Always is a demand that requests in every slot (the saturated regime
+// gamma -> 1 of Corollary 1).
+type Always struct{}
+
+var _ Demand = Always{}
+
+// Requests implements Demand.
+func (Always) Requests(int) bool { return true }
+
+// Never is a demand that never requests.
+type Never struct{}
+
+var _ Demand = Never{}
+
+// Requests implements Demand.
+func (Never) Requests(int) bool { return false }
+
+// Bernoulli requests independently with probability Gamma each slot.
+// The draw for slot t depends only on (seed, t).
+type Bernoulli struct {
+	gamma float64
+	seed  int64
+}
+
+var _ Demand = (*Bernoulli)(nil)
+
+// NewBernoulli returns an i.i.d. Bernoulli(gamma) demand. gamma is
+// clamped to [0, 1].
+func NewBernoulli(gamma float64, seed int64) *Bernoulli {
+	if gamma < 0 {
+		gamma = 0
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	return &Bernoulli{gamma: gamma, seed: seed}
+}
+
+// Gamma returns the request probability.
+func (b *Bernoulli) Gamma() float64 { return b.gamma }
+
+// Requests implements Demand.
+func (b *Bernoulli) Requests(slot int) bool {
+	// Per-slot generator keyed by (seed, slot) so that demand at slot t
+	// is independent of how many earlier slots were evaluated.
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
+	r := rand.New(rand.NewSource(b.seed ^ int64(slot)*mix))
+	return r.Float64() < b.gamma
+}
+
+// After delays an inner demand: before Start the user never requests.
+type After struct {
+	Start int
+	Inner Demand
+}
+
+var _ Demand = After{}
+
+// Requests implements Demand.
+func (a After) Requests(slot int) bool {
+	if slot < a.Start {
+		return false
+	}
+	return a.Inner.Requests(slot)
+}
+
+// Blocks requests during explicit slot intervals [From, To).
+type Blocks struct {
+	Intervals []Interval
+}
+
+// Interval is a half-open slot range.
+type Interval struct {
+	From, To int
+}
+
+var _ Demand = Blocks{}
+
+// Requests implements Demand.
+func (b Blocks) Requests(slot int) bool {
+	for _, iv := range b.Intervals {
+		if slot >= iv.From && slot < iv.To {
+			return true
+		}
+	}
+	return false
+}
+
+// DutyCycle requests during a fixed set of hour-long blocks out of a
+// repeating day, matching the home-video experiment: "users streamed
+// their home videos ... for 12 randomly chosen hours in a day ... in
+// chunks of 1 hour".
+type DutyCycle struct {
+	activeHours  map[int]bool
+	slotsPerHour int
+	hoursPerDay  int
+}
+
+var _ Demand = (*DutyCycle)(nil)
+
+// NewDutyCycle builds a duty cycle from explicit active hours.
+func NewDutyCycle(activeHours []int, slotsPerHour, hoursPerDay int) (*DutyCycle, error) {
+	if slotsPerHour <= 0 || hoursPerDay <= 0 {
+		return nil, fmt.Errorf("trace: invalid duty cycle geometry %d/%d", slotsPerHour, hoursPerDay)
+	}
+	m := make(map[int]bool, len(activeHours))
+	for _, h := range activeHours {
+		if h < 0 || h >= hoursPerDay {
+			return nil, fmt.Errorf("trace: hour %d out of range [0,%d)", h, hoursPerDay)
+		}
+		m[h] = true
+	}
+	return &DutyCycle{activeHours: m, slotsPerHour: slotsPerHour, hoursPerDay: hoursPerDay}, nil
+}
+
+// NewRandomDutyCycle chooses `active` distinct hours of the day using
+// the given seed.
+func NewRandomDutyCycle(active, slotsPerHour, hoursPerDay int, seed int64) (*DutyCycle, error) {
+	if active < 0 || active > hoursPerDay {
+		return nil, fmt.Errorf("trace: cannot pick %d of %d hours", active, hoursPerDay)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(hoursPerDay)
+	return NewDutyCycle(perm[:active], slotsPerHour, hoursPerDay)
+}
+
+// ActiveHours returns the sorted list of active hours.
+func (d *DutyCycle) ActiveHours() []int {
+	out := make([]int, 0, len(d.activeHours))
+	for h := 0; h < d.hoursPerDay; h++ {
+		if d.activeHours[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Requests implements Demand.
+func (d *DutyCycle) Requests(slot int) bool {
+	if slot < 0 {
+		return false
+	}
+	hour := (slot / d.slotsPerHour) % d.hoursPerDay
+	return d.activeHours[hour]
+}
+
+// NewRandomSessions builds a Blocks demand of alternating on/off
+// sessions with exponentially distributed lengths (means meanOn and
+// meanOff slots), covering [0, slots). It models user churn: sessions
+// of activity separated by idle periods.
+func NewRandomSessions(slots int, meanOn, meanOff float64, seed int64) (Blocks, error) {
+	if slots <= 0 || meanOn <= 0 || meanOff < 0 {
+		return Blocks{}, fmt.Errorf("trace: invalid session geometry slots=%d on=%v off=%v",
+			slots, meanOn, meanOff)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b Blocks
+	t := 0
+	// Randomize the phase so peers with the same seed offset differ.
+	if meanOff > 0 {
+		t = int(rng.ExpFloat64() * meanOff / 2)
+	}
+	for t < slots {
+		on := 1 + int(rng.ExpFloat64()*meanOn)
+		end := t + on
+		if end > slots {
+			end = slots
+		}
+		b.Intervals = append(b.Intervals, Interval{From: t, To: end})
+		off := 1 + int(rng.ExpFloat64()*meanOff)
+		t = end + off
+	}
+	return b, nil
+}
+
+// Gate turns a demand into a schedule: the peer uploads at Capacity
+// while On is active and is offline (0) otherwise. It models churn,
+// where peers only contribute during their sessions.
+type Gate struct {
+	Capacity float64
+	On       Demand
+}
+
+var _ Schedule = Gate{}
+
+// Rate implements Schedule.
+func (g Gate) Rate(slot int) float64 {
+	if g.On.Requests(slot) {
+		return g.Capacity
+	}
+	return 0
+}
+
+// Const is a constant upload capacity.
+type Const float64
+
+var _ Schedule = Const(0)
+
+// Rate implements Schedule.
+func (c Const) Rate(int) float64 { return float64(c) }
+
+// Steps is a piecewise-constant schedule: the rate at slot t is the
+// rate of the last step whose From <= t (0 before the first step).
+// Steps must be sorted by From.
+type Steps []Step
+
+// Step is one piece of a Steps schedule.
+type Step struct {
+	From int
+	Rate float64
+}
+
+var _ Schedule = Steps{}
+
+// Rate implements Schedule.
+func (s Steps) Rate(slot int) float64 {
+	rate := 0.0
+	for _, st := range s {
+		if slot < st.From {
+			break
+		}
+		rate = st.Rate
+	}
+	return rate
+}
+
+// StartingAt delays a schedule: the capacity is 0 before Start (a peer
+// that joins or begins contributing late, as in Figs. 7 and 8a).
+type StartingAt struct {
+	Start int
+	Inner Schedule
+}
+
+var _ Schedule = StartingAt{}
+
+// Rate implements Schedule.
+func (s StartingAt) Rate(slot int) float64 {
+	if slot < s.Start {
+		return 0
+	}
+	return s.Inner.Rate(slot)
+}

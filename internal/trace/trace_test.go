@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlwaysNever(t *testing.T) {
+	if !(Always{}).Requests(0) || !(Always{}).Requests(12345) {
+		t.Error("Always must always request")
+	}
+	if (Never{}).Requests(0) || (Never{}).Requests(9) {
+		t.Error("Never must never request")
+	}
+}
+
+func TestBernoulliDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewBernoulli(0.5, 42)
+	b := NewBernoulli(0.5, 42)
+	c := NewBernoulli(0.5, 43)
+	same, diff := true, false
+	for slot := 0; slot < 200; slot++ {
+		if a.Requests(slot) != b.Requests(slot) {
+			same = false
+		}
+		if a.Requests(slot) != c.Requests(slot) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different demand")
+	}
+	if !diff {
+		t.Error("different seeds produced identical demand")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	for _, gamma := range []float64{0.1, 0.5, 0.9} {
+		d := NewBernoulli(gamma, 7)
+		hits := 0
+		const n = 5000
+		for slot := 0; slot < n; slot++ {
+			if d.Requests(slot) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-gamma) > 0.05 {
+			t.Errorf("gamma=%v: empirical frequency %v", gamma, got)
+		}
+	}
+}
+
+func TestBernoulliClamping(t *testing.T) {
+	if got := NewBernoulli(-1, 0).Gamma(); got != 0 {
+		t.Errorf("clamped gamma = %v", got)
+	}
+	if got := NewBernoulli(2, 0).Gamma(); got != 1 {
+		t.Errorf("clamped gamma = %v", got)
+	}
+	always := NewBernoulli(1, 0)
+	for slot := 0; slot < 50; slot++ {
+		if !always.Requests(slot) {
+			t.Fatal("gamma=1 must always request")
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	d := After{Start: 10, Inner: Always{}}
+	if d.Requests(9) {
+		t.Error("requested before start")
+	}
+	if !d.Requests(10) || !d.Requests(11) {
+		t.Error("did not request after start")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	d := Blocks{Intervals: []Interval{{From: 5, To: 8}, {From: 20, To: 21}}}
+	wantTrue := []int{5, 6, 7, 20}
+	wantFalse := []int{0, 4, 8, 19, 21}
+	for _, s := range wantTrue {
+		if !d.Requests(s) {
+			t.Errorf("slot %d should request", s)
+		}
+	}
+	for _, s := range wantFalse {
+		if d.Requests(s) {
+			t.Errorf("slot %d should not request", s)
+		}
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	d, err := NewDutyCycle([]int{0, 2}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hours: [0,10) active, [10,20) idle, [20,30) active, [30,40) idle,
+	// then the day repeats.
+	cases := map[int]bool{
+		0: true, 9: true, 10: false, 19: false, 20: true, 29: true,
+		30: false, 39: false, 40: true, 55: false, -1: false,
+	}
+	for slot, want := range cases {
+		if got := d.Requests(slot); got != want {
+			t.Errorf("slot %d = %v, want %v", slot, got, want)
+		}
+	}
+	hours := d.ActiveHours()
+	if len(hours) != 2 || hours[0] != 0 || hours[1] != 2 {
+		t.Errorf("ActiveHours = %v", hours)
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	if _, err := NewDutyCycle([]int{0}, 0, 24); err == nil {
+		t.Error("zero slotsPerHour accepted")
+	}
+	if _, err := NewDutyCycle([]int{24}, 10, 24); err == nil {
+		t.Error("out-of-range hour accepted")
+	}
+	if _, err := NewRandomDutyCycle(25, 10, 24, 1); err == nil {
+		t.Error("too many active hours accepted")
+	}
+}
+
+func TestRandomDutyCycleDeterministicAndHalfActive(t *testing.T) {
+	a, err := NewRandomDutyCycle(12, 60, 24, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomDutyCycle(12, 60, 24, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ActiveHours()) != 12 {
+		t.Errorf("active hours = %d", len(a.ActiveHours()))
+	}
+	for i, h := range a.ActiveHours() {
+		if b.ActiveHours()[i] != h {
+			t.Fatal("same seed produced different duty cycles")
+		}
+	}
+	// Roughly half the slots of a full day are active.
+	active := 0
+	day := 24 * 60
+	for slot := 0; slot < day; slot++ {
+		if a.Requests(slot) {
+			active++
+		}
+	}
+	if active != day/2 {
+		t.Errorf("active slots = %d, want %d", active, day/2)
+	}
+}
+
+func TestConstSchedule(t *testing.T) {
+	s := Const(256)
+	if s.Rate(0) != 256 || s.Rate(1e6) != 256 {
+		t.Error("Const rate wrong")
+	}
+}
+
+func TestStepsSchedule(t *testing.T) {
+	// Fig. 8(b): 1024 kbps, dropping to 512 at t=1000, restored at 3000.
+	s := Steps{{From: 0, Rate: 1024}, {From: 1000, Rate: 512}, {From: 3000, Rate: 1024}}
+	cases := map[int]float64{0: 1024, 999: 1024, 1000: 512, 2999: 512, 3000: 1024, 9000: 1024}
+	for slot, want := range cases {
+		if got := s.Rate(slot); got != want {
+			t.Errorf("Rate(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	var empty Steps
+	if got := empty.Rate(5); got != 0 {
+		t.Errorf("empty schedule rate = %v", got)
+	}
+}
+
+func TestStartingAt(t *testing.T) {
+	s := StartingAt{Start: 100, Inner: Const(512)}
+	if got := s.Rate(99); got != 0 {
+		t.Errorf("Rate(99) = %v", got)
+	}
+	if got := s.Rate(100); got != 512 {
+		t.Errorf("Rate(100) = %v", got)
+	}
+}
+
+func TestNewRandomSessions(t *testing.T) {
+	b, err := NewRandomSessions(10000, 100, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Intervals) < 10 {
+		t.Fatalf("too few sessions: %d", len(b.Intervals))
+	}
+	// Intervals are ordered, non-overlapping and within range.
+	prevEnd := -1
+	active := 0
+	for _, iv := range b.Intervals {
+		if iv.From <= prevEnd || iv.To <= iv.From || iv.To > 10000 {
+			t.Fatalf("bad interval %+v after end %d", iv, prevEnd)
+		}
+		prevEnd = iv.To
+		active += iv.To - iv.From
+	}
+	// Duty cycle roughly matches meanOn/(meanOn+meanOff) = 2/3.
+	duty := float64(active) / 10000
+	if duty < 0.4 || duty > 0.9 {
+		t.Errorf("duty cycle = %v, want ~0.67", duty)
+	}
+	// Determinism.
+	b2, err := NewRandomSessions(10000, 100, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Intervals) != len(b.Intervals) {
+		t.Error("same seed produced different sessions")
+	}
+	if _, err := NewRandomSessions(0, 1, 1, 1); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewRandomSessions(10, 0, 1, 1); err == nil {
+		t.Error("zero meanOn accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	g := Gate{Capacity: 256, On: Blocks{Intervals: []Interval{{From: 5, To: 10}}}}
+	if got := g.Rate(4); got != 0 {
+		t.Errorf("Rate(4) = %v", got)
+	}
+	if got := g.Rate(5); got != 256 {
+		t.Errorf("Rate(5) = %v", got)
+	}
+	if got := g.Rate(10); got != 0 {
+		t.Errorf("Rate(10) = %v", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package tracker implements the out-of-band content-location service
+// the paper assumes (Sec. II: "services like BitTorrent assume some
+// out-of-band mechanisms to locate content"). Owners announce which
+// peers hold messages of a file-id; users look the set up before
+// fetching. The tracker is soft-state: announcements expire unless
+// refreshed, so departed peers age out.
+//
+// The protocol is three JSON-over-frame messages on the asymshare wire
+// framing: ANNOUNCE {fileID, addr, ttl}, LOOKUP {fileID} and ADDRS
+// {addrs}. The tracker is discovery-only — it never sees message
+// payloads, digests or secrets.
+package tracker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"asymshare/internal/wire"
+)
+
+// Frame types carried over the wire framing, in a range disjoint from
+// the peer protocol.
+const (
+	typeAnnounce wire.Type = 64 + iota
+	typeLookup
+	typeAddrs
+	typeOK
+)
+
+// DefaultTTL is how long an announcement lives without refresh.
+const DefaultTTL = 10 * time.Minute
+
+// ErrBadRequest is returned for malformed tracker messages.
+var ErrBadRequest = errors.New("tracker: malformed request")
+
+type announceMsg struct {
+	FileID uint64 `json:"fileId"`
+	Addr   string `json:"addr"`
+	TTLSec int    `json:"ttlSec,omitempty"`
+}
+
+type lookupMsg struct {
+	FileID uint64 `json:"fileId"`
+}
+
+type addrsMsg struct {
+	Addrs []string `json:"addrs"`
+}
+
+type entry struct {
+	addr    string
+	expires time.Time
+}
+
+// Server is a tracker instance.
+type Server struct {
+	maxTTL time.Duration
+	now    func() time.Time
+
+	mu     sync.Mutex
+	files  map[uint64]map[string]entry
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewServer returns a tracker. maxTTL caps client-requested TTLs; zero
+// means DefaultTTL.
+func NewServer(maxTTL time.Duration) *Server {
+	if maxTTL <= 0 {
+		maxTTL = DefaultTTL
+	}
+	s := &Server{
+		maxTTL: maxTTL,
+		now:    time.Now,
+		files:  make(map[uint64]map[string]entry),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Start listens and serves.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tracker: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("tracker: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listen address, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the tracker and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	// Abort reads when the server closes.
+	stop := make(chan struct{})
+	defer close(stop)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-s.ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch frame.Type {
+		case typeAnnounce:
+			var msg announceMsg
+			if err := json.Unmarshal(frame.Payload, &msg); err != nil || msg.Addr == "" {
+				wire.SendError(conn, wire.CodeBadRequest, "malformed announce")
+				return
+			}
+			s.announce(msg)
+			if err := wire.WriteFrame(conn, typeOK, nil); err != nil {
+				return
+			}
+		case typeLookup:
+			var msg lookupMsg
+			if err := json.Unmarshal(frame.Payload, &msg); err != nil {
+				wire.SendError(conn, wire.CodeBadRequest, "malformed lookup")
+				return
+			}
+			blob, err := json.Marshal(addrsMsg{Addrs: s.Lookup(msg.FileID)})
+			if err != nil {
+				return
+			}
+			if err := wire.WriteFrame(conn, typeAddrs, blob); err != nil {
+				return
+			}
+		case wire.TypeBye:
+			return
+		default:
+			wire.SendError(conn, wire.CodeBadRequest, "unexpected frame "+frame.Type.String())
+			return
+		}
+	}
+}
+
+func (s *Server) announce(msg announceMsg) {
+	ttl := s.maxTTL
+	if msg.TTLSec > 0 {
+		if requested := time.Duration(msg.TTLSec) * time.Second; requested < ttl {
+			ttl = requested
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.files[msg.FileID]
+	if !ok {
+		m = make(map[string]entry)
+		s.files[msg.FileID] = m
+	}
+	m[msg.Addr] = entry{addr: msg.Addr, expires: s.now().Add(ttl)}
+}
+
+// Lookup returns the live peer addresses for a file-id, sorted.
+func (s *Server) Lookup(fileID uint64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.files[fileID]
+	now := s.now()
+	out := make([]string, 0, len(m))
+	for addr, e := range m {
+		if e.expires.Before(now) {
+			delete(m, addr)
+			continue
+		}
+		out = append(out, addr)
+	}
+	if len(m) == 0 {
+		delete(s.files, fileID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileCount returns the number of file-ids with live announcements.
+func (s *Server) FileCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}
+
+// Announce registers addr as holding messages of fileID with the given
+// tracker. A zero ttl requests the tracker's maximum.
+func Announce(ctx context.Context, trackerAddr string, fileID uint64, peerAddr string, ttl time.Duration) error {
+	conn, err := dial(ctx, trackerAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	msg := announceMsg{FileID: fileID, Addr: peerAddr, TTLSec: int(ttl / time.Second)}
+	blob, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, typeAnnounce, blob); err != nil {
+		return err
+	}
+	if _, err := wire.Expect(conn, typeOK); err != nil {
+		return fmt.Errorf("tracker: announce: %w", err)
+	}
+	return wire.WriteFrame(conn, wire.TypeBye, nil)
+}
+
+// Lookup queries a tracker for the peers holding fileID.
+func Lookup(ctx context.Context, trackerAddr string, fileID uint64) ([]string, error) {
+	conn, err := dial(ctx, trackerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	blob, err := json.Marshal(lookupMsg{FileID: fileID})
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, typeLookup, blob); err != nil {
+		return nil, err
+	}
+	frame, err := wire.Expect(conn, typeAddrs)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: lookup: %w", err)
+	}
+	var msg addrsMsg
+	if err := json.Unmarshal(frame.Payload, &msg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	_ = wire.WriteFrame(conn, wire.TypeBye, nil)
+	return msg.Addrs, nil
+}
+
+func dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: dial %s: %w", addr, err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	return conn, nil
+}
+
+var _ io.Closer = (*Server)(nil)

@@ -1,0 +1,142 @@
+package wire
+
+// Property-based robustness tests: every typed message round-trips for
+// arbitrary field values, and the frame reader never panics on
+// arbitrary byte soup.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetRoundTripProperty(t *testing.T) {
+	prop := func(fileID uint64, limit uint32) bool {
+		g := Get{FileID: fileID, Limit: limit}
+		var got Get
+		return got.Unmarshal(g.Marshal()) == nil && got == g
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopRoundTripProperty(t *testing.T) {
+	prop := func(fileID uint64) bool {
+		s := Stop{FileID: fileID}
+		var got Stop
+		return got.Unmarshal(s.Marshal()) == nil && got == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorMsgRoundTripProperty(t *testing.T) {
+	prop := func(code uint16, reason string) bool {
+		e := ErrorMsg{Code: code, Reason: reason}
+		var got ErrorMsg
+		return got.Unmarshal(e.Marshal()) == nil && got == e
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(ty uint8, payload []byte) bool {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Type(ty), payload); err != nil {
+			return false
+		}
+		f, err := ReadFrame(&buf)
+		return err == nil && f.Type == Type(ty) && bytes.Equal(f.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameNeverPanicsOnGarbage(t *testing.T) {
+	prop := func(garbage []byte) bool {
+		r := bytes.NewReader(garbage)
+		for {
+			_, err := ReadFrame(r)
+			if err != nil {
+				return true // any error is fine; panics are not
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalersNeverPanicOnGarbage(t *testing.T) {
+	prop := func(garbage []byte) bool {
+		var (
+			h  Hello
+			c  Challenge
+			a  AuthResponse
+			g  Get
+			s  Stop
+			fb Feedback
+			e  ErrorMsg
+		)
+		// Only absence of panics matters.
+		_ = h.Unmarshal(garbage)
+		_ = c.Unmarshal(garbage)
+		_ = a.Unmarshal(garbage)
+		_ = g.Unmarshal(garbage)
+		_ = s.Unmarshal(garbage)
+		_ = fb.Unmarshal(garbage)
+		_ = e.Unmarshal(garbage)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	for n := 0; n < 5; n++ {
+		_, err := ReadFrame(bytes.NewReader(make([]byte, n)))
+		if err == nil {
+			t.Errorf("truncated header of %d bytes accepted", n)
+		}
+		if n == 0 && err != io.EOF {
+			t.Errorf("empty reader error = %v, want io.EOF", err)
+		}
+	}
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeData, []byte("seed")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			frame, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			// Parsed frames must re-serialize to the same byte count.
+			var out bytes.Buffer
+			if werr := WriteFrame(&out, frame.Type, frame.Payload); werr != nil {
+				t.Fatalf("reserialize: %v", werr)
+			}
+			if out.Len() != 5+len(frame.Payload) {
+				t.Fatalf("frame length %d", out.Len())
+			}
+		}
+	})
+}

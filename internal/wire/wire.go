@@ -1,0 +1,390 @@
+// Package wire defines the length-prefixed binary framing spoken
+// between users and peers, covering the full time-line of Fig. 4(b):
+// mutual challenge-response authentication (1, 2), content requests
+// (3), message delivery (4), stop-transmission (5) and the periodic
+// informational feedback a user sends its own peer.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Type identifies a frame.
+type Type uint8
+
+// Frame types.
+const (
+	TypeHello        Type = iota + 1 // connection opener: role + public key
+	TypeChallenge                    // authentication nonce
+	TypeAuthResponse                 // signature over the nonce
+	TypeAuthOK                       // authentication accepted
+	TypePut                          // upload one encoded message for storage
+	TypePutOK                        // storage acknowledged
+	TypeGet                          // request streaming of a file's messages
+	TypeData                         // one encoded message
+	TypeStop                         // stop transmission (paper's message "5")
+	TypeFeedback                     // informational update to the user's own peer
+	TypeError                        // terminal error with reason
+	TypeBye                          // orderly close
+	TypePatch                        // apply a delta message to a stored message
+	TypeList                         // request the peer's stored file inventory
+	TypeFileList                     // inventory response
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeChallenge:
+		return "CHALLENGE"
+	case TypeAuthResponse:
+		return "AUTH"
+	case TypeAuthOK:
+		return "AUTH_OK"
+	case TypePut:
+		return "PUT"
+	case TypePutOK:
+		return "PUT_OK"
+	case TypeGet:
+		return "GET"
+	case TypeData:
+		return "DATA"
+	case TypeStop:
+		return "STOP"
+	case TypeFeedback:
+		return "FEEDBACK"
+	case TypeError:
+		return "ERROR"
+	case TypeBye:
+		return "BYE"
+	case TypePatch:
+		return "PATCH"
+	case TypeList:
+		return "LIST"
+	case TypeFileList:
+		return "FILE_LIST"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// MaxFrameSize bounds a frame payload; anything larger aborts the
+// connection rather than ballooning memory.
+const MaxFrameSize = 8 << 20
+
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+	// ErrBadFrame is returned for malformed frame payloads.
+	ErrBadFrame = errors.New("wire: malformed frame")
+
+	// ErrUnexpectedFrame is returned when the protocol state machine
+	// receives a frame type it cannot handle.
+	ErrUnexpectedFrame = errors.New("wire: unexpected frame type")
+)
+
+// Frame is one protocol unit.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// WriteFrame writes a frame: 1-byte type, 4-byte big-endian payload
+// length, payload.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		return fmt.Errorf("wire: write %s: %w", t, err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return Frame{Type: Type(hdr[0]), Payload: payload}, nil
+}
+
+// Expect reads one frame and verifies its type, translating TypeError
+// frames into Go errors.
+func Expect(r io.Reader, want Type) (Frame, error) {
+	f, err := ReadFrame(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if f.Type == TypeError {
+		var e ErrorMsg
+		if uerr := e.Unmarshal(f.Payload); uerr == nil {
+			return Frame{}, &RemoteError{Code: e.Code, Reason: e.Reason}
+		}
+		return Frame{}, fmt.Errorf("%w: undecodable remote error", ErrBadFrame)
+	}
+	if f.Type != want {
+		return Frame{}, fmt.Errorf("%w: got %s, want %s", ErrUnexpectedFrame, f.Type, want)
+	}
+	return f, nil
+}
+
+// Role distinguishes the two ends of a connection.
+type Role uint8
+
+// Connection roles.
+const (
+	RoleUser Role = iota + 1 // a remote user downloading or disseminating
+	RolePeer                 // another storage peer
+)
+
+// Hello opens a connection: the initiator announces its role and key
+// and challenges the responder with a fresh nonce (mutual
+// authentication, as the paper recommends against MITM/IP-spoofing).
+type Hello struct {
+	Role   Role
+	PubKey []byte // Ed25519 public key, 32 bytes
+	Nonce  []byte // initiator's challenge to the responder, 32 bytes
+}
+
+// Marshal serializes the hello.
+func (h *Hello) Marshal() []byte {
+	out := make([]byte, 0, 1+len(h.PubKey)+len(h.Nonce))
+	out = append(out, byte(h.Role))
+	out = append(out, h.PubKey...)
+	return append(out, h.Nonce...)
+}
+
+// Unmarshal parses a hello.
+func (h *Hello) Unmarshal(b []byte) error {
+	if len(b) != 1+32+32 {
+		return fmt.Errorf("%w: hello of %d bytes", ErrBadFrame, len(b))
+	}
+	h.Role = Role(b[0])
+	if h.Role != RoleUser && h.Role != RolePeer {
+		return fmt.Errorf("%w: unknown role %d", ErrBadFrame, b[0])
+	}
+	h.PubKey = append([]byte(nil), b[1:33]...)
+	h.Nonce = append([]byte(nil), b[33:]...)
+	return nil
+}
+
+// Challenge is the responder's reply to a Hello: it proves possession
+// of its own key by signing the initiator's nonce, and counter-
+// challenges with a nonce of its own.
+type Challenge struct {
+	PubKey    []byte // responder's key, 32 bytes
+	Signature []byte // over the initiator's nonce, 64 bytes
+	Nonce     []byte // responder's challenge, 32 bytes
+}
+
+// Marshal serializes the challenge.
+func (c *Challenge) Marshal() []byte {
+	out := make([]byte, 0, len(c.PubKey)+len(c.Signature)+len(c.Nonce))
+	out = append(out, c.PubKey...)
+	out = append(out, c.Signature...)
+	return append(out, c.Nonce...)
+}
+
+// Unmarshal parses the challenge.
+func (c *Challenge) Unmarshal(b []byte) error {
+	if len(b) != 32+64+32 {
+		return fmt.Errorf("%w: challenge of %d bytes", ErrBadFrame, len(b))
+	}
+	c.PubKey = append([]byte(nil), b[:32]...)
+	c.Signature = append([]byte(nil), b[32:96]...)
+	c.Nonce = append([]byte(nil), b[96:]...)
+	return nil
+}
+
+// AuthResponse carries the responder's key and challenge signature.
+type AuthResponse struct {
+	PubKey    []byte // 32 bytes
+	Signature []byte // 64 bytes
+}
+
+// Marshal serializes the response.
+func (a *AuthResponse) Marshal() []byte {
+	out := make([]byte, 0, len(a.PubKey)+len(a.Signature))
+	out = append(out, a.PubKey...)
+	return append(out, a.Signature...)
+}
+
+// Unmarshal parses the response.
+func (a *AuthResponse) Unmarshal(b []byte) error {
+	if len(b) != 32+64 {
+		return fmt.Errorf("%w: auth response of %d bytes", ErrBadFrame, len(b))
+	}
+	a.PubKey = append([]byte(nil), b[:32]...)
+	a.Signature = append([]byte(nil), b[32:]...)
+	return nil
+}
+
+// Get requests the messages of one file. Limit caps how many messages
+// the peer should send (0 means "all you have").
+type Get struct {
+	FileID uint64
+	Limit  uint32
+}
+
+// Marshal serializes the request.
+func (g *Get) Marshal() []byte {
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint64(out, g.FileID)
+	binary.BigEndian.PutUint32(out[8:], g.Limit)
+	return out
+}
+
+// Unmarshal parses the request.
+func (g *Get) Unmarshal(b []byte) error {
+	if len(b) != 12 {
+		return fmt.Errorf("%w: get of %d bytes", ErrBadFrame, len(b))
+	}
+	g.FileID = binary.BigEndian.Uint64(b)
+	g.Limit = binary.BigEndian.Uint32(b[8:])
+	return nil
+}
+
+// Stop asks the peer to cease streaming a file (the user has decoded).
+type Stop struct {
+	FileID uint64
+}
+
+// Marshal serializes the stop.
+func (s *Stop) Marshal() []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, s.FileID)
+	return out
+}
+
+// Unmarshal parses the stop.
+func (s *Stop) Unmarshal(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("%w: stop of %d bytes", ErrBadFrame, len(b))
+	}
+	s.FileID = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+// Feedback is the periodic informational update a user sends to its own
+// peer so the peer "can make informed decisions on dividing its upload
+// capacity among other users" (Sec. III-B). Entries report how many
+// bytes the user received from each serving peer, keyed by key
+// fingerprint.
+type Feedback struct {
+	Entries []FeedbackEntry `json:"entries"`
+}
+
+// FeedbackEntry is one per-peer receipt report.
+type FeedbackEntry struct {
+	PeerFingerprint string `json:"peer"`
+	Bytes           uint64 `json:"bytes"`
+}
+
+// Marshal serializes the feedback as JSON (it is low-rate control
+// traffic).
+func (f *Feedback) Marshal() ([]byte, error) {
+	return json.Marshal(f)
+}
+
+// Unmarshal parses feedback.
+func (f *Feedback) Unmarshal(b []byte) error {
+	if err := json.Unmarshal(b, f); err != nil {
+		return fmt.Errorf("%w: feedback: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// FileList is the response to a LIST request: the peer's stored
+// inventory, without payloads (identifiers and counts only — a peer
+// cannot leak content it cannot itself decode, but the listing helps
+// owners audit replication).
+type FileList struct {
+	Files []FileEntry `json:"files"`
+}
+
+// FileEntry describes one stored generation.
+type FileEntry struct {
+	FileID   uint64 `json:"fileId"`
+	Messages int    `json:"messages"`
+}
+
+// Marshal serializes the list as JSON (low-rate control traffic).
+func (l *FileList) Marshal() ([]byte, error) {
+	return json.Marshal(l)
+}
+
+// Unmarshal parses a list.
+func (l *FileList) Unmarshal(b []byte) error {
+	if err := json.Unmarshal(b, l); err != nil {
+		return fmt.Errorf("%w: file list: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// Error codes carried in ErrorMsg.
+const (
+	CodeAuthFailed   uint16 = 1
+	CodeUnknownFile  uint16 = 2
+	CodeBadRequest   uint16 = 3
+	CodeInternal     uint16 = 4
+	CodeNotPermitted uint16 = 5
+)
+
+// ErrorMsg is a terminal protocol error.
+type ErrorMsg struct {
+	Code   uint16
+	Reason string
+}
+
+// Marshal serializes the error.
+func (e *ErrorMsg) Marshal() []byte {
+	out := make([]byte, 2+len(e.Reason))
+	binary.BigEndian.PutUint16(out, e.Code)
+	copy(out[2:], e.Reason)
+	return out
+}
+
+// Unmarshal parses the error.
+func (e *ErrorMsg) Unmarshal(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("%w: error frame of %d bytes", ErrBadFrame, len(b))
+	}
+	e.Code = binary.BigEndian.Uint16(b)
+	e.Reason = string(b[2:])
+	return nil
+}
+
+// RemoteError is an error frame surfaced as a Go error.
+type RemoteError struct {
+	Code   uint16
+	Reason string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Reason)
+}
+
+// SendError writes an ErrorMsg frame, ignoring write failures (the
+// connection is being torn down anyway).
+func SendError(w io.Writer, code uint16, reason string) {
+	msg := ErrorMsg{Code: code, Reason: reason}
+	_ = WriteFrame(w, TypeError, msg.Marshal())
+}
