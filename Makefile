@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race-audit vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race-audit exercises the audit path — the auditor itself plus the
+# ledger it debits, the wire frames it rides on, and the store it
+# samples — under the race detector. Run before touching any of them.
+race-audit: vet
+	$(GO) test -race ./internal/audit/... ./internal/fairshare/... ./internal/wire/... ./internal/store/...
+
+check: build test race-audit

@@ -11,6 +11,8 @@
 //	asymshare update  -key user.key -handle video.handle -secret <hex> -old v1.mpg -new v2.mpg
 //	asymshare list    -key user.key -peer host:7070
 //	asymshare audit   -key user.key -handle video.handle
+//	asymshare spotcheck -key user.key -handle video.handle -secret <hex> [-sample 8] [-feedback host:7070]
+//	asymshare auditdemo [-honest 2] [-size 4096] [-sample 8]
 //	asymshare repair  -key user.key -handle video.handle -secret <hex> -file video.mpg
 package main
 
@@ -66,6 +68,10 @@ func run(args []string, out io.Writer) error {
 		return cmdList(args[1:], out)
 	case "audit":
 		return cmdAudit(args[1:], out)
+	case "spotcheck":
+		return cmdSpotCheck(args[1:], out)
+	case "auditdemo":
+		return cmdAuditDemo(args[1:], out)
 	case "repair":
 		return cmdRepair(args[1:], out)
 	default:

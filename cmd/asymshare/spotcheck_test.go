@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+// TestSpotCheckEndToEnd shares through the CLI, drops one peer's
+// store, and verifies `spotcheck` reports the failure and the debit.
+func TestSpotCheckEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := filepath.Join(dir, "user.key")
+	var discard bytes.Buffer
+	if err := run([]string{"keygen", "-out", keyPath}, &discard); err != nil {
+		t.Fatal(err)
+	}
+
+	stores := make([]*store.Memory, 2)
+	var addrs []string
+	for i := range stores {
+		stores[i] = store.NewMemory()
+		id, err := auth.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := peer.New(peer.Config{Identity: id, Store: stores[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+
+	filePath := filepath.Join(dir, "notes.bin")
+	data := make([]byte, 8<<10)
+	rand.New(rand.NewSource(7)).Read(data)
+	if err := os.WriteFile(filePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	handlePath := filepath.Join(dir, "notes.handle")
+	var shareOut bytes.Buffer
+	err := run([]string{
+		"share", "-key", keyPath, "-file", filePath,
+		"-peers", strings.Join(addrs, ","), "-out", handlePath,
+	}, &shareOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`secret \(keep private!\): ([0-9a-f]+)`).FindStringSubmatch(shareOut.String())
+	if m == nil {
+		t.Fatalf("no secret in share output: %q", shareOut.String())
+	}
+	secret := m[1]
+
+	// A fresh share passes.
+	var okOut bytes.Buffer
+	err = run([]string{
+		"spotcheck", "-key", keyPath, "-handle", handlePath, "-secret", secret, "-sample", "4",
+	}, &okOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(okOut.String(), "all retention audits passed") {
+		t.Errorf("spotcheck output: %q", okOut.String())
+	}
+
+	// Peer 1 drops everything; the spot-check must say so.
+	for _, fileID := range stores[1].Files() {
+		if err := stores[1].Drop(fileID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var badOut bytes.Buffer
+	err = run([]string{
+		"spotcheck", "-key", keyPath, "-handle", handlePath, "-secret", secret, "-sample", "4",
+	}, &badOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := badOut.String()
+	if !strings.Contains(got, "retention DEGRADED") {
+		t.Errorf("degraded share not reported: %q", got)
+	}
+	if !strings.Contains(got, "FAIL") || !strings.Contains(got, "debit ") {
+		t.Errorf("failure/debit details missing: %q", got)
+	}
+}
+
+func TestSpotCheckMissingFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"spotcheck", "-key", "k"}, &out); err == nil {
+		t.Error("spotcheck without -handle/-secret accepted")
+	}
+}
+
+// TestAuditDemo runs the self-contained demo network and checks the
+// dropper is caught, debited, and allocated less than honest peers.
+func TestAuditDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"auditdemo", "-honest", "2", "-size", "2048", "-sample", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"last one will defect", "FAIL", "debit ", "DROPPER"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("auditdemo output missing %q:\n%s", want, got)
+		}
+	}
+	// The dropper's share must be strictly below the honest shares.
+	shares := regexp.MustCompile(`\((honest|DROPPER)\): ([0-9.]+)%`).FindAllStringSubmatch(got, -1)
+	if len(shares) != 3 {
+		t.Fatalf("expected 3 allocation lines, got %d in:\n%s", len(shares), got)
+	}
+	var honest, dropper []string
+	for _, s := range shares {
+		if s[1] == "DROPPER" {
+			dropper = append(dropper, s[2])
+		} else {
+			honest = append(honest, s[2])
+		}
+	}
+	if len(dropper) != 1 || len(honest) != 2 {
+		t.Fatalf("roles = %v", shares)
+	}
+	var d, h float64
+	if _, err := fmt.Sscan(dropper[0], &d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(honest[0], &h); err != nil {
+		t.Fatal(err)
+	}
+	if d >= h {
+		t.Errorf("dropper share %.1f%% not below honest %.1f%%", d, h)
+	}
+}
+
+func TestAuditDemoRejectsZeroHonest(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"auditdemo", "-honest", "0"}, &out); err == nil {
+		t.Error("auditdemo with no honest peers accepted")
+	}
+}

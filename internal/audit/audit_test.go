@@ -1,0 +1,392 @@
+package audit
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/fairshare"
+	"asymshare/internal/rlnc"
+	"asymshare/internal/store"
+	"asymshare/internal/wire"
+)
+
+// mkMessages stores n messages for fileID and returns their digests —
+// the owner-side view of the obligation.
+func mkMessages(t *testing.T, st store.Store, fileID uint64, n int) map[uint64]rlnc.Digest {
+	t.Helper()
+	digests := make(map[uint64]rlnc.Digest, n)
+	for i := 0; i < n; i++ {
+		msg := &rlnc.Message{FileID: fileID, MessageID: uint64(i), Payload: []byte{byte(i), byte(fileID)}}
+		if err := st.Put(msg); err != nil {
+			t.Fatal(err)
+		}
+		digests[uint64(i)] = msg.Digest()
+	}
+	return digests
+}
+
+// storeProber answers challenges honestly from per-address stores —
+// the in-process stand-in for client.Client + peer.Node.
+type storeProber struct {
+	stores map[string]store.Store
+	calls  int
+}
+
+func (p *storeProber) Audit(_ context.Context, addr string, ch wire.AuditChallenge) (*wire.AuditResponse, string, error) {
+	p.calls++
+	st, ok := p.stores[addr]
+	if !ok {
+		return nil, "", errors.New("no such peer")
+	}
+	resp := &wire.AuditResponse{FileID: ch.FileID}
+	for _, id := range ch.MessageIDs {
+		proof := wire.AuditProof{MessageID: id}
+		if msg, err := st.Get(ch.FileID, id); err == nil {
+			d := msg.Digest()
+			proof.Present = true
+			proof.MAC = auth.AuditMAC(ch.Key, ch.FileID, id, d[:])
+		}
+		resp.Proofs = append(resp.Proofs, proof)
+	}
+	return resp, "fp-" + addr, nil
+}
+
+func TestBuildChallengeSamplesDistinctIDs(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 5, 20)
+	target := Target{Addr: "a", FileID: 5, Digests: digests}
+	rng := rand.New(rand.NewSource(1))
+	ch, err := BuildChallenge(rng, []byte("secret"), &target, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.MessageIDs) != 8 {
+		t.Fatalf("sampled %d ids, want 8", len(ch.MessageIDs))
+	}
+	seen := make(map[uint64]bool)
+	for _, id := range ch.MessageIDs {
+		if seen[id] {
+			t.Errorf("duplicate sampled id %d", id)
+		}
+		seen[id] = true
+		if _, ok := digests[id]; !ok {
+			t.Errorf("sampled id %d outside obligation", id)
+		}
+	}
+	// The key must be the canonical derivation for (secret, file, nonce).
+	want, err := auth.DeriveAuditKey([]byte("secret"), 5, ch.Nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ch.Key, want) {
+		t.Error("challenge key is not DeriveAuditKey(secret, fileID, nonce)")
+	}
+}
+
+func TestBuildChallengeCapsAtObligation(t *testing.T) {
+	st := store.NewMemory()
+	target := Target{Addr: "a", FileID: 1, Digests: mkMessages(t, st, 1, 3)}
+	ch, err := BuildChallenge(rand.New(rand.NewSource(2)), []byte("s"), &target, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.MessageIDs) != 3 {
+		t.Errorf("sampled %d, want all 3", len(ch.MessageIDs))
+	}
+}
+
+func TestVerifyResponseOutcomes(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 7, 4)
+	target := Target{Addr: "a", FileID: 7, Digests: digests}
+	ch, err := BuildChallenge(rand.New(rand.NewSource(3)), []byte("s"), &target, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := func() *wire.AuditResponse {
+		resp := &wire.AuditResponse{FileID: 7}
+		for _, id := range ch.MessageIDs {
+			msg, err := st.Get(7, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := msg.Digest()
+			resp.Proofs = append(resp.Proofs, wire.AuditProof{
+				MessageID: id, Present: true, MAC: auth.AuditMAC(ch.Key, 7, id, d[:]),
+			})
+		}
+		return resp
+	}
+
+	if tally := VerifyResponse(ch, honest(), digests); !tally.Passed() || tally.Proven != 4 {
+		t.Errorf("honest response: %+v", tally)
+	}
+
+	// One admitted-missing message fails the audit.
+	gapped := honest()
+	gapped.Proofs[1] = wire.AuditProof{MessageID: gapped.Proofs[1].MessageID}
+	if tally := VerifyResponse(ch, gapped, digests); tally.Passed() || tally.Missing != 1 || tally.Proven != 3 {
+		t.Errorf("gapped response: %+v", tally)
+	}
+
+	// A bad MAC counts as forged.
+	forged := honest()
+	forged.Proofs[0].MAC = bytes.Repeat([]byte{0xFF}, wire.AuditMACLen)
+	if tally := VerifyResponse(ch, forged, digests); tally.Passed() || tally.Forged != 1 {
+		t.Errorf("forged response: %+v", tally)
+	}
+
+	// Unanswered ids count as missing; unchallenged answers as forged.
+	short := &wire.AuditResponse{FileID: 7, Proofs: honest().Proofs[:2]}
+	if tally := VerifyResponse(ch, short, digests); tally.Missing != 2 || tally.Proven != 2 {
+		t.Errorf("short response: %+v", tally)
+	}
+	alien := honest()
+	alien.Proofs[3].MessageID = 999999
+	if tally := VerifyResponse(ch, alien, digests); tally.Forged != 1 || tally.Missing != 1 {
+		t.Errorf("alien response: %+v", tally)
+	}
+
+	// A response for the wrong file proves nothing.
+	wrong := honest()
+	wrong.FileID = 8
+	if tally := VerifyResponse(ch, wrong, digests); tally.Proven != 0 || tally.Missing != 4 {
+		t.Errorf("wrong-file response: %+v", tally)
+	}
+}
+
+func TestAuditorHonestPeerPasses(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 1, 16)
+	ledger := fairshare.NewLedger(0)
+	ledger.Credit("fp-alpha", 1000)
+	a, err := New(Config{
+		Prober: &storeProber{stores: map[string]store.Store{"alpha": st}},
+		Secret: []byte("s"),
+		Ledger: ledger,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Target{Addr: "alpha", FileID: 1, Digests: digests, MessageBytes: 100}); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := a.AuditOnce(context.Background())
+	if len(verdicts) != 1 || verdicts[0].Outcome != Pass {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	if verdicts[0].Peer != "fp-alpha" {
+		t.Errorf("peer identity = %q, want learned fp-alpha", verdicts[0].Peer)
+	}
+	if got := ledger.Received("fp-alpha"); got != 1000 {
+		t.Errorf("honest peer debited: %v", got)
+	}
+	stats := a.Stats()
+	if stats.Passed != 1 || stats.Failed != 0 || stats.Timeouts != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.MessagesProven != int64(stats.MessagesProbed) || stats.BytesProven != stats.MessagesProven*100 {
+		t.Errorf("proof accounting: %+v", stats)
+	}
+}
+
+func TestAuditorDropperDebitedAndEscalated(t *testing.T) {
+	honest := store.NewMemory()
+	digests := mkMessages(t, honest, 1, 64)
+	dropper := store.NewMemory() // holds nothing
+	ledger := fairshare.NewLedger(0)
+	ledger.Credit("fp-bad", 1e6)
+	a, err := New(Config{
+		Prober:     &storeProber{stores: map[string]store.Store{"bad": dropper}},
+		Secret:     []byte("s"),
+		Ledger:     ledger,
+		SampleSize: 4,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Target{Addr: "bad", FileID: 1, Digests: digests, MessageBytes: 1000}); err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := a.AuditOnce(context.Background())[0]
+	if v1.Outcome != Fail || v1.Tally.Missing != 4 {
+		t.Fatalf("first verdict = %+v", v1)
+	}
+	if v1.Penalty != 4*1000 {
+		t.Errorf("penalty = %v, want 4000", v1.Penalty)
+	}
+	if got := ledger.Received("fp-bad"); got != 1e6-4000 {
+		t.Errorf("ledger after first fail = %v", got)
+	}
+
+	// Escalation: the second audit probes twice the sample.
+	v2 := a.AuditOnce(context.Background())[0]
+	if v2.Tally.Sampled != 8 {
+		t.Errorf("escalated sample = %d, want 8", v2.Tally.Sampled)
+	}
+	health := a.Health()
+	if len(health) != 1 || health[0].ConsecutiveFails != 2 || health[0].Failed != 2 {
+		t.Errorf("health = %+v", health)
+	}
+}
+
+func TestAuditorEscalationResetsOnPass(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 1, 64)
+	prober := &storeProber{stores: map[string]store.Store{"p": store.NewMemory()}}
+	a, err := New(Config{Prober: prober, Secret: []byte("s"), SampleSize: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Target{Addr: "p", FileID: 1, Digests: digests}); err != nil {
+		t.Fatal(err)
+	}
+	if v := a.AuditOnce(context.Background())[0]; v.Outcome != Fail {
+		t.Fatalf("empty store passed: %+v", v)
+	}
+	// The peer "recovers" (repair re-disseminated): escalated probe passes.
+	prober.stores["p"] = st
+	v := a.AuditOnce(context.Background())[0]
+	if v.Outcome != Pass || v.Tally.Sampled != 8 {
+		t.Fatalf("recovery verdict = %+v", v)
+	}
+	// Next round is back to the routine sample.
+	v = a.AuditOnce(context.Background())[0]
+	if v.Tally.Sampled != 4 {
+		t.Errorf("post-recovery sample = %d, want 4", v.Tally.Sampled)
+	}
+	if h := a.Health(); h[0].ConsecutiveFails != 0 || h[0].LastOutcome != Pass {
+		t.Errorf("health = %+v", h[0])
+	}
+}
+
+// deadProber never answers within the attempt timeout.
+type deadProber struct{ calls int }
+
+func (p *deadProber) Audit(ctx context.Context, _ string, _ wire.AuditChallenge) (*wire.AuditResponse, string, error) {
+	p.calls++
+	<-ctx.Done()
+	return nil, "", ctx.Err()
+}
+
+func TestAuditorTimeoutRetriesWithBackoffThenPenalizes(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 1, 8)
+	ledger := fairshare.NewLedger(0)
+	ledger.Credit("fp-dead", 500)
+	prober := &deadProber{}
+	a, err := New(Config{
+		Prober:            prober,
+		Secret:            []byte("s"),
+		Ledger:            ledger,
+		Timeout:           20 * time.Millisecond,
+		Backoff:           5 * time.Millisecond,
+		MaxRetries:        2,
+		SampleSize:        4,
+		PenaltyPerMessage: 50,
+		Seed:              13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target{Addr: "dead", Peer: "fp-dead", FileID: 1, Digests: digests}
+	if err := a.Add(target); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v := a.AuditOnce(context.Background())[0]
+	if v.Outcome != Timeout {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.Attempts != 3 || prober.calls != 3 {
+		t.Errorf("attempts = %d (probe calls %d), want 3", v.Attempts, prober.calls)
+	}
+	// Backoff between attempts: at least 5ms + 10ms beyond the timeouts.
+	if elapsed := time.Since(start); elapsed < 3*20*time.Millisecond+15*time.Millisecond {
+		t.Errorf("retries too fast: %v", elapsed)
+	}
+	// The whole sample is penalized: no response proved anything.
+	if v.Penalty != 4*50 {
+		t.Errorf("penalty = %v, want 200", v.Penalty)
+	}
+	if got := ledger.Received("fp-dead"); got != 300 {
+		t.Errorf("ledger = %v, want 300", got)
+	}
+	if s := a.Stats(); s.Timeouts != 1 || s.ChallengesSent != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAuditorRunSchedulesAndStops(t *testing.T) {
+	st := store.NewMemory()
+	digests := mkMessages(t, st, 1, 8)
+	verdicts := make(chan Verdict, 64)
+	a, err := New(Config{
+		Prober:   &storeProber{stores: map[string]store.Store{"p": st}},
+		Secret:   []byte("s"),
+		Interval: 10 * time.Millisecond,
+		OnVerdict: func(v Verdict) {
+			select {
+			case verdicts <- v:
+			default:
+			}
+		},
+		Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Target{Addr: "p", FileID: 1, Digests: digests}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		a.Run(ctx)
+		close(done)
+	}()
+	// At least two scheduled audits complete.
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-verdicts:
+			if v.Outcome != Pass {
+				t.Errorf("scheduled verdict %d = %+v", i, v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("scheduled audit never ran")
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Secret: []byte("s")}); !errors.Is(err, ErrBadConfig) {
+		t.Error("missing prober accepted")
+	}
+	if _, err := New(Config{Prober: &deadProber{}}); !errors.Is(err, ErrBadConfig) {
+		t.Error("missing secret accepted")
+	}
+	a, err := New(Config{Prober: &deadProber{}, Secret: []byte("s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(Target{FileID: 1}); !errors.Is(err, ErrBadTarget) {
+		t.Error("target without address accepted")
+	}
+	if err := a.Add(Target{Addr: "a", FileID: 1}); !errors.Is(err, ErrBadTarget) {
+		t.Error("target without digests accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package auth
+
+// Keyed spot-check primitives for storage auditing. The owner of a file
+// holds the per-file coding secret; a storage peer holds only opaque
+// encoded messages. To verify a peer still retains what it accepted, the
+// owner derives a fresh per-challenge key from (secret, file-id, nonce)
+// and sends it with the challenge. The holder answers with an HMAC over
+// each sampled message's digest under that key. Because the key depends
+// on a nonce drawn fresh for every challenge, answers cannot be
+// precomputed and answers from one challenge (or one owner) are useless
+// for any other; because the key is derived one-way from the secret,
+// revealing it leaks nothing about the coding key. The owner verifies
+// against the message digests it already carries in the manifest
+// (Sec. III-C), so no payload is re-downloaded.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// AuditKeyLen is the length of a derived audit key in bytes.
+const AuditKeyLen = sha256.Size
+
+// AuditMACLen is the length of an audit response MAC in bytes.
+const AuditMACLen = sha256.Size
+
+// Domain-separation labels; v1 of the audit construction.
+const (
+	auditKeyLabel = "asymshare-audit-key-v1:"
+	auditMACLabel = "asymshare-audit-mac-v1:"
+)
+
+// DeriveAuditKey derives the per-challenge audit key from the owner's
+// coding secret, the audited file and a fresh nonce:
+//
+//	K = HMAC-SHA256(secret, label || fileID || nonce)
+//
+// Only the owner can derive K (it requires the secret); the holder
+// receives K inside the challenge and cannot use it beyond answering
+// that one challenge, since every challenge carries a new nonce.
+func DeriveAuditKey(secret []byte, fileID uint64, nonce []byte) ([]byte, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("%w: empty audit secret", ErrBadKey)
+	}
+	if len(nonce) != ChallengeLen {
+		return nil, fmt.Errorf("%w: audit nonce must be %d bytes", ErrBadKey, ChallengeLen)
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(auditKeyLabel))
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], fileID)
+	mac.Write(id[:])
+	mac.Write(nonce)
+	return mac.Sum(nil), nil
+}
+
+// AuditMAC computes the holder's answer for one sampled message: an
+// HMAC under the per-challenge key over the message coordinates and its
+// content digest. The holder recomputes digest from the bytes it
+// actually stores; the owner recomputes it from the manifest. Both
+// sides therefore agree exactly when the holder still has the message
+// the owner disseminated.
+func AuditMAC(key []byte, fileID, messageID uint64, digest []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(auditMACLabel))
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:], fileID)
+	binary.BigEndian.PutUint64(hdr[8:], messageID)
+	mac.Write(hdr[:])
+	mac.Write(digest)
+	return mac.Sum(nil)
+}
+
+// VerifyAuditMAC reports whether got is the correct audit answer, in
+// constant time.
+func VerifyAuditMAC(key []byte, fileID, messageID uint64, digest, got []byte) bool {
+	want := AuditMAC(key, fileID, messageID, digest)
+	return hmac.Equal(want, got)
+}

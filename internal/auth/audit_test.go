@@ -1,0 +1,95 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeriveAuditKeyDeterministic(t *testing.T) {
+	secret := bytes.Repeat([]byte{7}, 16)
+	nonce := bytes.Repeat([]byte{3}, ChallengeLen)
+	k1, err := DeriveAuditKey(secret, 42, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := DeriveAuditKey(secret, 42, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("same inputs derived different keys")
+	}
+	if len(k1) != AuditKeyLen {
+		t.Errorf("key length = %d, want %d", len(k1), AuditKeyLen)
+	}
+}
+
+func TestDeriveAuditKeyVariesWithInputs(t *testing.T) {
+	secret := bytes.Repeat([]byte{7}, 16)
+	nonce := bytes.Repeat([]byte{3}, ChallengeLen)
+	base, err := DeriveAuditKey(secret, 42, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherNonce := bytes.Repeat([]byte{4}, ChallengeLen)
+	variants := [][]byte{}
+	if k, err := DeriveAuditKey(secret, 43, nonce); err == nil {
+		variants = append(variants, k)
+	}
+	if k, err := DeriveAuditKey(secret, 42, otherNonce); err == nil {
+		variants = append(variants, k)
+	}
+	if k, err := DeriveAuditKey(bytes.Repeat([]byte{8}, 16), 42, nonce); err == nil {
+		variants = append(variants, k)
+	}
+	if len(variants) != 3 {
+		t.Fatal("variant derivations failed")
+	}
+	for i, v := range variants {
+		if bytes.Equal(base, v) {
+			t.Errorf("variant %d collided with base key", i)
+		}
+	}
+}
+
+func TestDeriveAuditKeyRejectsBadInputs(t *testing.T) {
+	nonce := make([]byte, ChallengeLen)
+	if _, err := DeriveAuditKey(nil, 1, nonce); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if _, err := DeriveAuditKey([]byte("secret"), 1, []byte("short")); err == nil {
+		t.Error("short nonce accepted")
+	}
+}
+
+func TestAuditMACRoundTrip(t *testing.T) {
+	secret := bytes.Repeat([]byte{9}, 16)
+	nonce := bytes.Repeat([]byte{1}, ChallengeLen)
+	key, err := DeriveAuditKey(secret, 7, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := bytes.Repeat([]byte{5}, 16)
+	mac := AuditMAC(key, 7, 3, digest)
+	if len(mac) != AuditMACLen {
+		t.Errorf("mac length = %d, want %d", len(mac), AuditMACLen)
+	}
+	if !VerifyAuditMAC(key, 7, 3, digest, mac) {
+		t.Error("valid MAC rejected")
+	}
+	// Any coordinate change must invalidate the MAC.
+	if VerifyAuditMAC(key, 8, 3, digest, mac) {
+		t.Error("MAC verified under wrong file id")
+	}
+	if VerifyAuditMAC(key, 7, 4, digest, mac) {
+		t.Error("MAC verified under wrong message id")
+	}
+	otherDigest := bytes.Repeat([]byte{6}, 16)
+	if VerifyAuditMAC(key, 7, 3, otherDigest, mac) {
+		t.Error("MAC verified under wrong digest")
+	}
+	otherKey, _ := DeriveAuditKey(secret, 7, bytes.Repeat([]byte{2}, ChallengeLen))
+	if VerifyAuditMAC(otherKey, 7, 3, digest, mac) {
+		t.Error("MAC verified under wrong key")
+	}
+}

@@ -1,0 +1,86 @@
+package client
+
+// Owner-side audit issuing: the client ships a keyed spot-check
+// challenge to one storage peer and returns the raw response for
+// internal/audit to verify. The client deliberately does no
+// verification itself — the auditor holds the expected digests and the
+// escalation state; the client is just authenticated transport.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"asymshare/internal/auth"
+	"asymshare/internal/wire"
+)
+
+// Audit sends one challenge to a peer and returns its response along
+// with the peer's key fingerprint (the identity to debit if the
+// response does not verify). A malformed or refused exchange returns a
+// typed error — *wire.RemoteError when the peer answered with an error
+// frame — and never hangs: the dial context's deadline bounds the
+// whole exchange.
+func (c *Client) Audit(ctx context.Context, addr string, ch wire.AuditChallenge) (*wire.AuditResponse, string, error) {
+	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
+	if err != nil {
+		return nil, "", err
+	}
+	defer conn.Close()
+	fingerprint := auth.Fingerprint(peerKey)
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if err := wire.WriteFrame(conn, wire.TypeAuditChallenge, ch.Marshal()); err != nil {
+		return nil, fingerprint, err
+	}
+	frame, err := wire.Expect(conn, wire.TypeAuditResponse)
+	if err != nil {
+		return nil, fingerprint, fmt.Errorf("client: audit %s: %w", addr, err)
+	}
+	var resp wire.AuditResponse
+	if err := resp.Unmarshal(frame.Payload); err != nil {
+		return nil, fingerprint, fmt.Errorf("client: audit %s: %w", addr, err)
+	}
+	if resp.FileID != ch.FileID {
+		return nil, fingerprint, fmt.Errorf("client: audit %s: response for file %d, challenged %d",
+			addr, resp.FileID, ch.FileID)
+	}
+	_ = wire.WriteFrame(conn, wire.TypeBye, nil)
+	return &resp, fingerprint, nil
+}
+
+// SendAuditVerdicts reports audit penalties to the user's own peer:
+// each entry debits the named counterpart's ledger standing there. It
+// rides the same FEEDBACK frame as receipt credits, so only the
+// peer's owner is believed.
+func (c *Client) SendAuditVerdicts(ctx context.Context, ownPeerAddr string, debits map[string]uint64) error {
+	if len(debits) == 0 {
+		return nil
+	}
+	conn, _, err := c.dial(ctx, ownPeerAddr, wire.RoleUser)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fb := wire.Feedback{Entries: make([]wire.FeedbackEntry, 0, len(debits))}
+	keys := make([]string, 0, len(debits))
+	for k := range debits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fb.Entries = append(fb.Entries, wire.FeedbackEntry{PeerFingerprint: k, Debit: debits[k]})
+	}
+	blob, err := fb.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, wire.TypeFeedback, blob); err != nil {
+		return err
+	}
+	if _, err := wire.Expect(conn, wire.TypePutOK); err != nil {
+		return fmt.Errorf("client: audit verdicts to %s: %w", ownPeerAddr, err)
+	}
+	return wire.WriteFrame(conn, wire.TypeBye, nil)
+}

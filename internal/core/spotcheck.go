@@ -1,0 +1,212 @@
+package core
+
+// Keyed retention spot-checks over a share handle. The count-based
+// Audit in repair.go trusts the peer's LIST answer — a peer that lied
+// about its inventory, or kept garbage bytes under the right ids,
+// would pass it while the data is gone. SpotCheck closes that gap with
+// internal/audit's keyed challenges: each (peer, chunk) obligation is
+// probed cryptographically, failures are debited, and RepairFailed
+// force-re-disseminates exactly the batches that failed, ignoring
+// whatever inventory the peer claims.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"asymshare/internal/audit"
+	"asymshare/internal/chunk"
+	"asymshare/internal/rlnc"
+)
+
+// spotBatchStride mirrors the encoder's per-peer message-id stride:
+// batch rank r mints ids in [r·2^32, (r+1)·2^32), so a chunk's digest
+// map partitions by id>>32 into per-peer obligations.
+const spotBatchStride = uint64(1) << 32
+
+// SpotCheckOptions tunes a spot-check round. The zero value uses the
+// auditor defaults.
+type SpotCheckOptions struct {
+	// Sample is the number of messages probed per (peer, chunk).
+	Sample int
+
+	// PenaltyPerMessage overrides the ledger debit per failed message;
+	// zero charges the serialized message size in bytes.
+	PenaltyPerMessage float64
+
+	// Seed makes sampling deterministic; zero seeds from time.
+	Seed int64
+}
+
+// SpotCheckReport is the outcome of one spot-check round.
+type SpotCheckReport struct {
+	// Verdicts holds one entry per probed (peer, chunk) obligation, in
+	// peer-major, chunk-minor order.
+	Verdicts []audit.Verdict
+
+	// FailedChunks maps peer address to the chunk indexes whose audit
+	// did not pass there — the re-dissemination work list.
+	FailedChunks map[string][]int
+
+	// Debits maps peer ledger identity (key fingerprint) to the total
+	// penalty assessed, ready for Client.SendAuditVerdicts.
+	Debits map[string]uint64
+
+	// Stats are the auditor's counters for this round.
+	Stats audit.Stats
+}
+
+// AllPassed reports whether every obligation verified.
+func (r *SpotCheckReport) AllPassed() bool { return len(r.FailedChunks) == 0 }
+
+// digestsForRank returns the subset of a chunk's digests minted for
+// batch rank r.
+func digestsForRank(all map[uint64]rlnc.Digest, rank int) map[uint64]rlnc.Digest {
+	out := make(map[uint64]rlnc.Digest)
+	for id, d := range all {
+		if id/spotBatchStride == uint64(rank) {
+			out[id] = d
+		}
+	}
+	return out
+}
+
+// SpotCheck runs one keyed spot-check round over every (peer, chunk)
+// obligation in the handle, respecting ring placement. It contacts
+// every peer even after failures — the point is a complete damage
+// report, not a quick abort.
+func (s *System) SpotCheck(ctx context.Context, h *Handle, secret []byte, opts SpotCheckOptions) (*SpotCheckReport, error) {
+	if h == nil || len(h.Peers) == 0 {
+		return nil, fmt.Errorf("%w: missing peers", ErrBadHandle)
+	}
+	a, err := audit.New(audit.Config{
+		Prober:            s.client,
+		Secret:            secret,
+		SampleSize:        opts.Sample,
+		PenaltyPerMessage: opts.PenaltyPerMessage,
+		Seed:              opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Targets are added peer-major, chunk-minor; AuditOnce preserves
+	// that order, so obligations[i] annotates Verdicts[i].
+	type obligation struct {
+		addr  string
+		chunk int
+	}
+	var obligations []obligation
+	for _, addr := range h.Peers {
+		for i, info := range h.Manifest.Chunks {
+			rank := h.batchRank(addr, i)
+			if rank < 0 {
+				continue
+			}
+			digests := digestsForRank(info.Digests, rank)
+			if len(digests) == 0 {
+				continue // shared before digests were recorded
+			}
+			params, err := info.Params(h.Manifest.Plan)
+			if err != nil {
+				return nil, err
+			}
+			err = a.Add(audit.Target{
+				Addr:         addr,
+				FileID:       info.FileID,
+				Digests:      digests,
+				MessageBytes: params.MessageBytes(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			obligations = append(obligations, obligation{addr: addr, chunk: i})
+		}
+	}
+
+	report := &SpotCheckReport{
+		Verdicts:     a.AuditOnce(ctx),
+		FailedChunks: make(map[string][]int),
+		Debits:       make(map[string]uint64),
+	}
+	for i, v := range report.Verdicts {
+		ob := obligations[i]
+		if v.Outcome != audit.Pass {
+			report.FailedChunks[ob.addr] = append(report.FailedChunks[ob.addr], ob.chunk)
+		}
+		if v.Penalty > 0 && v.Peer != "" {
+			report.Debits[v.Peer] += uint64(math.Round(v.Penalty))
+		}
+	}
+	report.Stats = a.Stats()
+	return report, nil
+}
+
+// ReportSpotCheck forwards the round's debits to the user's own peer,
+// so audit failures lower the culprit's standing in the allocator that
+// actually serves it (Eq. 2 uses the local ledger).
+func (s *System) ReportSpotCheck(ctx context.Context, ownPeerAddr string, r *SpotCheckReport) error {
+	if r == nil || len(r.Debits) == 0 {
+		return nil
+	}
+	return s.client.SendAuditVerdicts(ctx, ownPeerAddr, r.Debits)
+}
+
+// RepairFailed regenerates and re-disseminates every batch that failed
+// a spot-check, regardless of the inventory the peer claims. Unlike
+// Repair, it never consults LIST: the cryptographic verdict already
+// established the data is unusable there. Returns the number of
+// messages re-uploaded.
+func (s *System) RepairFailed(ctx context.Context, h *Handle, secret, data []byte, r *SpotCheckReport) (int, error) {
+	if h == nil || len(h.Peers) == 0 {
+		return 0, fmt.Errorf("%w: missing peers", ErrBadHandle)
+	}
+	if r == nil || r.AllPassed() {
+		return 0, nil
+	}
+	if int64(len(data)) != h.Manifest.TotalSize {
+		return 0, fmt.Errorf("%w: data is %d bytes, manifest says %d",
+			ErrBadHandle, len(data), h.Manifest.TotalSize)
+	}
+	pieces := chunk.Split(data, h.Manifest.Plan.ChunkSize)
+	addrs := make([]string, 0, len(r.FailedChunks))
+	for addr := range r.FailedChunks {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	repaired := 0
+	for _, addr := range addrs {
+		var resend []*rlnc.Message
+		for _, i := range r.FailedChunks[addr] {
+			if i < 0 || i >= len(h.Manifest.Chunks) {
+				return repaired, fmt.Errorf("%w: chunk index %d out of range", ErrBadHandle, i)
+			}
+			info := h.Manifest.Chunks[i]
+			rank := h.batchRank(addr, i)
+			if rank < 0 {
+				continue // placement changed since the audit
+			}
+			params, err := info.Params(h.Manifest.Plan)
+			if err != nil {
+				return repaired, err
+			}
+			enc, err := rlnc.NewEncoder(params, info.FileID, secret, pieces[i])
+			if err != nil {
+				return repaired, err
+			}
+			batch, err := enc.BatchForPeer(rank, params.K)
+			if err != nil {
+				return repaired, err
+			}
+			resend = append(resend, batch...)
+		}
+		if len(resend) == 0 {
+			continue
+		}
+		if err := s.client.Disseminate(ctx, addr, resend); err != nil {
+			return repaired, fmt.Errorf("core: repair %s after failed audit: %w", addr, err)
+		}
+		repaired += len(resend)
+	}
+	return repaired, nil
+}

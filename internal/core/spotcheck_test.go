@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asymshare/internal/core"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+// TestSpotCheckCatchesSilentCorruption covers the case count-based
+// Audit cannot: a peer that keeps the right message inventory but the
+// wrong bytes. The spot-check must fail it, assess a debit, and
+// RepairFailed must restore retrievability.
+func TestSpotCheckCatchesSilentCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	data := make([]byte, 2200) // 3 chunks under smallPlan
+	rng.Read(data)
+
+	sys, err := core.NewSystem(identity(t, 130), nil, core.WithPlan(smallPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]*store.Memory, 2)
+	fps := make([]string, 2)
+	var addrs []string
+	for i := range stores {
+		stores[i] = store.NewMemory()
+		id := identity(t, byte(131+i))
+		fps[i] = id.Fingerprint()
+		node, err := peer.New(peer.Config{Identity: id, Store: stores[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr().String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := sys.ShareFile(ctx, "precious.dat", data, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := core.SpotCheckOptions{Sample: 4, Seed: 5}
+	report, err := sys.SpotCheck(ctx, &res.Handle, res.Secret, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllPassed() {
+		t.Fatalf("fresh share failed spot-check: %+v", report.FailedChunks)
+	}
+	// 2 peers × 3 chunks, every obligation probed.
+	if len(report.Verdicts) != 6 {
+		t.Fatalf("got %d verdicts, want 6", len(report.Verdicts))
+	}
+	if len(report.Debits) != 0 {
+		t.Errorf("honest round assessed debits: %v", report.Debits)
+	}
+
+	// Peer 0 silently corrupts every message of chunk 1: inventory
+	// counts stay perfect, the bytes are garbage.
+	victim := res.Handle.Manifest.Chunks[1].FileID
+	msgs, err := stores[0].Messages(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		bad := m.Clone()
+		bad.Payload[0] ^= 0xFF
+		if err := stores[0].Put(bad); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The count-based audit is fooled...
+	countReport, err := sys.Audit(ctx, &res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countReport.Healthy() {
+		t.Fatal("count-based audit unexpectedly noticed the corruption")
+	}
+
+	// ...the keyed spot-check is not.
+	report, err = sys.SpotCheck(ctx, &res.Handle, res.Secret, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AllPassed() {
+		t.Fatal("spot-check missed the corruption")
+	}
+	failed := report.FailedChunks[addrs[0]]
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("FailedChunks[%s] = %v, want [1]", addrs[0], failed)
+	}
+	if len(report.FailedChunks) != 1 {
+		t.Errorf("honest peer flagged: %v", report.FailedChunks)
+	}
+	if report.Debits[fps[0]] == 0 {
+		t.Error("corrupting peer was not debited")
+	}
+	if report.Debits[fps[1]] != 0 {
+		t.Errorf("honest peer debited: %v", report.Debits)
+	}
+	if report.Stats.Failed != 1 || report.Stats.Passed != 5 {
+		t.Errorf("stats = %+v", report.Stats)
+	}
+
+	// RepairFailed restores the batch without consulting the peer's
+	// (lying) inventory; the next round is clean.
+	n, err := sys.RepairFailed(ctx, &res.Handle, res.Secret, data, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("RepairFailed uploaded nothing")
+	}
+	report, err = sys.SpotCheck(ctx, &res.Handle, res.Secret, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllPassed() {
+		t.Fatalf("still failing after repair: %+v", report.FailedChunks)
+	}
+
+	// A clean report makes RepairFailed a no-op.
+	n, err = sys.RepairFailed(ctx, &res.Handle, res.Secret, data, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("no-op repair uploaded %d messages", n)
+	}
+}

@@ -1,0 +1,119 @@
+package eventsim
+
+import (
+	"testing"
+
+	"asymshare/internal/trace"
+)
+
+// auditNet is a symmetric always-on network of 3 honest peers plus one
+// that silently dropped everything it agreed to store.
+func auditNet(dropper bool, epochSec float64) Config {
+	return Config{
+		Peers: []PeerConfig{
+			{Name: "a", UploadKbps: 1000, Demand: trace.Always{}},
+			{Name: "b", UploadKbps: 1000, Demand: trace.Always{}},
+			{Name: "c", UploadKbps: 1000, Demand: trace.Always{}},
+			{Name: "leech", UploadKbps: 1000, Demand: trace.Always{}, DropsStored: dropper},
+		},
+		Duration:      600,
+		InitialCredit: 1,
+		Seed:          3,
+		AuditEpochSec: epochSec,
+	}
+}
+
+// TestAuditCollapsesDropperAllocation is the free-rider scenario from
+// the issue: a chunk-dropping peer keeps uploading (so it keeps
+// earning receipt credit), but periodic retention audits debit it in
+// every other user's ledger faster than it can re-earn, and its
+// allocation from the rest of the network collapses — while the honest
+// peers are unaffected. The dropper keeps only what it can grant
+// itself from its own upload, i.e. it loses exactly the aggregation
+// benefit the system exists to provide.
+func TestAuditCollapsesDropperAllocation(t *testing.T) {
+	// Baseline: audits off. The dropper is indistinguishable from an
+	// honest uploader and draws a full share from the others.
+	base, err := Run(auditNet(true, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseHonest := base.FromOthersKbits(0)
+	baseLeech := base.FromOthersKbits(3)
+	if baseLeech < 0.8*baseHonest {
+		t.Fatalf("without audits the dropper should blend in: honest %.0f vs leech %.0f",
+			baseHonest, baseLeech)
+	}
+	for i := range base.AuditFailures {
+		if base.AuditFailures[i] != 0 {
+			t.Fatalf("audits disabled but failures recorded: %v", base.AuditFailures)
+		}
+	}
+
+	// Audits on: every 5 simulated seconds each user spot-checks the
+	// others; the dropper fails all of them.
+	audited, err := Run(auditNet(true, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := audited.FromOthersKbits(0)
+	leech := audited.FromOthersKbits(3)
+	if leech > 0.3*honest {
+		t.Errorf("dropper allocation did not collapse: honest %.0f vs leech %.0f kbits from others",
+			honest, leech)
+	}
+	if audited.AuditFailures[3] == 0 || audited.AuditDebitsKbits[3] == 0 {
+		t.Errorf("dropper audit failures unrecorded: %v / %v",
+			audited.AuditFailures, audited.AuditDebitsKbits)
+	}
+	// Honest peers are unaffected where it matters: the traffic they
+	// grant each other. Once the dropper's weight is slashed, each
+	// honest peer's WFQ redistributes the dropper's former share among
+	// the remaining honest requesters, so honest-to-honest traffic
+	// rises above baseline. (Total from-others drops only because the
+	// dropper withdraws its upload into self-service — bandwidth that
+	// in reality was phantom: it no longer holds the data it would be
+	// serving.)
+	honestPair := func(r *Result, i int) float64 {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			if j != i {
+				sum += r.PairKbits[i][j]
+			}
+		}
+		return sum
+	}
+	for i := 0; i < 3; i++ {
+		if audited.AuditFailures[i] != 0 {
+			t.Errorf("honest peer %s failed audits: %v", audited.Names[i], audited.AuditFailures)
+		}
+		if got, want := honestPair(audited, i), honestPair(base, i); got < want {
+			t.Errorf("honest peer %s harmed by audits: %.0f honest-to-honest kbits vs baseline %.0f",
+				audited.Names[i], got, want)
+		}
+	}
+}
+
+// TestAuditHonestNetworkUnaffected: with audits enabled and everyone
+// honest, no failures, no debits, and the allocation matches the
+// audit-free run exactly.
+func TestAuditHonestNetworkUnaffected(t *testing.T) {
+	base, err := Run(auditNet(false, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited, err := Run(auditNet(false, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range audited.Names {
+		if audited.AuditFailures[i] != 0 || audited.AuditDebitsKbits[i] != 0 {
+			t.Errorf("honest peer %s penalized: %v / %v",
+				audited.Names[i], audited.AuditFailures, audited.AuditDebitsKbits)
+		}
+		if audited.ReceivedKbits[i] != base.ReceivedKbits[i] {
+			t.Errorf("peer %s received %v with audits vs %v without",
+				audited.Names[i], audited.ReceivedKbits[i], base.ReceivedKbits[i])
+		}
+	}
+}

@@ -40,6 +40,12 @@ type PeerConfig struct {
 	// Demand gates when the user wants data (queried at integer
 	// seconds, like the fluid simulator).
 	Demand trace.Demand
+
+	// DropsStored models a storage free-rider: the peer accepted its
+	// pre-dissemination batches but silently discarded them, so every
+	// retention audit of it fails. It still uploads — and earns ledger
+	// credit — like any other peer; only audits reveal the loss.
+	DropsStored bool
 }
 
 // Config describes a run.
@@ -59,6 +65,18 @@ type Config struct {
 
 	// Seed drives the weighted recipient draws.
 	Seed int64
+
+	// AuditEpochSec > 0 enables keyed retention audits (the simulated
+	// counterpart of internal/audit): every epoch each user audits
+	// every other peer's stored batches and debits its local ledger
+	// entry for any peer that fails, exactly as audit verdicts feed
+	// fairshare.Ledger.Debit in the real system. Zero disables audits.
+	AuditEpochSec float64
+
+	// AuditPenaltyKbits is the ledger debit per failed audit; zero
+	// means eight messages' worth — the default spot-check sample,
+	// fully missing.
+	AuditPenaltyKbits float64
 }
 
 // Result holds the long-run outcome.
@@ -78,6 +96,34 @@ type Result struct {
 	// consecutive windows of WindowSec.
 	WindowRate [][]float64
 	WindowSec  float64
+
+	// AuditFailures[i] counts failed retention audits of peer i,
+	// summed over all auditing users. Zero everywhere when audits are
+	// disabled or every peer is honest.
+	AuditFailures []int
+
+	// AuditDebitsKbits[i] is the total ledger debit assessed against
+	// peer i across all auditors.
+	AuditDebitsKbits []float64
+
+	// PairKbits[i][j] is the traffic user i received from peer j.
+	// Self-allocation (i == j) is permitted — a peer may spend its own
+	// upload on its own user — so PairKbits separates that from the
+	// aggregation benefit of everyone else's bandwidth.
+	PairKbits [][]float64
+}
+
+// FromOthersKbits returns user i's total traffic received from peers
+// other than itself — the gain the system exists to provide, and the
+// quantity audits take away from free-riders.
+func (r *Result) FromOthersKbits(i int) float64 {
+	var sum float64
+	for j, v := range r.PairKbits[i] {
+		if j != i {
+			sum += v
+		}
+	}
+	return sum
 }
 
 // MeanRateKbps returns user i's average download rate over the run's
@@ -164,10 +210,38 @@ func Run(cfg Config) (*Result, error) {
 		WindowRate:    make([][]float64, n),
 		WindowSec:     windowSec,
 	}
+	res.AuditFailures = make([]int, n)
+	res.AuditDebitsKbits = make([]float64, n)
+	res.PairKbits = make([][]float64, n)
 	for i, p := range cfg.Peers {
 		res.Names[i] = p.Name
 		res.WindowRate[i] = make([]float64, windows)
+		res.PairKbits[i] = make([]float64, n)
 	}
+
+	// Retention audits: each epoch, every user spot-checks every other
+	// peer. An honest peer proves possession and nothing happens; a
+	// dropper fails everywhere and every auditor debits it locally.
+	penaltyKbits := cfg.AuditPenaltyKbits
+	if penaltyKbits <= 0 {
+		penaltyKbits = 8 * msgKbits
+	}
+	auditRound := func() {
+		for p := 0; p < n; p++ {
+			if !cfg.Peers[p].DropsStored {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if u == p {
+					continue
+				}
+				ledgers[u].Debit(cfg.Peers[p].Name, penaltyKbits)
+				res.AuditFailures[p]++
+				res.AuditDebitsKbits[p] += penaltyKbits
+			}
+		}
+	}
+	nextAudit := cfg.AuditEpochSec
 
 	wanting := func(user int, now float64) bool {
 		return cfg.Peers[user].Demand.Requests(int(now))
@@ -240,6 +314,10 @@ func Run(cfg Config) (*Result, error) {
 		if e.at > cfg.Duration {
 			break
 		}
+		for cfg.AuditEpochSec > 0 && nextAudit <= e.at {
+			auditRound()
+			nextAudit += cfg.AuditEpochSec
+		}
 		peer := e.peer
 		rate := cfg.Peers[peer].UploadKbps
 		// Deliver the message that just completed, if someone wants it.
@@ -247,6 +325,7 @@ func Run(cfg Config) (*Result, error) {
 			served[peer][user] += msgKbits
 			res.ReceivedKbits[user] += msgKbits
 			res.SentKbits[peer] += msgKbits
+			res.PairKbits[user][peer] += msgKbits
 			w := int(e.at / windowSec)
 			if w < windows {
 				res.WindowRate[user][w] += msgKbits / windowSec

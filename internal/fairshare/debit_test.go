@@ -1,0 +1,84 @@
+package fairshare
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLedgerDebitReducesStanding(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("p", 100)
+	l.Debit("p", 30)
+	if got := l.Received("p"); got != 70 {
+		t.Errorf("Received = %v, want 70", got)
+	}
+}
+
+func TestLedgerDebitClampsAtZero(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("p", 10)
+	l.Debit("p", 1e9)
+	if got := l.Received("p"); got != 0 {
+		t.Errorf("Received = %v, want 0 after over-debit", got)
+	}
+	// Further credit starts from zero, not from a hidden negative balance.
+	l.Credit("p", 5)
+	if got := l.Received("p"); got != 5 {
+		t.Errorf("Received after re-credit = %v, want 5", got)
+	}
+}
+
+func TestLedgerDebitUnseenPinsToZero(t *testing.T) {
+	l := NewLedger(DefaultInitialCredit)
+	l.Debit("stranger", 1)
+	if got := l.Received("stranger"); got != 0 {
+		t.Errorf("Received = %v, want 0 (bootstrap credit revoked)", got)
+	}
+	if got := l.Received("other"); got != DefaultInitialCredit {
+		t.Errorf("unrelated counterpart = %v, want initial credit", got)
+	}
+}
+
+func TestLedgerDebitIgnoresNonPositive(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("p", 50)
+	l.Debit("p", 0)
+	l.Debit("p", -10)
+	if got := l.Received("p"); got != 50 {
+		t.Errorf("Received = %v, want 50", got)
+	}
+}
+
+func TestLedgerDebitShrinksAllocation(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("honest", 100)
+	l.Credit("cheat", 100)
+	before := PairwiseProportional{}.Allocate(1000, []ID{"honest", "cheat"}, l)
+	if before["cheat"] != before["honest"] {
+		t.Fatalf("equal standings allocated unequally: %v", before)
+	}
+	l.Debit("cheat", 90)
+	after := PairwiseProportional{}.Allocate(1000, []ID{"honest", "cheat"}, l)
+	if after["cheat"] >= after["honest"]/5 {
+		t.Errorf("debited peer still gets %v of honest %v", after["cheat"], after["honest"])
+	}
+}
+
+func TestLedgerDebitConcurrent(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("p", 1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Debit("p", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Received("p"); got != 0 {
+		t.Errorf("Received = %v, want 0 after 1000 concurrent debits", got)
+	}
+}

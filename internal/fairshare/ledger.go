@@ -59,6 +59,33 @@ func (l *Ledger) Credit(from ID, amount float64) {
 	l.received[from] += amount
 }
 
+// Debit removes `amount` standing from a counterpart, clamping the
+// entry at zero — a peer can lose everything it earned but can never
+// be driven into debt that would poison ratio-based allocators with
+// negative weights. It is the slashing primitive behind audit
+// penalties (internal/audit): a peer caught failing retention
+// spot-checks forfeits credit and its allocation share collapses,
+// exactly the free-riding deterrent of the contribution-index schemes.
+// Negative and zero amounts are ignored. Debiting an unseen
+// counterpart pins its entry to zero, revoking the initial bootstrap
+// credit too.
+func (l *Ledger) Debit(from ID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.received[from]
+	if !ok {
+		v = l.initial
+	}
+	v -= amount
+	if v < 0 {
+		v = 0
+	}
+	l.received[from] = v
+}
+
 // Received returns the cumulative amount received from a counterpart,
 // or the initial credit if it has never contributed.
 func (l *Ledger) Received(from ID) float64 {

@@ -139,6 +139,11 @@ func (n *Node) handleConn(conn net.Conn) {
 			if err := lw.writeFrame(wire.TypeFileList, blob); err != nil {
 				return
 			}
+		case wire.TypeAuditChallenge:
+			if err := n.handleAudit(lw, client, frame.Payload); err != nil {
+				n.log.Debug("audit failed", "client", client, "err", err)
+				return
+			}
 		case wire.TypeFeedback:
 			n.handleFeedback(clientKey, client, frame.Payload)
 			// Acknowledge so the sender knows the credits landed before
@@ -163,7 +168,7 @@ func (n *Node) handlePut(lw *lockedWriter, client fairshare.ID, payload []byte) 
 		return err
 	}
 	if !n.claimFile(msg.FileID, client) {
-		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeNotPermitted, "file owned by another user")
+		_ = lw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
 		return fmt.Errorf("put for file %d owned by another user", msg.FileID)
 	}
 	if err := n.cfg.Store.Put(&msg); err != nil {
@@ -181,17 +186,17 @@ func (n *Node) handlePatch(lw *lockedWriter, client fairshare.ID, payload []byte
 		return err
 	}
 	if !n.claimFile(delta.FileID, client) {
-		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeNotPermitted, "file owned by another user")
+		_ = lw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
 		return fmt.Errorf("patch for file %d owned by another user", delta.FileID)
 	}
 	stored, err := n.cfg.Store.Get(delta.FileID, delta.MessageID)
 	if err != nil {
-		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeUnknownFile,
+		_ = lw.writeErrorFrame(wire.CodeUnknownFile,
 			fmt.Sprintf("no stored message (%d,%d)", delta.FileID, delta.MessageID))
 		return err
 	}
 	if err := rlnc.ApplyDelta(stored, &delta); err != nil {
-		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeBadRequest, "delta mismatch")
+		_ = lw.writeErrorFrame(wire.CodeBadRequest, "delta mismatch")
 		return err
 	}
 	if err := n.cfg.Store.Put(stored); err != nil {
@@ -202,7 +207,10 @@ func (n *Node) handlePatch(lw *lockedWriter, client fairshare.ID, payload []byte
 
 // handleFeedback folds the owner's receipt report into the ledger.
 // Reports from anyone but the owner are ignored: a malicious user
-// cannot inflate another peer's standing.
+// cannot inflate another peer's standing (or slash a rival's). Credits
+// reward service received; debits carry the owner's audit verdicts, so
+// a counterpart caught dropping the owner's stored data loses standing
+// with this peer's allocator.
 func (n *Node) handleFeedback(clientKey ed25519.PublicKey, client fairshare.ID, payload []byte) {
 	if n.cfg.Owner == nil || !clientKey.Equal(n.cfg.Owner) {
 		n.log.Debug("feedback ignored from non-owner", "client", client)
@@ -215,7 +223,39 @@ func (n *Node) handleFeedback(clientKey ed25519.PublicKey, client fairshare.ID, 
 	}
 	for _, e := range fb.Entries {
 		n.ledger.Credit(e.PeerFingerprint, float64(e.Bytes))
+		n.ledger.Debit(e.PeerFingerprint, float64(e.Debit))
 	}
+}
+
+// handleAudit answers a keyed retention spot-check (internal/audit):
+// for each sampled message the peer recomputes the content digest from
+// the bytes it actually stores and MACs it under the challenge key.
+// Messages it no longer holds are admitted as absent — guessing would
+// fail verification anyway, since the owner checks against the digests
+// recorded at dissemination time. A malformed challenge is answered
+// with a typed error frame and kills the connection.
+func (n *Node) handleAudit(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+	var ch wire.AuditChallenge
+	if err := ch.Unmarshal(payload); err != nil {
+		_ = lw.writeErrorFrame(wire.CodeBadRequest, "malformed audit challenge")
+		return err
+	}
+	resp := wire.AuditResponse{FileID: ch.FileID, Proofs: make([]wire.AuditProof, 0, len(ch.MessageIDs))}
+	proven := 0
+	for _, id := range ch.MessageIDs {
+		proof := wire.AuditProof{MessageID: id}
+		if msg, err := n.cfg.Store.Get(ch.FileID, id); err == nil {
+			digest := msg.Digest()
+			proof.Present = true
+			proof.MAC = auth.AuditMAC(ch.Key, ch.FileID, id, digest[:])
+			proven++
+		}
+		resp.Proofs = append(resp.Proofs, proof)
+	}
+	n.recordAudit(proven, len(ch.MessageIDs))
+	n.log.Debug("audit answered", "client", client, "file", ch.FileID,
+		"sampled", len(ch.MessageIDs), "held", proven)
+	return lw.writeFrame(wire.TypeAuditResponse, resp.Marshal())
 }
 
 // startStream begins serving a GET request on its own goroutine.
@@ -223,7 +263,7 @@ func (n *Node) startStream(ctx context.Context, lw *lockedWriter, client fairsha
 	get wire.Get, wg *sync.WaitGroup, onDone func(*stream)) (*stream, error) {
 	msgs, err := n.cfg.Store.Messages(get.FileID)
 	if err != nil {
-		lw.writeFrameIgnoreErr(wire.TypeError, wire.CodeUnknownFile, fmt.Sprintf("file %d", get.FileID))
+		_ = lw.writeErrorFrame(wire.CodeUnknownFile, fmt.Sprintf("file %d", get.FileID))
 		return nil, &wire.RemoteError{Code: wire.CodeUnknownFile}
 	}
 	if get.Limit > 0 && int(get.Limit) < len(msgs) {
@@ -290,11 +330,10 @@ func (n *Node) serveStream(ctx context.Context, lw *lockedWriter, s *stream, msg
 	}
 }
 
-// writeFrameIgnoreErr sends a best-effort error frame.
-func (lw *lockedWriter) writeFrameIgnoreErr(t wire.Type, code uint16, reason string) {
-	if t != wire.TypeError {
-		return
-	}
+// writeErrorFrame sends an error frame under the write lock, following
+// the wire.SendError contract: best-effort, the caller must still
+// treat the exchange as failed and close the connection.
+func (lw *lockedWriter) writeErrorFrame(code uint16, reason string) error {
 	msg := wire.ErrorMsg{Code: code, Reason: reason}
-	_ = lw.writeFrame(wire.TypeError, msg.Marshal())
+	return lw.writeFrame(wire.TypeError, msg.Marshal())
 }

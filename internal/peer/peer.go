@@ -97,9 +97,12 @@ type Node struct {
 	streams map[*stream]struct{}
 	closed  bool
 
-	statsMu    sync.Mutex
-	bytesOut   map[fairshare.ID]int64 // per-downloader served bytes
-	putBytesIn int64
+	statsMu       sync.Mutex
+	bytesOut      map[fairshare.ID]int64 // per-downloader served bytes
+	putBytesIn    int64
+	auditsServed  int64 // challenges answered
+	auditsSampled int64 // messages probed across challenges
+	auditsHeld    int64 // probed messages actually held
 
 	ownersMu sync.Mutex
 	owners   map[uint64]fairshare.ID // file-id -> first uploader
@@ -337,6 +340,23 @@ func (n *Node) recordStored(bytes int) {
 	n.statsMu.Lock()
 	defer n.statsMu.Unlock()
 	n.putBytesIn += int64(bytes)
+}
+
+func (n *Node) recordAudit(held, sampled int) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.auditsServed++
+	n.auditsSampled += int64(sampled)
+	n.auditsHeld += int64(held)
+}
+
+// AuditStats reports the challenges this peer has answered: how many
+// challenges arrived, how many messages they probed, and how many of
+// those the store still held. A healthy peer has held == sampled.
+func (n *Node) AuditStats() (served, sampled, held int64) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.auditsServed, n.auditsSampled, n.auditsHeld
 }
 
 // claimFile records the first uploader of a file-id as its owner and

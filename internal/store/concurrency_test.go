@@ -1,0 +1,159 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"asymshare/internal/rlnc"
+)
+
+// The auditor samples stored messages (Get, Messages, Count) while the
+// peer keeps accepting pre-dissemination batches (Put) and retiring
+// files (Drop). These tests hammer every Store method from concurrent
+// goroutines; run them with -race to check the backends' locking.
+
+func hammerStore(t *testing.T, s Store) {
+	t.Helper()
+	const (
+		files    = 4
+		writers  = 4
+		readers  = 4
+		msgCount = 64
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < msgCount; i++ {
+				msg := &rlnc.Message{
+					FileID:    uint64(i % files),
+					MessageID: uint64(w*msgCount + i),
+					Payload:   []byte{byte(w), byte(i)},
+				}
+				if err := s.Put(msg); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				// Overwrite the same id to exercise replacement paths.
+				msg.Payload = []byte{byte(i), byte(w)}
+				if err := s.Put(msg); err != nil {
+					t.Errorf("Put overwrite: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < msgCount; i++ {
+				fileID := uint64(i % files)
+				// All of these race with Put/Drop; unknown-file errors
+				// are expected, data races are not.
+				s.Count(fileID)
+				s.Files()
+				if msgs, err := s.Messages(fileID); err == nil {
+					for _, m := range msgs {
+						if m.FileID != fileID {
+							t.Errorf("Messages(%d) returned file %d", fileID, m.FileID)
+							return
+						}
+					}
+				} else if !errors.Is(err, ErrUnknownFile) {
+					t.Errorf("Messages: %v", err)
+					return
+				}
+				got, err := s.Get(fileID, uint64(i))
+				if err == nil {
+					// The copy must be safe to mutate under -race.
+					got.Payload = append(got.Payload, 0xff)
+				} else if !errors.Is(err, ErrUnknownFile) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// One goroutine keeps dropping a file the writers re-create.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < msgCount; i++ {
+			if err := s.Drop(uint64(i % files)); err != nil {
+				t.Errorf("Drop: %v", err)
+				return
+			}
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+
+	// The store must still be coherent afterwards.
+	for _, fileID := range s.Files() {
+		msgs, err := s.Messages(fileID)
+		if err != nil {
+			t.Fatalf("Messages(%d) after hammer: %v", fileID, err)
+		}
+		for _, m := range msgs {
+			if m.FileID != fileID {
+				t.Fatalf("file %d holds message of file %d", fileID, m.FileID)
+			}
+		}
+		if got := s.Count(fileID); got != len(msgs) {
+			t.Fatalf("Count(%d) = %d, Messages = %d", fileID, got, len(msgs))
+		}
+	}
+}
+
+func TestMemoryConcurrentAuditSampling(t *testing.T) {
+	hammerStore(t, NewMemory())
+}
+
+func TestDiskConcurrentAuditSampling(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammerStore(t, d)
+}
+
+// TestMemoryMessagesSnapshotVsDrop checks that a Messages result taken
+// for audit sampling stays readable after the file is concurrently
+// dropped — the auditor holds references, not live map entries.
+func TestMemoryMessagesSnapshotVsDrop(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 32; i++ {
+		if err := s.Put(&rlnc.Message{FileID: 9, MessageID: uint64(i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := s.Messages(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop(9); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 32 {
+		t.Fatalf("snapshot lost messages: %d", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.MessageID != uint64(i) || len(m.Payload) != 1 {
+			t.Fatalf("snapshot message %d corrupted after Drop: %+v", i, m)
+		}
+	}
+	if s.Count(9) != 0 {
+		t.Fatal("Drop did not clear the file")
+	}
+}

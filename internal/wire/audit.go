@@ -1,0 +1,166 @@
+package wire
+
+// Spot-check audit frames. The owner of a file challenges a storage
+// peer to prove it still holds a random sample of the encoded messages
+// it accepted during pre-dissemination. The challenge carries a
+// per-challenge HMAC key derived (by the owner, from the per-file
+// coding secret and a fresh nonce — see internal/auth.DeriveAuditKey)
+// so the holder can answer but cannot precompute answers, and the owner
+// verifies against the message digests it already carries in the
+// manifest without re-downloading any payload.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AuditNonceLen is the challenge nonce length in bytes.
+const AuditNonceLen = 32
+
+// AuditKeyLen is the per-challenge HMAC key length in bytes.
+const AuditKeyLen = 32
+
+// AuditMACLen is the per-message proof length in bytes.
+const AuditMACLen = 32
+
+// MaxAuditSample bounds how many messages one challenge may probe, so a
+// hostile owner cannot turn an audit into an amplification attack on
+// the holder and the response stays far below MaxFrameSize.
+const MaxAuditSample = 4096
+
+// AuditChallenge asks a peer to prove possession of a sample of stored
+// messages of one file.
+type AuditChallenge struct {
+	FileID     uint64
+	Nonce      []byte   // AuditNonceLen bytes, fresh per challenge
+	Key        []byte   // AuditKeyLen bytes, derived from (secret, fileID, nonce)
+	MessageIDs []uint64 // sampled message identifiers, at most MaxAuditSample
+}
+
+// Marshal serializes the challenge.
+func (c *AuditChallenge) Marshal() []byte {
+	out := make([]byte, 8+AuditNonceLen+AuditKeyLen+4+8*len(c.MessageIDs))
+	binary.BigEndian.PutUint64(out, c.FileID)
+	off := 8
+	off += copy(out[off:], c.Nonce)
+	off += copy(out[off:], c.Key)
+	binary.BigEndian.PutUint32(out[off:], uint32(len(c.MessageIDs)))
+	off += 4
+	for _, id := range c.MessageIDs {
+		binary.BigEndian.PutUint64(out[off:], id)
+		off += 8
+	}
+	return out
+}
+
+// Unmarshal parses a challenge.
+func (c *AuditChallenge) Unmarshal(b []byte) error {
+	const fixed = 8 + AuditNonceLen + AuditKeyLen + 4
+	if len(b) < fixed {
+		return fmt.Errorf("%w: audit challenge of %d bytes", ErrBadFrame, len(b))
+	}
+	c.FileID = binary.BigEndian.Uint64(b)
+	off := 8
+	c.Nonce = append([]byte(nil), b[off:off+AuditNonceLen]...)
+	off += AuditNonceLen
+	c.Key = append([]byte(nil), b[off:off+AuditKeyLen]...)
+	off += AuditKeyLen
+	n := binary.BigEndian.Uint32(b[off:])
+	off += 4
+	if n == 0 || n > MaxAuditSample {
+		return fmt.Errorf("%w: audit sample of %d messages", ErrBadFrame, n)
+	}
+	if len(b) != off+int(n)*8 {
+		return fmt.Errorf("%w: audit challenge length %d for %d ids", ErrBadFrame, len(b), n)
+	}
+	c.MessageIDs = make([]uint64, n)
+	for i := range c.MessageIDs {
+		c.MessageIDs[i] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	return nil
+}
+
+// AuditProof is the holder's answer for one sampled message. A missing
+// message is reported with Present=false and no MAC — an honest holder
+// admits gaps rather than guessing.
+type AuditProof struct {
+	MessageID uint64
+	Present   bool
+	MAC       []byte // AuditMACLen bytes when Present
+}
+
+// AuditResponse answers an AuditChallenge, one proof per sampled
+// message in challenge order.
+type AuditResponse struct {
+	FileID uint64
+	Proofs []AuditProof
+}
+
+// Marshal serializes the response.
+func (r *AuditResponse) Marshal() []byte {
+	size := 8 + 4
+	for _, p := range r.Proofs {
+		size += 8 + 1
+		if p.Present {
+			size += AuditMACLen
+		}
+	}
+	out := make([]byte, size)
+	binary.BigEndian.PutUint64(out, r.FileID)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(r.Proofs)))
+	off := 12
+	for _, p := range r.Proofs {
+		binary.BigEndian.PutUint64(out[off:], p.MessageID)
+		off += 8
+		if p.Present {
+			out[off] = 1
+			off++
+			off += copy(out[off:], p.MAC)
+		} else {
+			out[off] = 0
+			off++
+		}
+	}
+	return out
+}
+
+// Unmarshal parses a response.
+func (r *AuditResponse) Unmarshal(b []byte) error {
+	if len(b) < 12 {
+		return fmt.Errorf("%w: audit response of %d bytes", ErrBadFrame, len(b))
+	}
+	r.FileID = binary.BigEndian.Uint64(b)
+	n := binary.BigEndian.Uint32(b[8:])
+	if n > MaxAuditSample {
+		return fmt.Errorf("%w: audit response with %d proofs", ErrBadFrame, n)
+	}
+	off := 12
+	r.Proofs = make([]AuditProof, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < off+9 {
+			return fmt.Errorf("%w: truncated audit proof %d", ErrBadFrame, i)
+		}
+		p := AuditProof{MessageID: binary.BigEndian.Uint64(b[off:])}
+		off += 8
+		switch b[off] {
+		case 0:
+			off++
+		case 1:
+			off++
+			if len(b) < off+AuditMACLen {
+				return fmt.Errorf("%w: truncated audit MAC %d", ErrBadFrame, i)
+			}
+			p.Present = true
+			p.MAC = append([]byte(nil), b[off:off+AuditMACLen]...)
+			off += AuditMACLen
+		default:
+			return fmt.Errorf("%w: audit proof flag %d", ErrBadFrame, b[off])
+		}
+		r.Proofs = append(r.Proofs, p)
+	}
+	if off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes in audit response", ErrBadFrame, len(b)-off)
+	}
+	return nil
+}

@@ -33,6 +33,8 @@ const (
 	TypePatch                        // apply a delta message to a stored message
 	TypeList                         // request the peer's stored file inventory
 	TypeFileList                     // inventory response
+	TypeAuditChallenge               // keyed spot-check over sampled stored messages
+	TypeAuditResponse                // per-message possession proofs
 )
 
 func (t Type) String() string {
@@ -67,6 +69,10 @@ func (t Type) String() string {
 		return "LIST"
 	case TypeFileList:
 		return "FILE_LIST"
+	case TypeAuditChallenge:
+		return "AUDIT_CHALLENGE"
+	case TypeAuditResponse:
+		return "AUDIT_RESPONSE"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -292,10 +298,14 @@ type Feedback struct {
 	Entries []FeedbackEntry `json:"entries"`
 }
 
-// FeedbackEntry is one per-peer receipt report.
+// FeedbackEntry is one per-peer receipt report. Bytes credits service
+// received; Debit penalizes a peer the owner has caught failing keyed
+// retention audits (internal/audit), so the owner's peer stops
+// rewarding counterparts that discard stored data.
 type FeedbackEntry struct {
 	PeerFingerprint string `json:"peer"`
 	Bytes           uint64 `json:"bytes"`
+	Debit           uint64 `json:"debit,omitempty"`
 }
 
 // Marshal serializes the feedback as JSON (it is low-rate control
@@ -382,9 +392,20 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Reason)
 }
 
-// SendError writes an ErrorMsg frame, ignoring write failures (the
-// connection is being torn down anyway).
-func SendError(w io.Writer, code uint16, reason string) {
+// SendError writes an ErrorMsg frame and returns the write error, if
+// any.
+//
+// Contract: SendError is strictly best-effort. The sender MUST treat
+// the protocol exchange as failed regardless of the return value and
+// MUST close the connection afterwards — the frame only exists so a
+// well-behaved remote can surface a typed *RemoteError instead of a
+// bare EOF. Callers tearing a connection down may ignore the result;
+// callers that keep the connection open (none today) must not, or a
+// failed write would silently desynchronize the stream. On the reader
+// side, Expect translates the frame into *RemoteError, so a malformed
+// or oversized request is answered with a typed error rather than a
+// hang (see TestAuditMalformedChallengeYieldsRemoteError).
+func SendError(w io.Writer, code uint16, reason string) error {
 	msg := ErrorMsg{Code: code, Reason: reason}
-	_ = WriteFrame(w, TypeError, msg.Marshal())
+	return WriteFrame(w, TypeError, msg.Marshal())
 }
