@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit vet check
+.PHONY: build test race-audit race-metrics vet bench-metrics ci check
 
 build:
 	$(GO) build ./...
@@ -17,4 +17,19 @@ vet:
 race-audit: vet
 	$(GO) test -race ./internal/audit/... ./internal/fairshare/... ./internal/wire/... ./internal/store/...
 
-check: build test race-audit
+# race-metrics exercises the observability layer and everything that
+# writes into it concurrently: scrape-while-write in the registry, the
+# shaped serving path, and the token bucket's SetRate/WaitN storm.
+race-metrics: vet
+	$(GO) test -race ./internal/metrics/... ./internal/peer/... ./internal/ratelimit/... ./internal/store/...
+
+# bench-metrics reports allocs/op for the metrics hot path; Counter.Inc
+# and Histogram.Observe must stay at 0 (TestHotPathAllocFree enforces
+# it, this target is for eyeballing the numbers).
+bench-metrics:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/metrics/
+
+# ci is what the GitHub workflow runs.
+ci: vet build test race-metrics race-audit
+
+check: build test race-audit race-metrics

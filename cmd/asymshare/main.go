@@ -14,6 +14,7 @@
 //	asymshare spotcheck -key user.key -handle video.handle -secret <hex> [-sample 8] [-feedback host:7070]
 //	asymshare auditdemo [-honest 2] [-size 4096] [-sample 8]
 //	asymshare repair  -key user.key -handle video.handle -secret <hex> -file video.mpg
+//	asymshare stats   -addr 127.0.0.1:9090 [-filter peer_]
 package main
 
 import (
@@ -37,9 +38,11 @@ import (
 	"asymshare/internal/core"
 	"asymshare/internal/dht"
 	"asymshare/internal/fairshare"
+	"asymshare/internal/metrics"
 	"asymshare/internal/peer"
 	"asymshare/internal/ring"
 	"asymshare/internal/store"
+	"asymshare/internal/wire"
 )
 
 func main() {
@@ -74,6 +77,8 @@ func run(args []string, out io.Writer) error {
 		return cmdAuditDemo(args[1:], out)
 	case "repair":
 		return cmdRepair(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -124,6 +129,7 @@ func cmdServe(args []string, out io.Writer) error {
 	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped)")
 	ownerHex := fs.String("owner", "", "owner public key (hex) allowed to send feedback")
 	ledgerPath := fs.String("ledger", "", "receipt-ledger file persisted across restarts")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics and expvar on this address (e.g. 127.0.0.1:9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +149,19 @@ func cmdServe(args []string, out io.Writer) error {
 		Store:             st,
 		UploadBytesPerSec: *upload,
 		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	var msrv *metrics.Server
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		wire.Instrument(reg)
+		reg.PublishExpvar("asymshare")
+		srv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		msrv = srv
+		defer msrv.Close()
 	}
 	if *ownerHex != "" {
 		owner, err := hex.DecodeString(*ownerHex)
@@ -166,6 +185,9 @@ func cmdServe(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "peer %s serving on %s (store %s)\n", id.Fingerprint(), node.Addr(), *storeDir)
+	if msrv != nil {
+		fmt.Fprintf(out, "metrics on http://%s/metrics (expvar at /debug/vars)\n", msrv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -7,15 +7,17 @@
 // Usage:
 //
 //	netfair [-peers 4] [-leeches 1] [-upload 262144] [-data 262144]
-//	        [-rounds 3] [-burst 16384]
+//	        [-rounds 3] [-burst 16384] [-csv grants.csv]
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"asymshare/internal/netbench"
@@ -38,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	burst := fs.Float64("burst", 16<<10, "per-stream token-bucket burst, bytes")
 	seed := fs.Int64("seed", 1, "payload seed")
 	timeout := fs.Duration("timeout", 5*time.Minute, "experiment deadline")
+	csvPath := fs.String("csv", "", "write per-round allocator grant samples (round,peer,requester,granted_bytes_per_sec) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,10 +49,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := netbench.Config{
-		DataBytes:   *data,
-		Rounds:      *rounds,
-		StreamBurst: *burst,
-		Seed:        *seed,
+		DataBytes:      *data,
+		Rounds:         *rounds,
+		StreamBurst:    *burst,
+		Seed:           *seed,
+		CollectMetrics: *csvPath != "",
 	}
 	for i := 0; i < *peers; i++ {
 		cfg.Peers = append(cfg.Peers, netbench.PeerSpec{
@@ -100,5 +104,44 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\npost-bootstrap means: honest %.0f KB/s vs leech %.0f KB/s (%.2fx)\n",
 			honest/1024, leech/1024, honest/leech)
 	}
+	if *csvPath != "" {
+		if err := writeGrantCSV(*csvPath, res.GrantSamples); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d grant samples to %s\n", len(res.GrantSamples), *csvPath)
+	}
 	return nil
+}
+
+// writeGrantCSV dumps the per-round allocator grants — peer i's
+// mu_ij(t) toward each requester j — as a flat CSV for plotting the
+// convergence behaviour of Fig. 6/7 from a live run.
+func writeGrantCSV(path string, samples []netbench.GrantSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"round", "peer", "requester", "granted_bytes_per_sec"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.Itoa(s.Round),
+			s.Peer,
+			s.Requester,
+			strconv.FormatFloat(s.BytesPerSec, 'f', 1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tracker [-listen 127.0.0.1:7000] [-ttl 10m]
+//	tracker [-listen 127.0.0.1:7000] [-ttl 10m] [-metrics 127.0.0.1:9091]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"asymshare/internal/metrics"
 	"asymshare/internal/tracker"
 )
 
@@ -32,10 +33,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("tracker", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7000", "listen address")
 	ttl := fs.Duration("ttl", tracker.DefaultTTL, "maximum announcement lifetime")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := tracker.NewServer(*ttl)
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.Instrument(reg)
+		msrv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", msrv.Addr())
+	}
 	if err := srv.Start(*listen); err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"asymshare/internal/fairshare"
+	"asymshare/internal/metrics"
 	"asymshare/internal/wire"
 )
 
@@ -147,6 +148,12 @@ type Config struct {
 
 	// Logger receives audit events; nil discards them.
 	Logger *slog.Logger
+
+	// Metrics, when set, receives the audit_* instrument families
+	// (challenges, verdict outcomes, probe latency, penalties); see
+	// internal/audit/metrics.go for the full list. Nil disables
+	// instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Stats are the auditor's cumulative counters.
@@ -183,6 +190,7 @@ type targetState struct {
 type Auditor struct {
 	cfg Config
 	log *slog.Logger
+	m   auditorMetrics
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -238,6 +246,7 @@ func New(cfg Config) (*Auditor, error) {
 	return &Auditor{
 		cfg:    cfg,
 		log:    log,
+		m:      newAuditorMetrics(cfg.Metrics),
 		rng:    rand.New(rand.NewSource(seed)),
 		health: make(map[string]*PeerHealth),
 	}, nil
@@ -401,9 +410,12 @@ func (a *Auditor) auditTarget(ctx context.Context, st *targetState) Verdict {
 			backoff *= 2
 		}
 		probeCtx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+		probeStart := time.Now()
 		resp, fingerprint, probeErr = a.cfg.Prober.Audit(probeCtx, st.target.Addr, ch)
+		a.m.probeDur.ObserveSince(probeStart)
 		cancel()
 		v.Attempts++
+		a.m.challenges.Inc()
 		a.mu.Lock()
 		a.stats.ChallengesSent++
 		a.mu.Unlock()
@@ -500,13 +512,16 @@ func (a *Auditor) settle(st *targetState, v *Verdict) float64 {
 		a.stats.Failed++
 		h.Failed++
 		st.consecFails++
+		a.m.escalations.Inc()
 	case Timeout:
 		a.stats.Timeouts++
 		h.Failed++
 		st.consecFails++
+		a.m.escalations.Inc()
 	}
 	h.ConsecutiveFails = st.consecFails
 	a.stats.PenaltyAssessed += penalty
+	a.recordVerdictMetricsLocked(v, penalty)
 
 	// Escalation shortens the revisit interval while failures persist.
 	interval := a.cfg.Interval

@@ -1,0 +1,63 @@
+package audit
+
+import "asymshare/internal/metrics"
+
+// Exported auditor metric names (see DESIGN.md §7). They mirror the
+// cumulative Stats struct so a scrape and Stats() always agree on what
+// the retention-checking layer has observed.
+const (
+	MetricChallengesSent = "audit_challenges_sent_total"
+	MetricPass           = "audit_pass_total"
+	MetricFail           = "audit_fail_total"
+	MetricTimeout        = "audit_timeout_total"
+	MetricMessagesProbed = "audit_messages_probed_total"
+	MetricMessagesProven = "audit_messages_proven_total"
+	MetricEscalations    = "audit_escalations_total"
+	MetricPenaltyUnits   = "audit_penalty_units_total"
+	MetricProbeDuration  = "audit_probe_duration_seconds"
+)
+
+// auditorMetrics holds the auditor's instruments. All fields are nil
+// (and every recording call a no-op) when no registry is configured.
+type auditorMetrics struct {
+	challenges  *metrics.Counter
+	pass        *metrics.Counter
+	fail        *metrics.Counter
+	timeout     *metrics.Counter
+	probed      *metrics.Counter
+	proven      *metrics.Counter
+	escalations *metrics.Counter
+	penalty     *metrics.Gauge
+	probeDur    *metrics.Histogram
+}
+
+// recordVerdictMetricsLocked mirrors one settled verdict into the
+// instrument set. All instruments are nil-safe, so this costs nothing
+// when Config.Metrics is unset.
+func (a *Auditor) recordVerdictMetricsLocked(v *Verdict, penalty float64) {
+	switch v.Outcome {
+	case Pass:
+		a.m.pass.Inc()
+	case Fail:
+		a.m.fail.Inc()
+	case Timeout:
+		a.m.timeout.Inc()
+	}
+	a.m.probed.Add(uint64(v.Tally.Sampled))
+	a.m.proven.Add(uint64(v.Tally.Proven))
+	a.m.penalty.Add(penalty)
+}
+
+func newAuditorMetrics(reg *metrics.Registry) auditorMetrics {
+	return auditorMetrics{
+		challenges:  reg.Counter(MetricChallengesSent, "Audit challenges put on the wire, including retries."),
+		pass:        reg.Counter(MetricPass, "Audits in which every sampled message was proven."),
+		fail:        reg.Counter(MetricFail, "Audits with at least one missing or forged answer."),
+		timeout:     reg.Counter(MetricTimeout, "Audits abandoned after the retry budget."),
+		probed:      reg.Counter(MetricMessagesProbed, "Messages sampled across all audits."),
+		proven:      reg.Counter(MetricMessagesProven, "Sampled messages whose proofs verified."),
+		escalations: reg.Counter(MetricEscalations, "Failed audits that raised a target's escalation level."),
+		penalty:     reg.Gauge(MetricPenaltyUnits, "Cumulative ledger units debited as audit penalties."),
+		probeDur:    reg.Histogram(MetricProbeDuration, "Round-trip time of one audit probe attempt.", metrics.UnitSeconds),
+	}
+}

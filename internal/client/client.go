@@ -38,6 +38,7 @@ type Client struct {
 	id      *auth.Identity
 	trusted *auth.TrustSet // acceptable peer keys; nil trusts any
 	dialer  net.Dialer
+	m       clientMetrics // zero value records nothing; see Instrument
 }
 
 // New returns a client. trusted, if non-nil, pins the set of peer keys
@@ -207,10 +208,12 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 	fileID uint64, secret []byte, digests map[uint64]rlnc.Digest) ([]byte, FetchStats, error) {
 	stats := FetchStats{BytesFrom: make(map[string]uint64, len(addrs))}
 	if len(addrs) == 0 {
+		c.m.recordFetch(stats, 0, ErrNoPeers)
 		return nil, stats, ErrNoPeers
 	}
 	dec, err := rlnc.NewDecoder(params, fileID, secret, digests)
 	if err != nil {
+		c.m.recordFetch(stats, 0, err)
 		return nil, stats, err
 	}
 
@@ -260,16 +263,20 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 	mu.Unlock()
 
 	if !decodeReady {
-		if err := ctx.Err(); err != nil {
-			return nil, stats, err
+		err := ctx.Err()
+		if err == nil {
+			err = fmt.Errorf("%w: rank %d of %d (%s)",
+				ErrIncomplete, dec.Rank(), params.K, joinErrs(errs))
 		}
-		return nil, stats, fmt.Errorf("%w: rank %d of %d (%s)",
-			ErrIncomplete, dec.Rank(), params.K, joinErrs(errs))
+		c.m.recordFetch(stats, 0, err)
+		return nil, stats, err
 	}
 	data, err := dec.Decode()
 	if err != nil {
+		c.m.recordFetch(stats, 0, err)
 		return nil, stats, err
 	}
+	c.m.recordFetch(stats, len(data), nil)
 	return data, stats, nil
 }
 
@@ -319,6 +326,8 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 			stats.BytesFrom[fingerprint] += uint64(len(frame.Payload))
 			completed := dec.Done()
 			mu.Unlock()
+			c.m.received.Add(uint64(len(frame.Payload)))
+			c.m.recvRate.Mark(uint64(len(frame.Payload)))
 			if addErr != nil && !errors.Is(addErr, rlnc.ErrBadDigest) {
 				return addErr
 			}

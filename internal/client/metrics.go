@@ -1,0 +1,73 @@
+package client
+
+import "asymshare/internal/metrics"
+
+// Exported client metric names (see DESIGN.md §7). The redundancy
+// counters quantify the paper's q/(q-1) expected overhead of random
+// linear coding (Sec. III-C): redundant = received - innovative -
+// rejected, so redundant/innovative should converge to 1/(q-1).
+const (
+	MetricFetchDuration      = "client_fetch_duration_seconds"
+	MetricFetches            = "client_fetches_total"
+	MetricMessages           = "client_messages_total"
+	MetricInnovativeMessages = "client_innovative_messages_total"
+	MetricRedundantMessages  = "client_redundant_messages_total"
+	MetricRejectedMessages   = "client_rejected_messages_total"
+	MetricDecodedBytes       = "client_decoded_bytes_total"
+	MetricReceivedBytes      = "client_received_bytes_total"
+	MetricReceivedBytesRate  = "client_received_bytes_rate"
+)
+
+// clientMetrics holds the download-side instruments; the zero value
+// (all nil) records nothing.
+type clientMetrics struct {
+	fetchDur   *metrics.Histogram
+	fetches    *metrics.Counter
+	fetchFails *metrics.Counter
+	messages   *metrics.Counter
+	innovative *metrics.Counter
+	redundant  *metrics.Counter
+	rejected   *metrics.Counter
+	decoded    *metrics.Counter
+	received   *metrics.Counter
+	recvRate   *metrics.Rate
+}
+
+// Instrument attaches per-fetch instrumentation to the client. Call it
+// once, before the client is shared between goroutines; a nil registry
+// leaves the client uninstrumented.
+func (c *Client) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.m = clientMetrics{
+		fetchDur:   reg.Histogram(MetricFetchDuration, "Wall-clock duration of one generation fetch.", metrics.UnitSeconds),
+		fetches:    reg.Counter(MetricFetches, "Generation fetches attempted, by result.", metrics.L("result", "ok")),
+		fetchFails: reg.Counter(MetricFetches, "Generation fetches attempted, by result.", metrics.L("result", "error")),
+		messages:   reg.Counter(MetricMessages, "Messages offered to the decoder."),
+		innovative: reg.Counter(MetricInnovativeMessages, "Messages that increased decoder rank."),
+		redundant:  reg.Counter(MetricRedundantMessages, "Authentic messages carrying no new information (q/(q-1) overhead)."),
+		rejected:   reg.Counter(MetricRejectedMessages, "Messages that failed digest authentication."),
+		decoded:    reg.Counter(MetricDecodedBytes, "Plaintext bytes recovered by successful decodes."),
+		received:   reg.Counter(MetricReceivedBytes, "Encoded message bytes received from peers."),
+		recvRate:   reg.Rate(MetricReceivedBytesRate, "EWMA download goodput, bytes/second.", metrics.DefaultRateHalfLife),
+	}
+}
+
+// recordFetch folds one completed FetchGeneration into the instrument
+// set. decodedBytes is zero when the fetch failed.
+func (m *clientMetrics) recordFetch(stats FetchStats, decodedBytes int, err error) {
+	m.fetchDur.ObserveDuration(stats.Elapsed)
+	if err != nil {
+		m.fetchFails.Inc()
+	} else {
+		m.fetches.Inc()
+	}
+	m.messages.Add(uint64(stats.Messages))
+	m.innovative.Add(uint64(stats.Innovative))
+	m.rejected.Add(uint64(stats.Rejected))
+	if red := stats.Messages - stats.Innovative - stats.Rejected; red > 0 {
+		m.redundant.Add(uint64(red))
+	}
+	m.decoded.Add(uint64(decodedBytes))
+}

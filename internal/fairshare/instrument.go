@@ -1,0 +1,38 @@
+package fairshare
+
+import (
+	"time"
+
+	"asymshare/internal/metrics"
+)
+
+// MetricAllocDuration times Allocate calls of an instrumented allocator.
+const MetricAllocDuration = "fairshare_alloc_duration_seconds"
+
+// timedAllocator wraps an Allocator and records how long each Allocate
+// call takes. The paper's rule is O(requesters) per slot; the histogram
+// makes allocation cost visible as swarms grow.
+type timedAllocator struct {
+	inner Allocator
+	dur   *metrics.Histogram
+}
+
+// InstrumentAllocator returns an Allocator that records the duration of
+// every Allocate call into reg. With a nil registry or nil inner
+// allocator the input is returned unchanged.
+func InstrumentAllocator(inner Allocator, reg *metrics.Registry) Allocator {
+	if inner == nil || reg == nil {
+		return inner
+	}
+	return timedAllocator{
+		inner: inner,
+		dur:   reg.Histogram(MetricAllocDuration, "Time spent computing one bandwidth allocation.", metrics.UnitSeconds),
+	}
+}
+
+// Allocate implements Allocator.
+func (t timedAllocator) Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64 {
+	start := time.Now()
+	defer t.dur.ObserveSince(start)
+	return t.inner.Allocate(capacity, requesters, ledger)
+}

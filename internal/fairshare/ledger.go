@@ -16,6 +16,8 @@ package fairshare
 import (
 	"sort"
 	"sync"
+
+	"asymshare/internal/metrics"
 )
 
 // ID identifies a peer/user pair. In the simulator IDs are synthetic
@@ -33,6 +35,31 @@ type Ledger struct {
 	mu       sync.RWMutex
 	received map[ID]float64
 	initial  float64
+
+	creditEvents  *metrics.Counter
+	debitEvents   *metrics.Counter
+	creditedUnits *metrics.Gauge
+	debitedUnits  *metrics.Gauge
+}
+
+// Exported ledger metric names (see DESIGN.md §7).
+const (
+	MetricCreditEvents  = "fairshare_credit_events_total"
+	MetricDebitEvents   = "fairshare_debit_events_total"
+	MetricCreditedUnits = "fairshare_credited_units"
+	MetricDebitedUnits  = "fairshare_debited_units"
+)
+
+// Instrument attaches credit/debit counters to the ledger. The unit
+// gauges accumulate the raw amounts (bytes, in the real node), tracking
+// the R_i[j] flow Eq. (2) divides by. Safe with a nil registry; returns
+// the ledger for chaining.
+func (l *Ledger) Instrument(reg *metrics.Registry) *Ledger {
+	l.creditEvents = reg.Counter(MetricCreditEvents, "Ledger credit operations applied.")
+	l.debitEvents = reg.Counter(MetricDebitEvents, "Ledger debit operations applied (audit penalties).")
+	l.creditedUnits = reg.Gauge(MetricCreditedUnits, "Cumulative ledger units credited (bytes received).")
+	l.debitedUnits = reg.Gauge(MetricDebitedUnits, "Cumulative ledger units debited (audit penalties).")
+	return l
 }
 
 // NewLedger returns a ledger whose unseen counterparts start with the
@@ -57,6 +84,8 @@ func (l *Ledger) Credit(from ID, amount float64) {
 		l.received[from] = l.initial
 	}
 	l.received[from] += amount
+	l.creditEvents.Inc()
+	l.creditedUnits.Add(amount)
 }
 
 // Debit removes `amount` standing from a counterpart, clamping the
@@ -84,6 +113,8 @@ func (l *Ledger) Debit(from ID, amount float64) {
 		v = 0
 	}
 	l.received[from] = v
+	l.debitEvents.Inc()
+	l.debitedUnits.Add(amount)
 }
 
 // Received returns the cumulative amount received from a counterpart,

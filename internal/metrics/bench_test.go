@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The benchmarks guard the hot-path contract: 0 allocs/op for every
+// instrument update (asserted hard in TestHotPathAllocFree; reported
+// here so regressions show up in numbers too).
+
+func BenchmarkCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "", L("k", "v"))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if b.Elapsed() > 0 && c.Value() == 0 {
+		b.Fatal("counter never advanced")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(UnitSeconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 1021)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(UnitBytes)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(1)
+		for pb.Next() {
+			v = v*6364136223846793005 + 1
+			h.Observe(v >> 40)
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkRateMark(b *testing.B) {
+	r := NewRate(time.Second)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Mark(1)
+		}
+	})
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// FuzzHistogramObserve drives a histogram with arbitrary values from
+// concurrent writers while a scraper snapshots and serializes it,
+// then verifies no observation was lost: count == Σ buckets and
+// sum == Σ values, regardless of input.
+func FuzzHistogramObserve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(binary.BigEndian.AppendUint64(nil, ^uint64(0)))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values := make([]uint64, 0, len(data)/8+1)
+		for len(data) >= 8 {
+			values = append(values, binary.BigEndian.Uint64(data))
+			data = data[8:]
+		}
+		if len(data) > 0 {
+			var tail [8]byte
+			copy(tail[:], data)
+			values = append(values, binary.BigEndian.Uint64(tail[:]))
+		}
+
+		r := NewRegistry()
+		h := r.Histogram("fuzz_seconds", "", UnitSeconds)
+
+		// Scraper runs concurrently with the writers: snapshotting and
+		// serializing must never panic whatever the values are.
+		stop := make(chan struct{})
+		var scraper sync.WaitGroup
+		scraper.Add(1)
+		go func() {
+			defer scraper.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+
+		const writers = 4
+		var wg sync.WaitGroup
+		var want, wantSum uint64
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, v := range values {
+					h.Observe(v)
+				}
+			}()
+			want += uint64(len(values))
+			for _, v := range values {
+				wantSum += v
+			}
+		}
+		wg.Wait()
+		close(stop)
+		scraper.Wait()
+
+		s := h.snapshot()
+		var got uint64
+		for _, n := range s.Buckets {
+			got += n
+		}
+		if s.Count != want || got != want {
+			t.Fatalf("count = %d, bucket sum = %d, want %d", s.Count, got, want)
+		}
+		if s.Sum != wantSum {
+			t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+		}
+	})
+}

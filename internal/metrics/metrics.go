@@ -1,0 +1,271 @@
+// Package metrics is the observability core of asymshare: a
+// stdlib-only set of concurrency-safe instruments — monotonic Counter,
+// float Gauge, EWMA Rate and log2-bucketed Histogram — behind a
+// Registry with cheap label support, a consistent Snapshot API, and
+// Prometheus text-format exposition (expose.go).
+//
+// The hot path (Counter.Inc, Gauge.Set, Rate.Mark, Histogram.Observe)
+// is lock-free and allocation-free: a counter increment is one atomic
+// add, a histogram observation is three. Scrapes never block writers.
+// The paper's claims are quantitative — per-pair bandwidth convergence
+// (Corollary 1), incentive lower bounds (Theorem 1), innovative-message
+// overhead ≈ q/(q−1) — and these instruments are how the running system
+// exposes those numbers instead of burying them in log lines.
+//
+// Every instrument method is safe on a nil receiver (a no-op), and
+// every Registry constructor is safe on a nil registry (returns a nil
+// instrument). Packages therefore instrument unconditionally and the
+// whole layer vanishes when no registry is configured.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value. The zero value is ready to
+// use; a nil *Gauge discards all updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta atomically (CAS loop; no locks, no allocations).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultRateHalfLife is the EWMA half-life used when a Rate is created
+// with a zero half-life.
+const DefaultRateHalfLife = 10 * time.Second
+
+// minRateFold is the minimum elapsed time before pending events are
+// folded into the EWMA, so back-to-back reads do not divide by ~zero.
+const minRateFold = 10 * time.Millisecond
+
+// Rate is an exponentially weighted moving average of events per
+// second. Mark is the lock-free hot path (one atomic add); the decay
+// fold happens on the read side under a mutex, so writers never
+// contend with scrapes. A nil *Rate discards all marks.
+type Rate struct {
+	pending atomic.Uint64
+
+	mu   sync.Mutex
+	ewma float64
+	last time.Time
+	tau  float64 // decay time constant in seconds
+	now  func() time.Time
+}
+
+// NewRate returns a rate with the given half-life (zero means
+// DefaultRateHalfLife).
+func NewRate(halfLife time.Duration) *Rate {
+	if halfLife <= 0 {
+		halfLife = DefaultRateHalfLife
+	}
+	return &Rate{
+		tau:  halfLife.Seconds() / math.Ln2,
+		now:  time.Now,
+		last: time.Now(),
+	}
+}
+
+// Mark records n events.
+func (r *Rate) Mark(n uint64) {
+	if r == nil {
+		return
+	}
+	r.pending.Add(n)
+}
+
+// Value folds pending events into the EWMA and returns the smoothed
+// events-per-second rate.
+func (r *Rate) Value() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	elapsed := now.Sub(r.last).Seconds()
+	if elapsed < minRateFold.Seconds() {
+		return r.ewma
+	}
+	inst := float64(r.pending.Swap(0)) / elapsed
+	alpha := 1 - math.Exp(-elapsed/r.tau)
+	r.ewma += alpha * (inst - r.ewma)
+	r.last = now
+	return r.ewma
+}
+
+// Unit tells the exposition layer how to scale a histogram's raw
+// observations.
+type Unit uint8
+
+// Histogram units.
+const (
+	// UnitNone leaves observations unscaled.
+	UnitNone Unit = iota
+
+	// UnitSeconds means observations are nanoseconds, exposed as
+	// seconds.
+	UnitSeconds
+
+	// UnitBytes means observations are bytes.
+	UnitBytes
+)
+
+// divisor converts raw observations to the exposed unit.
+func (u Unit) divisor() float64 {
+	if u == UnitSeconds {
+		return 1e9
+	}
+	return 1
+}
+
+// histBuckets is the number of log2 buckets: bucket i counts values v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds
+// exactly zero).
+const histBuckets = 65
+
+// Histogram counts observations in log2 buckets. Observe is lock-free
+// and allocation-free: one bits.Len64 and three atomic adds. Snapshots
+// taken while writers run may be momentarily torn between count, sum
+// and buckets (each is individually atomic); once writers quiesce the
+// invariant count == Σ buckets holds exactly — no observation is ever
+// lost. A nil *Histogram discards all observations.
+type Histogram struct {
+	unit    Unit
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns a histogram for the given unit.
+func NewHistogram(unit Unit) *Histogram {
+	return &Histogram{unit: unit}
+}
+
+// Observe records one raw observation (nanoseconds for UnitSeconds,
+// bytes for UnitBytes).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration records a duration on a UnitSeconds histogram.
+// Negative durations count as zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d.Nanoseconds()))
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.ObserveDuration(time.Since(start))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Unit    Unit
+	Count   uint64
+	Sum     uint64 // raw units (ns for UnitSeconds)
+	Buckets [histBuckets]uint64
+}
+
+// SumScaled returns the sum in the exposed unit (seconds/bytes).
+func (s *HistogramSnapshot) SumScaled() float64 {
+	return float64(s.Sum) / s.Unit.divisor()
+}
+
+// Mean returns the mean observation in the exposed unit, or 0 with no
+// observations.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumScaled() / float64(s.Count)
+}
+
+// snapshot copies the histogram counters.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	if h == nil {
+		return &HistogramSnapshot{}
+	}
+	out := &HistogramSnapshot{Unit: h.unit, Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i in raw
+// units: values in bucket i satisfy v <= 2^i - 1 (bucket 0 holds only
+// zero).
+func bucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}

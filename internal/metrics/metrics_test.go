@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*perWorker)/2; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(UnitBytes)
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// bucket index is bits.Len64(v): 0→0, 1→1, {2,3}→2, 4→3, 1023→10, 1024→11
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestHistogramCountMatchesBuckets(t *testing.T) {
+	h := NewHistogram(UnitSeconds)
+	const workers, perWorker = 6, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < perWorker; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe(v >> 32)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	s := h.snapshot()
+	var sum uint64
+	for _, n := range s.Buckets {
+		sum += n
+	}
+	if s.Count != workers*perWorker || sum != s.Count {
+		t.Fatalf("count = %d, bucket sum = %d, want %d", s.Count, sum, workers*perWorker)
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRate(time.Second)
+	r.now = func() time.Time { return now }
+	r.last = now
+
+	r.Mark(1000)
+	now = now.Add(time.Second)
+	v1 := r.Value()
+	if v1 <= 0 || v1 > 1000 {
+		t.Fatalf("rate after 1s of 1000 ev/s = %g, want in (0, 1000]", v1)
+	}
+	// With no further events the rate must decay toward zero.
+	now = now.Add(10 * time.Second)
+	v2 := r.Value()
+	if v2 >= v1 {
+		t.Fatalf("rate did not decay: %g -> %g", v1, v2)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "other help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	c := r.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("different label values returned the same counter")
+	}
+	// Label order must not matter.
+	h1 := r.Gauge("y", "", L("a", "1"), L("b", "2"))
+	h2 := r.Gauge("y", "", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("z_total", "")
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("a", "")
+	g := reg.Gauge("b", "")
+	h := reg.Histogram("c", "", UnitSeconds)
+	rt := reg.Rate("d", "", 0)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	h.ObserveDuration(time.Second)
+	rt.Mark(4)
+	if c.Value() != 0 || g.Value() != 0 || rt.Value() != 0 {
+		t.Fatal("nil instruments returned non-zero values")
+	}
+	if n := len(reg.Snapshot().Families); n != 0 {
+		t.Fatalf("nil registry snapshot has %d families", n)
+	}
+}
+
+// TestHotPathAllocFree is the contract behind the ISSUE acceptance
+// criterion: Counter.Inc and Histogram.Observe (and the other hot-path
+// updates) must not allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_test_total", "", L("k", "v"))
+	g := r.Gauge("alloc_test_gauge", "")
+	h := r.Histogram("alloc_test_seconds", "", UnitSeconds)
+	rt := r.Rate("alloc_test_rate", "", 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3.14)
+		g.Add(1)
+		h.Observe(12345)
+		rt.Mark(2)
+	}); n != 0 {
+		t.Fatalf("hot path allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestSnapshotWhileWrite scrapes continuously while writers hammer the
+// instruments; under -race this is the concurrent scrape-while-write
+// guarantee of the ISSUE.
+func TestSnapshotWhileWrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s_total", "")
+	h := r.Histogram("s_seconds", "", UnitSeconds)
+	g := r.Gauge("s_gauge", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(i)
+				g.Set(float64(i))
+				// New series churn while scraping.
+				r.Counter("churn_total", "", L("i", "x")).Inc()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		if _, ok := snap.Find("s_total"); !ok {
+			t.Error("family disappeared mid-scrape")
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap := r.Snapshot()
+	f, _ := snap.Find("s_seconds")
+	hs := f.Series[0].Hist
+	var sum uint64
+	for _, n := range hs.Buckets {
+		sum += n
+	}
+	if sum != hs.Count {
+		t.Fatalf("after quiesce: bucket sum %d != count %d", sum, hs.Count)
+	}
+}

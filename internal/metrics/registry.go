@@ -1,0 +1,283 @@
+package metrics
+
+// Registry: named families of instruments with label support. Metric
+// names and label sets form the exposed contract (see DESIGN.md §7);
+// constructors are idempotent — asking for the same (name, labels)
+// twice returns the same instrument — so independently initialized
+// components can share one registry without coordination.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an instrument family.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindRate
+)
+
+// PromType returns the Prometheus metric type for the kind (rates are
+// exposed as gauges).
+func (k Kind) PromType() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Registry holds instrument families. The zero value is not usable;
+// use NewRegistry. A nil *Registry is a valid no-op: every constructor
+// returns a nil instrument and Snapshot returns an empty snapshot.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+type family struct {
+	name     string
+	help     string
+	kind     Kind
+	unit     Unit
+	halfLife time.Duration
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	rate    *Rate
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the counter with the given name
+// and labels. Panics if the name is already registered as a different
+// kind.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.seriesFor(name, help, KindCounter, UnitNone, 0, labels)
+	if s == nil {
+		return nil
+	}
+	return s.counter
+}
+
+// Gauge returns (creating if needed) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.seriesFor(name, help, KindGauge, UnitNone, 0, labels)
+	if s == nil {
+		return nil
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name, unit and labels.
+func (r *Registry) Histogram(name, help string, unit Unit, labels ...Label) *Histogram {
+	s := r.seriesFor(name, help, KindHistogram, unit, 0, labels)
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+// Rate returns (creating if needed) the EWMA rate with the given name
+// and labels. halfLife zero means DefaultRateHalfLife.
+func (r *Registry) Rate(name, help string, halfLife time.Duration, labels ...Label) *Rate {
+	s := r.seriesFor(name, help, KindRate, UnitNone, halfLife, labels)
+	if s == nil {
+		return nil
+	}
+	return s.rate
+}
+
+// seriesFor is the shared get-or-create path. Instruments are expected
+// to be fetched once and cached by callers; this path takes locks and
+// may allocate, the instruments it returns do not.
+func (r *Registry) seriesFor(name, help string, kind Kind, unit Unit, halfLife time.Duration, labels []Label) *series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, unit: unit,
+			halfLife: halfLife, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s",
+			name, f.kind.PromType(), kind.PromType()))
+	}
+
+	key := labelKey(labels)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = &series{labels: sortedLabels(labels)}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = NewHistogram(f.unit)
+	case KindRate:
+		s.rate = NewRate(f.halfLife)
+	}
+	f.series[key] = s
+	return s
+}
+
+// sortedLabels returns a copy of labels sorted by name.
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// labelKey canonicalizes a label set into a map key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := sortedLabels(labels)
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteString(l.Name)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// ordered deterministically (families by name, series by label key).
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// FamilySnapshot is one metric family.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Unit   Unit
+	Series []SeriesSnapshot
+}
+
+// SeriesSnapshot is one labelled series. Value holds the scalar for
+// counters, gauges and rates; Hist is non-nil for histograms.
+type SeriesSnapshot struct {
+	Labels []Label
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Snapshot copies the registry. It is safe to call concurrently with
+// writers; scalar reads are atomic per instrument.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Unit: f.unit}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.counter.Value())
+			case KindGauge:
+				ss.Value = s.gauge.Value()
+			case KindRate:
+				ss.Value = s.rate.Value()
+			case KindHistogram:
+				ss.Hist = s.hist.snapshot()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.RUnlock()
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// Find returns the snapshot of one family by name, or false.
+func (s Snapshot) Find(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Get returns the label value for a name, or "".
+func Get(labels []Label, name string) string {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"asymshare/internal/client"
 	"asymshare/internal/fairshare"
 	"asymshare/internal/gf"
+	"asymshare/internal/metrics"
 	"asymshare/internal/peer"
 	"asymshare/internal/rlnc"
 	"asymshare/internal/store"
@@ -73,6 +75,25 @@ type Config struct {
 
 	// Seed drives payload generation.
 	Seed int64
+
+	// CollectMetrics gives every participant its own metrics registry
+	// (peer + client instrumented) and samples each peer's
+	// per-requester granted-rate gauges throughout every round; the
+	// samples land in Result.GrantSamples. Each participant needs a
+	// private registry because the granted-rate series are labelled by
+	// requester fingerprint and would collide in a shared one.
+	CollectMetrics bool
+}
+
+// GrantSample is one observation of a peer's allocator output: the
+// upload rate peer granted to requester during a round (the last
+// non-zero gauge reading of that round). It is the real-network
+// counterpart of the simulator's per-slot mu_ij(t).
+type GrantSample struct {
+	Round       int
+	Peer        string
+	Requester   string
+	BytesPerSec float64
 }
 
 // Result holds per-participant, per-round achieved goodput.
@@ -85,6 +106,15 @@ type Result struct {
 
 	// Ledgers are the peers' final receipt ledgers.
 	Ledgers []*fairshare.Ledger
+
+	// GrantSamples holds per-round allocator grants when
+	// Config.CollectMetrics is set, ordered by (round, peer, requester).
+	GrantSamples []GrantSample
+
+	// Registries are the per-participant metrics registries when
+	// Config.CollectMetrics is set (indexed like Names), for callers
+	// that want more than the grant samples.
+	Registries []*metrics.Registry
 }
 
 // MeanRate returns participant i's mean goodput over rounds [from, to).
@@ -114,6 +144,7 @@ type participant struct {
 	params rlnc.Params
 	fileID uint64
 	data   []byte
+	reg    *metrics.Registry // nil unless Config.CollectMetrics
 }
 
 // Run executes the experiment.
@@ -160,6 +191,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if spec.Withhold {
 			alloc = fairshare.Withhold{}
 		}
+		var reg *metrics.Registry
+		if cfg.CollectMetrics {
+			reg = metrics.NewRegistry()
+		}
 		node, err := peer.New(peer.Config{
 			Identity:          id,
 			Store:             store.NewMemory(),
@@ -168,6 +203,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Allocator:         alloc,
 			ReallocInterval:   realloc,
 			StreamBurst:       cfg.StreamBurst,
+			Metrics:           reg,
 		})
 		if err != nil {
 			return nil, err
@@ -180,6 +216,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			node.Close()
 			return nil, err
 		}
+		c.Instrument(reg)
 		params, err := rlnc.ParamsForSize(field, dataBytes, m)
 		if err != nil {
 			node.Close()
@@ -195,6 +232,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			params: params,
 			fileID: 1000 + uint64(i),
 			data:   data,
+			reg:    reg,
 		}
 	}
 	defer func() {
@@ -238,10 +276,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.RateBytesPerSec[i] = make([]float64, rounds)
 		res.Ledgers[i] = p.node.Ledger()
 	}
+	// Requester fingerprints as they appear in granted-rate labels,
+	// mapped back to participant names.
+	nameOf := make(map[string]string, len(parts))
+	if cfg.CollectMetrics {
+		res.Registries = make([]*metrics.Registry, len(parts))
+		for i, p := range parts {
+			res.Registries[i] = p.reg
+			nameOf[p.id.Fingerprint()] = p.spec.Name
+		}
+	}
 
 	// Fetch rounds: every non-idle user fetches its own file from all
 	// peers concurrently, then feeds receipts back to its own peer.
 	for round := 0; round < rounds; round++ {
+		stopSampler := startGrantSampler(cfg.CollectMetrics, realloc, parts, nameOf)
 		var wg sync.WaitGroup
 		errs := make([]error, len(parts))
 		for i, p := range parts {
@@ -263,6 +312,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}(i, p)
 		}
 		wg.Wait()
+		res.GrantSamples = append(res.GrantSamples, stopSampler(round)...)
 		for i, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("netbench: round %d peer %d: %w", round, i, err)
@@ -270,4 +320,65 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// startGrantSampler polls every participant's granted-rate gauges once
+// per allocator tick for the duration of one round. The gauges report
+// *current* grants and drop to zero when streams finish, so the round's
+// record is the last non-zero reading per (peer, requester). The
+// returned stop function ends sampling and returns the round's samples
+// sorted by (peer, requester); it returns nil when collection is off.
+func startGrantSampler(enabled bool, tick time.Duration, parts []*participant,
+	nameOf map[string]string) func(round int) []GrantSample {
+	if !enabled {
+		return func(int) []GrantSample { return nil }
+	}
+	type key struct{ peer, requester string }
+	seen := make(map[key]float64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				for _, p := range parts {
+					f, ok := p.reg.Snapshot().Find(peer.MetricGrantedRate)
+					if !ok {
+						continue
+					}
+					for _, s := range f.Series {
+						if s.Value <= 0 {
+							continue
+						}
+						req := metrics.Get(s.Labels, "requester")
+						if name, ok := nameOf[req]; ok {
+							req = name
+						}
+						seen[key{p.spec.Name, req}] = s.Value
+					}
+				}
+			}
+		}
+	}()
+	return func(round int) []GrantSample {
+		close(done)
+		wg.Wait()
+		out := make([]GrantSample, 0, len(seen))
+		for k, v := range seen {
+			out = append(out, GrantSample{Round: round, Peer: k.peer, Requester: k.requester, BytesPerSec: v})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Peer != out[j].Peer {
+				return out[i].Peer < out[j].Peer
+			}
+			return out[i].Requester < out[j].Requester
+		})
+		return out
+	}
 }

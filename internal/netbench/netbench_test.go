@@ -100,3 +100,44 @@ func TestFreeloaderPenalizedOverRealTCP(t *testing.T) {
 		t.Errorf("honest mean %0.f B/s not clearly above leech %0.f B/s", honest, leech)
 	}
 }
+
+func TestCollectMetricsGrantSamples(t *testing.T) {
+	// Shaped links so the allocator actually runs; the sampler must
+	// observe at least one positive grant per serving peer, labelled
+	// with participant names rather than raw fingerprints.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Peers: []PeerSpec{
+			{Name: "a", UploadBytesPerSec: 256 << 10},
+			{Name: "b", UploadBytesPerSec: 256 << 10},
+		},
+		DataBytes:       64 << 10,
+		Rounds:          2,
+		StreamBurst:     4 << 10, // keep shaping active long enough to sample
+		ReallocInterval: 10 * time.Millisecond,
+		Seed:            3,
+		CollectMetrics:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Registries) != 2 || res.Registries[0] == nil {
+		t.Fatalf("Registries = %v", res.Registries)
+	}
+	if len(res.GrantSamples) == 0 {
+		t.Fatal("no grant samples collected")
+	}
+	names := map[string]bool{"a": true, "b": true}
+	for _, g := range res.GrantSamples {
+		if !names[g.Peer] || !names[g.Requester] {
+			t.Errorf("sample has unmapped identity: %+v", g)
+		}
+		if g.BytesPerSec <= 0 {
+			t.Errorf("non-positive grant: %+v", g)
+		}
+		if g.Round < 0 || g.Round >= 2 {
+			t.Errorf("bad round: %+v", g)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package peer
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextAcceptBackoff(t *testing.T) {
+	steps := []time.Duration{
+		acceptBackoffStart,
+		2 * acceptBackoffStart,
+		4 * acceptBackoffStart,
+	}
+	cur := time.Duration(0)
+	for i, want := range steps {
+		cur = nextAcceptBackoff(cur)
+		if cur != want {
+			t.Fatalf("step %d = %v, want %v", i, cur, want)
+		}
+	}
+	// The backoff saturates at the cap no matter how long failures
+	// persist.
+	for i := 0; i < 20; i++ {
+		cur = nextAcceptBackoff(cur)
+	}
+	if cur != acceptBackoffMax {
+		t.Fatalf("saturated backoff = %v, want %v", cur, acceptBackoffMax)
+	}
+	// A success resets the caller's state to zero; the next failure
+	// starts small again.
+	if got := nextAcceptBackoff(0); got != acceptBackoffStart {
+		t.Fatalf("post-reset backoff = %v, want %v", got, acceptBackoffStart)
+	}
+}

@@ -225,6 +225,7 @@ func (n *Node) handleFeedback(clientKey ed25519.PublicKey, client fairshare.ID, 
 		n.ledger.Credit(e.PeerFingerprint, float64(e.Bytes))
 		n.ledger.Debit(e.PeerFingerprint, float64(e.Debit))
 	}
+	n.m.feedback.Inc()
 }
 
 // handleAudit answers a keyed retention spot-check (internal/audit):
@@ -287,6 +288,7 @@ func (n *Node) startStream(ctx context.Context, lw *lockedWriter, client fairsha
 		cancel: cancel,
 		fileID: get.FileID,
 	}
+	s.bucket.SetMetrics(n.m.waitSeconds, n.m.throttled)
 	if n.cfg.UploadBytesPerSec <= 0 {
 		// Unlimited: a generous fixed rate so WaitN never stalls.
 		s.bucket.SetRate(1 << 30)

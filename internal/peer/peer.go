@@ -20,6 +20,7 @@ import (
 
 	"asymshare/internal/auth"
 	"asymshare/internal/fairshare"
+	"asymshare/internal/metrics"
 	"asymshare/internal/ratelimit"
 	"asymshare/internal/store"
 )
@@ -78,6 +79,14 @@ type Config struct {
 
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
+
+	// Metrics, when set, receives the node's peer_* instrument
+	// families, wraps the store with latency histograms and attaches
+	// credit/debit counters to the ledger (see internal/peer/metrics.go
+	// and DESIGN.md §7). Each node should get its own registry so that
+	// per-requester gauges from co-located nodes do not collide. Nil
+	// disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Node is a running peer.
@@ -87,6 +96,7 @@ type Node struct {
 	alloc    fairshare.Allocator
 	log      *slog.Logger
 	interval time.Duration
+	m        nodeMetrics
 
 	ln     net.Listener
 	ctx    context.Context
@@ -146,6 +156,12 @@ func New(cfg Config) (*Node, error) {
 	}
 	if n.interval <= 0 {
 		n.interval = DefaultReallocInterval
+	}
+	n.m = newNodeMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		n.cfg.Store = store.Instrument(n.cfg.Store, cfg.Metrics)
+		n.ledger.Instrument(cfg.Metrics)
+		n.alloc = fairshare.InstrumentAllocator(n.alloc, cfg.Metrics)
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	return n, nil
@@ -223,29 +239,60 @@ func (n *Node) StoredBytes() int64 {
 	return n.putBytesIn
 }
 
+// Accept-loop backoff bounds. Transient accept failures (EMFILE,
+// ECONNABORTED, momentary stack trouble) must not kill the daemon: the
+// loop sleeps an exponentially growing, capped interval and tries
+// again, resetting once an accept succeeds.
+const (
+	acceptBackoffStart = 5 * time.Millisecond
+	acceptBackoffMax   = time.Second
+)
+
+// nextAcceptBackoff returns the delay after one more consecutive
+// accept failure: start on the first failure, doubling up to the cap.
+func nextAcceptBackoff(cur time.Duration) time.Duration {
+	if cur <= 0 {
+		return acceptBackoffStart
+	}
+	cur *= 2
+	if cur > acceptBackoffMax {
+		cur = acceptBackoffMax
+	}
+	return cur
+}
+
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	var sem chan struct{}
 	if n.cfg.MaxConns > 0 {
 		sem = make(chan struct{}, n.cfg.MaxConns)
 	}
+	var backoff time.Duration
 	for {
 		conn, err := n.ln.Accept()
 		if err != nil {
+			if n.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			n.m.acceptErrors.Inc()
+			backoff = nextAcceptBackoff(backoff)
+			n.log.Warn("accept error", "err", err, "retry_in", backoff)
 			select {
 			case <-n.ctx.Done():
 				return
-			default:
+			case <-time.After(backoff):
 			}
-			n.log.Warn("accept error", "err", err)
-			return
+			continue
 		}
+		backoff = 0
+		n.m.conns.Inc()
 		if sem != nil {
 			select {
 			case sem <- struct{}{}:
 			default:
 				// At capacity: shed the connection rather than queueing
 				// unauthenticated strangers.
+				n.m.connsShed.Inc()
 				n.log.Debug("connection shed", "remote", conn.RemoteAddr().String())
 				conn.Close()
 				continue
@@ -257,6 +304,8 @@ func (n *Node) acceptLoop() {
 			if sem != nil {
 				defer func() { <-sem }()
 			}
+			n.m.connsActive.Add(1)
+			defer n.m.connsActive.Add(-1)
 			n.handleConn(conn)
 		}()
 	}
@@ -293,12 +342,18 @@ func (n *Node) reallocateLocked() {
 	if n.cfg.UploadBytesPerSec <= 0 {
 		return
 	}
+	start := time.Now()
 	// Distinct requesting clients (a client may run several streams).
 	clients := make(map[fairshare.ID][]*stream, len(n.streams))
 	for s := range n.streams {
 		clients[s.client] = append(clients[s.client], s)
 	}
 	if len(clients) == 0 {
+		// Zero the gauges of requesters that left so a scrape does not
+		// show bandwidth granted to nobody.
+		for _, g := range n.m.grants {
+			g.Set(0)
+		}
 		return
 	}
 	ids := make([]fairshare.ID, 0, len(clients))
@@ -312,12 +367,22 @@ func (n *Node) reallocateLocked() {
 			s.bucket.SetRate(perStream)
 		}
 	}
+	for id, g := range n.m.grants {
+		if _, requesting := clients[id]; !requesting {
+			g.Set(0)
+		}
+	}
+	for id := range clients {
+		n.m.grantGauge(id).Set(alloc[id])
+	}
+	n.m.reallocDur.ObserveSince(start)
 }
 
 func (n *Node) registerStream(s *stream) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.streams[s] = struct{}{}
+	n.m.streamsActive.Add(1)
 	// Give the new stream a sane rate immediately rather than waiting
 	// out the first tick.
 	n.reallocateLocked()
@@ -327,27 +392,34 @@ func (n *Node) unregisterStream(s *stream) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.streams, s)
+	n.m.streamsActive.Add(-1)
 	n.reallocateLocked()
 }
 
 func (n *Node) recordServed(client fairshare.ID, bytes int) {
 	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
 	n.bytesOut[client] += int64(bytes)
+	n.statsMu.Unlock()
+	n.m.servedBytes.Add(uint64(bytes))
+	n.m.servedRate.Mark(uint64(bytes))
 }
 
 func (n *Node) recordStored(bytes int) {
 	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
 	n.putBytesIn += int64(bytes)
+	n.statsMu.Unlock()
+	n.m.storedBytes.Add(uint64(bytes))
 }
 
 func (n *Node) recordAudit(held, sampled int) {
 	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
 	n.auditsServed++
 	n.auditsSampled += int64(sampled)
 	n.auditsHeld += int64(held)
+	n.statsMu.Unlock()
+	n.m.auditsAnswered.Inc()
+	n.m.auditSampled.Add(uint64(sampled))
+	n.m.auditHeld.Add(uint64(held))
 }
 
 // AuditStats reports the challenges this peer has answered: how many

@@ -3,6 +3,20 @@
 // allocator. Peer j "may choose to transmit to u at any rate up to its
 // available upload capacity" (Sec. III-B); the bucket enforces the rate
 // the allocator chose while allowing short bursts of one quantum.
+//
+// # Refund semantics on WaitN cancellation
+//
+// WaitN reserves its tokens up front (the bucket may go negative) and
+// then sleeps the debt off. If the context is cancelled during that
+// sleep, the reservation is NOT refunded: the debt stays on the bucket
+// and the next caller inherits it. This is deliberate — an abandoned
+// send has already been granted its share of the shaped rate, and
+// refunding on cancellation would let a caller that dials a short
+// deadline repeatedly overshoot the allocator's assignment. The one
+// exception is the zero-rate path: while the refill rate is zero the
+// debt could never be repaid, so WaitN refunds the reservation before
+// each re-check sleep and re-takes it on wake; a caller cancelled at
+// zero rate therefore leaves the bucket clean.
 package ratelimit
 
 import (
@@ -11,6 +25,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"asymshare/internal/metrics"
 )
 
 // ErrBurstExceeded is returned when a single request exceeds the bucket
@@ -26,6 +42,9 @@ type Bucket struct {
 	tokens float64
 	last   time.Time
 	now    func() time.Time // injectable clock for tests
+
+	waitSeconds *metrics.Histogram // time WaitN callers spent blocked
+	throttled   *metrics.Counter   // WaitN calls that had to block
 }
 
 // NewBucket returns a bucket refilling at rate bytes/second with the
@@ -45,6 +64,17 @@ func newBucketWithClock(rate, burst float64, clock func() time.Time) *Bucket {
 	b.now = clock
 	b.last = clock()
 	return b
+}
+
+// SetMetrics attaches optional instrumentation: wait receives the time
+// each blocking WaitN spent throttled, throttled counts WaitN calls
+// that had to block at all. Both may be nil (and typically are shared
+// across all of one peer's stream buckets). SetMetrics is not
+// synchronized with WaitN: call it once, right after NewBucket, before
+// the bucket is visible to other goroutines.
+func (b *Bucket) SetMetrics(wait *metrics.Histogram, throttled *metrics.Counter) {
+	b.waitSeconds = wait
+	b.throttled = throttled
 }
 
 // SetRate changes the refill rate. Accumulated tokens are preserved,
@@ -104,19 +134,29 @@ func (b *Bucket) take(n float64) (time.Duration, error) {
 
 // WaitN blocks until n bytes may be sent, or until ctx is done. A zero
 // current rate does not fail — the call keeps waiting, re-checking
-// periodically, because the allocator may assign bandwidth later.
+// periodically, because the allocator may assign bandwidth later. See
+// the package comment for what happens to the reservation when ctx is
+// cancelled mid-wait.
 func (b *Bucket) WaitN(ctx context.Context, n int) error {
 	if n <= 0 {
 		return nil
 	}
 	const recheck = 50 * time.Millisecond
+	var blockedSince time.Time
 	for {
 		wait, err := b.take(float64(n))
 		if err != nil {
 			return err
 		}
 		if wait <= 0 {
+			if !blockedSince.IsZero() {
+				b.waitSeconds.ObserveSince(blockedSince)
+			}
 			return nil
+		}
+		if blockedSince.IsZero() {
+			blockedSince = b.now()
+			b.throttled.Inc()
 		}
 		// At zero rate the token debt stays; return it and retry so a
 		// later SetRate takes effect promptly.
@@ -124,11 +164,14 @@ func (b *Bucket) WaitN(ctx context.Context, n int) error {
 			b.refund(float64(n))
 			wait = recheck
 			if err := sleepCtx(ctx, wait); err != nil {
+				b.waitSeconds.ObserveSince(blockedSince)
 				return err
 			}
 			continue
 		}
-		return sleepCtx(ctx, wait)
+		err = sleepCtx(ctx, wait)
+		b.waitSeconds.ObserveSince(blockedSince)
+		return err
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"asymshare/internal/metrics"
 	"asymshare/internal/wire"
 )
 
@@ -59,10 +60,19 @@ type entry struct {
 	expires time.Time
 }
 
+// Exported tracker metric names (see DESIGN.md §7).
+const (
+	MetricAnnounces = "tracker_announces_total"
+	MetricLookups   = "tracker_lookups_total"
+)
+
 // Server is a tracker instance.
 type Server struct {
 	maxTTL time.Duration
 	now    func() time.Time
+
+	announces *metrics.Counter
+	lookups   *metrics.Counter
 
 	mu     sync.Mutex
 	files  map[uint64]map[string]entry
@@ -86,6 +96,13 @@ func NewServer(maxTTL time.Duration) *Server {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	return s
+}
+
+// Instrument attaches announce/lookup counters. Call before Start; a
+// nil registry leaves the server uninstrumented.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	s.announces = reg.Counter(MetricAnnounces, "Announce requests accepted.")
+	s.lookups = reg.Counter(MetricLookups, "Lookup requests served.")
 }
 
 // Start listens and serves.
@@ -177,6 +194,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.announce(msg)
+			s.announces.Inc()
 			if err := wire.WriteFrame(conn, typeOK, nil); err != nil {
 				return
 			}
@@ -190,6 +208,7 @@ func (s *Server) handle(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			s.lookups.Inc()
 			if err := wire.WriteFrame(conn, typeAddrs, blob); err != nil {
 				return
 			}

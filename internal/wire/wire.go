@@ -18,23 +18,23 @@ type Type uint8
 
 // Frame types.
 const (
-	TypeHello        Type = iota + 1 // connection opener: role + public key
-	TypeChallenge                    // authentication nonce
-	TypeAuthResponse                 // signature over the nonce
-	TypeAuthOK                       // authentication accepted
-	TypePut                          // upload one encoded message for storage
-	TypePutOK                        // storage acknowledged
-	TypeGet                          // request streaming of a file's messages
-	TypeData                         // one encoded message
-	TypeStop                         // stop transmission (paper's message "5")
-	TypeFeedback                     // informational update to the user's own peer
-	TypeError                        // terminal error with reason
-	TypeBye                          // orderly close
-	TypePatch                        // apply a delta message to a stored message
-	TypeList                         // request the peer's stored file inventory
-	TypeFileList                     // inventory response
-	TypeAuditChallenge               // keyed spot-check over sampled stored messages
-	TypeAuditResponse                // per-message possession proofs
+	TypeHello          Type = iota + 1 // connection opener: role + public key
+	TypeChallenge                      // authentication nonce
+	TypeAuthResponse                   // signature over the nonce
+	TypeAuthOK                         // authentication accepted
+	TypePut                            // upload one encoded message for storage
+	TypePutOK                          // storage acknowledged
+	TypeGet                            // request streaming of a file's messages
+	TypeData                           // one encoded message
+	TypeStop                           // stop transmission (paper's message "5")
+	TypeFeedback                       // informational update to the user's own peer
+	TypeError                          // terminal error with reason
+	TypeBye                            // orderly close
+	TypePatch                          // apply a delta message to a stored message
+	TypeList                           // request the peer's stored file inventory
+	TypeFileList                       // inventory response
+	TypeAuditChallenge                 // keyed spot-check over sampled stored messages
+	TypeAuditResponse                  // per-message possession proofs
 )
 
 func (t Type) String() string {
@@ -112,6 +112,7 @@ func WriteFrame(w io.Writer, t Type, payload []byte) error {
 	if _, err := w.Write(append(hdr, payload...)); err != nil {
 		return fmt.Errorf("wire: write %s: %w", t, err)
 	}
+	recordFrameSent(t, len(payload))
 	return nil
 }
 
@@ -129,6 +130,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("wire: short frame body: %w", err)
 	}
+	recordFrameRecv(Type(hdr[0]), len(payload))
 	return Frame{Type: Type(hdr[0]), Payload: payload}, nil
 }
 
