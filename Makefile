@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics vet bench-metrics ci check
+.PHONY: build test race-audit race-metrics vet bench-metrics chaos fuzz-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,24 @@ race-metrics: vet
 bench-metrics:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/metrics/
 
-# ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit
+# chaos runs the deterministic fault-injection suite — the netsim
+# fabric's own tests plus the end-to-end harness (tracker + peers +
+# clients over simulated partitions, blackholes and drops) — twice,
+# under the race detector. Every harness test logs its fabric seed
+# (shown with -v and on failure); replay an exact failure with
+# NETSIM_SEED=<seed> make chaos.
+chaos: vet
+	$(GO) test -race -count=2 ./internal/netsim/...
 
-check: build test race-audit race-metrics
+# fuzz-smoke gives each wire fuzz target a short adversarial run on
+# top of the checked-in seed corpus (which plain `go test` already
+# replays). New crashers land in internal/wire/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz FuzzHandshakeResponder -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
+
+# ci is what the GitHub workflow runs.
+ci: vet build test race-metrics race-audit chaos
+
+check: build test race-audit race-metrics chaos

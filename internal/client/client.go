@@ -21,6 +21,7 @@ import (
 	"asymshare/internal/auth"
 	"asymshare/internal/chunk"
 	"asymshare/internal/rlnc"
+	"asymshare/internal/transport"
 	"asymshare/internal/wire"
 )
 
@@ -31,31 +32,103 @@ var (
 	// ErrIncomplete is returned when every peer is exhausted before the
 	// generation could be decoded.
 	ErrIncomplete = errors.New("client: peers exhausted before decode completed")
+
+	// errPeerAborted marks a connection that died mid-stream without an
+	// orderly STOP — a crashed or partitioned peer, not an exhausted
+	// one. It is retriable, unlike a protocol error.
+	errPeerAborted = errors.New("client: peer connection aborted mid-stream")
 )
+
+// Defaults for Options fields left zero.
+const (
+	DefaultDialTimeout  = 10 * time.Second
+	DefaultPeerRetries  = 2
+	DefaultRetryBackoff = 200 * time.Millisecond
+)
+
+// Options tunes a client's networking behaviour. The zero value gives
+// sane production defaults over real TCP.
+type Options struct {
+	// Transport dials peers; nil means real TCP (transport.Default).
+	// Tests inject an in-memory netsim fabric here.
+	Transport transport.Transport
+
+	// DialTimeout bounds each dial plus handshake. Zero means
+	// DefaultDialTimeout; negative disables the bound (the caller's
+	// context still applies).
+	DialTimeout time.Duration
+
+	// PeerFetchTimeout bounds one peer's whole fetch stream, including
+	// retries. Zero means no per-peer bound beyond the fetch context.
+	PeerFetchTimeout time.Duration
+
+	// PeerRetries is how many times a fetch stream that aborts
+	// mid-transfer (abrupt close, reset, timeout — anything but an
+	// orderly STOP or a protocol error) is redialed. Zero means
+	// DefaultPeerRetries; negative disables retries.
+	PeerRetries int
+
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt. Zero means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Transport == nil {
+		o.Transport = transport.Default
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.PeerRetries == 0 {
+		o.PeerRetries = DefaultPeerRetries
+	} else if o.PeerRetries < 0 {
+		o.PeerRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = DefaultRetryBackoff
+	}
+	return o
+}
 
 // Client is a user agent identified by a signing key.
 type Client struct {
 	id      *auth.Identity
 	trusted *auth.TrustSet // acceptable peer keys; nil trusts any
-	dialer  net.Dialer
+	opt     Options
 	m       clientMetrics // zero value records nothing; see Instrument
 }
 
-// New returns a client. trusted, if non-nil, pins the set of peer keys
-// the client will talk to (the mutual-authentication direction).
+// New returns a client with default Options. trusted, if non-nil, pins
+// the set of peer keys the client will talk to (the
+// mutual-authentication direction).
 func New(id *auth.Identity, trusted *auth.TrustSet) (*Client, error) {
+	return NewWith(id, trusted, Options{})
+}
+
+// NewWith returns a client with explicit networking options.
+func NewWith(id *auth.Identity, trusted *auth.TrustSet, opts Options) (*Client, error) {
 	if id == nil {
 		return nil, errors.New("client: identity required")
 	}
-	return &Client{id: id, trusted: trusted}, nil
+	return &Client{id: id, trusted: trusted, opt: opts.withDefaults()}, nil
 }
 
 // Fingerprint returns the client's key fingerprint.
 func (c *Client) Fingerprint() string { return c.id.Fingerprint() }
 
-// dial connects and completes the mutual handshake.
+// dial connects and completes the mutual handshake. DialTimeout bounds
+// the dial AND the handshake: a listener that accepts but never speaks
+// (SYN-accepted, application dead) would otherwise hang the zero-value
+// dialer forever.
 func (c *Client) dial(ctx context.Context, addr string, role wire.Role) (net.Conn, ed25519.PublicKey, error) {
-	conn, err := c.dialer.DialContext(ctx, "tcp", addr)
+	if c.opt.DialTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opt.DialTimeout)
+		defer cancel()
+	}
+	conn, err := c.opt.Transport.DialContext(ctx, addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
@@ -234,7 +307,7 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = c.fetchFromPeer(fetchCtx, addr, fileID, dec, &mu, &stats, finish)
+			errs[i] = c.fetchPeerWithRetry(fetchCtx, addr, fileID, dec, &mu, &stats, finish)
 		}(i, addr)
 	}
 	// Wait for either completion or all workers returning.
@@ -280,6 +353,40 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 	return data, stats, nil
 }
 
+// fetchPeerWithRetry drives fetchFromPeer against one peer, redialing
+// when the attempt dies mid-transfer. Protocol-level rejections
+// (*wire.RemoteError, e.g. unknown file) are terminal — the peer
+// answered, and asking again will not change the answer — but
+// transport failures (refused dials, resets, aborts without STOP) are
+// retried up to PeerRetries times with doubling backoff. The shared
+// decoder keeps whatever messages earlier attempts delivered, so a
+// retry resumes rather than restarts the peer's contribution.
+func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uint64,
+	dec *rlnc.Decoder, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	if c.opt.PeerFetchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opt.PeerFetchTimeout)
+		defer cancel()
+	}
+	backoff := c.opt.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.fetchFromPeer(ctx, addr, fileID, dec, mu, stats, finish)
+		if err == nil || ctx.Err() != nil || attempt >= c.opt.PeerRetries {
+			return err
+		}
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
 // fetchFromPeer streams messages from one peer into the shared decoder
 // until the decoder completes, the peer is exhausted, or the context is
 // cancelled.
@@ -310,8 +417,14 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil // cancelled after completion, or orderly close
+			if ctx.Err() != nil {
+				return nil // cancelled: decode completed elsewhere, or deadline
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				// The stream died without an orderly STOP: the peer
+				// crashed or the path broke mid-transfer. Surface it as
+				// retriable instead of mistaking it for exhaustion.
+				return fmt.Errorf("%w (%s): %v", errPeerAborted, addr, err)
 			}
 			return err
 		}

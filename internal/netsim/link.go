@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// LinkPolicy models one direction of a host-to-host link. The zero
+// value is an ideal link: no latency, unlimited bandwidth, no faults.
+// Policies are directional — SetLink(a, b, p) shapes only a→b traffic
+// — so asymmetric up/down capacity is expressed by giving the two
+// directions different BytesPerSec.
+type LinkPolicy struct {
+	// Latency is the one-way propagation delay added to every
+	// segment.
+	Latency time.Duration
+
+	// Jitter adds a uniform [0, Jitter) draw per segment on top of
+	// Latency, from the connection's seeded RNG.
+	Jitter time.Duration
+
+	// BytesPerSec caps throughput in this direction via a token
+	// bucket. Zero or negative means unlimited.
+	BytesPerSec float64
+
+	// Burst is the token-bucket capacity in bytes; zero means 64 KiB
+	// (always at least one shaping segment).
+	Burst float64
+
+	// DropProb is the probability that a new dial over this link is
+	// refused, drawn once per dial from the link's seeded RNG.
+	DropProb float64
+
+	// CutAfterBytes severs a connection once this many bytes have
+	// crossed it in this direction — a scheduled mid-stream drop.
+	// Zero means never.
+	CutAfterBytes int64
+
+	// CutConns limits CutAfterBytes to the first CutConns connections
+	// dialed over the link (by dial ordinal), so a retry can succeed
+	// where the original attempt was cut. Zero cuts every connection.
+	CutConns int64
+}
+
+// defaultBurst is the shaping bucket capacity when Burst is zero.
+const defaultBurst = 64 << 10
+
+// segmentSize is the maximum bytes shaped and delivered as one unit;
+// larger writes are split so bandwidth caps smooth rather than stall.
+const segmentSize = 16 << 10
+
+// dirKey identifies one direction of a host pair.
+type dirKey struct{ src, dst string }
+
+func (k dirKey) String() string { return k.src + "->" + k.dst }
+
+// linkSeed derives a deterministic RNG seed for a (fabric seed, link,
+// ordinal, salt) tuple. Every dial and every connection direction gets
+// its own RNG, so decisions replay identically regardless of how
+// goroutines interleave across links.
+func linkSeed(seed int64, k dirKey, ordinal int64, salt string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.src))
+	h.Write([]byte{0})
+	h.Write([]byte(k.dst))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	const mix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
+	return seed ^ int64(h.Sum64()) ^ (ordinal * mix)
+}
+
+func newLinkRand(seed int64, k dirKey, ordinal int64, salt string) *rand.Rand {
+	return rand.New(rand.NewSource(linkSeed(seed, k, ordinal, salt)))
+}
+
+// delay returns Latency plus one jitter draw from rng.
+func (p LinkPolicy) delay(rng *rand.Rand) time.Duration {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+// burst returns the effective shaping bucket capacity.
+func (p LinkPolicy) burst() float64 {
+	if p.Burst > 0 {
+		return p.Burst
+	}
+	return defaultBurst
+}
+
+// cuts reports whether a connection with the given dial ordinal is
+// subject to CutAfterBytes in this direction.
+func (p LinkPolicy) cuts(ordinal int64) bool {
+	if p.CutAfterBytes <= 0 {
+		return false
+	}
+	return p.CutConns == 0 || ordinal <= p.CutConns
+}

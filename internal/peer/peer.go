@@ -23,6 +23,7 @@ import (
 	"asymshare/internal/metrics"
 	"asymshare/internal/ratelimit"
 	"asymshare/internal/store"
+	"asymshare/internal/transport"
 )
 
 // ErrClosed is returned by operations on a closed node.
@@ -76,6 +77,11 @@ type Config struct {
 	// MaxConns bounds concurrent connections; excess connections are
 	// closed immediately. Zero means unlimited.
 	MaxConns int
+
+	// Transport provides the listener; nil means real TCP
+	// (transport.Default). Tests inject an in-memory netsim fabric
+	// here to drive the node through latency, loss and partitions.
+	Transport transport.Transport
 
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
@@ -169,7 +175,11 @@ func New(cfg Config) (*Node, error) {
 
 // Start listens on addr (e.g. "127.0.0.1:0") and begins serving.
 func (n *Node) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	tr := n.cfg.Transport
+	if tr == nil {
+		tr = transport.Default
+	}
+	ln, err := tr.Listen(addr)
 	if err != nil {
 		return fmt.Errorf("peer: listen: %w", err)
 	}

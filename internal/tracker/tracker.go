@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"asymshare/internal/metrics"
+	"asymshare/internal/transport"
 	"asymshare/internal/wire"
 )
 
@@ -70,6 +71,7 @@ const (
 type Server struct {
 	maxTTL time.Duration
 	now    func() time.Time
+	tr     transport.Transport
 
 	announces *metrics.Counter
 	lookups   *metrics.Counter
@@ -105,9 +107,17 @@ func (s *Server) Instrument(reg *metrics.Registry) {
 	s.lookups = reg.Counter(MetricLookups, "Lookup requests served.")
 }
 
+// SetTransport swaps the listener transport (nil keeps real TCP).
+// Call before Start; tests attach an in-memory netsim host here.
+func (s *Server) SetTransport(tr transport.Transport) { s.tr = tr }
+
 // Start listens and serves.
 func (s *Server) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	tr := s.tr
+	if tr == nil {
+		tr = transport.Default
+	}
+	ln, err := tr.Listen(addr)
 	if err != nil {
 		return fmt.Errorf("tracker: listen: %w", err)
 	}
@@ -267,9 +277,14 @@ func (s *Server) FileCount() int {
 }
 
 // Announce registers addr as holding messages of fileID with the given
-// tracker. A zero ttl requests the tracker's maximum.
+// tracker over real TCP. A zero ttl requests the tracker's maximum.
 func Announce(ctx context.Context, trackerAddr string, fileID uint64, peerAddr string, ttl time.Duration) error {
-	conn, err := dial(ctx, trackerAddr)
+	return AnnounceVia(ctx, transport.Default, trackerAddr, fileID, peerAddr, ttl)
+}
+
+// AnnounceVia is Announce over an explicit transport.
+func AnnounceVia(ctx context.Context, tr transport.Transport, trackerAddr string, fileID uint64, peerAddr string, ttl time.Duration) error {
+	conn, err := dial(ctx, tr, trackerAddr)
 	if err != nil {
 		return err
 	}
@@ -288,9 +303,15 @@ func Announce(ctx context.Context, trackerAddr string, fileID uint64, peerAddr s
 	return wire.WriteFrame(conn, wire.TypeBye, nil)
 }
 
-// Lookup queries a tracker for the peers holding fileID.
+// Lookup queries a tracker for the peers holding fileID over real
+// TCP.
 func Lookup(ctx context.Context, trackerAddr string, fileID uint64) ([]string, error) {
-	conn, err := dial(ctx, trackerAddr)
+	return LookupVia(ctx, transport.Default, trackerAddr, fileID)
+}
+
+// LookupVia is Lookup over an explicit transport.
+func LookupVia(ctx context.Context, tr transport.Transport, trackerAddr string, fileID uint64) ([]string, error) {
+	conn, err := dial(ctx, tr, trackerAddr)
 	if err != nil {
 		return nil, err
 	}
@@ -314,9 +335,11 @@ func Lookup(ctx context.Context, trackerAddr string, fileID uint64) ([]string, e
 	return msg.Addrs, nil
 }
 
-func dial(ctx context.Context, addr string) (net.Conn, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+func dial(ctx context.Context, tr transport.Transport, addr string) (net.Conn, error) {
+	if tr == nil {
+		tr = transport.Default
+	}
+	conn, err := tr.DialContext(ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("tracker: dial %s: %w", addr, err)
 	}

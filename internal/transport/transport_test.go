@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := Default.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := Default.DialContext(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDialContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Default.DialContext(ctx, "127.0.0.1:1"); err == nil {
+		t.Fatal("cancelled dial succeeded")
+	}
+}
+
+var _ net.Listener = mustListener{}
+
+// compile-time interface sanity for test helpers elsewhere.
+type mustListener struct{ net.Listener }

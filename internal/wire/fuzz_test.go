@@ -1,0 +1,112 @@
+package wire
+
+// Fuzzing of the handshake state machines against adversarial bytes.
+// The frames a fuzzer can synthesize must never panic either side,
+// must never authenticate (a valid signature over a fresh random
+// nonce cannot be forged), and everything a confused responder writes
+// back — including its SendError rejections — must itself be
+// well-formed framing.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"asymshare/internal/auth"
+)
+
+// script feeds canned bytes to a handshake and captures its output.
+type script struct {
+	in  *bytes.Reader
+	out bytes.Buffer
+}
+
+func (s *script) Read(p []byte) (int, error)  { return s.in.Read(p) }
+func (s *script) Write(p []byte) (int, error) { return s.out.Write(p) }
+
+func fuzzIdentity(f *testing.F) *auth.Identity {
+	f.Helper()
+	id, err := auth.IdentityFromSeed(bytes.Repeat([]byte{7}, 32))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return id
+}
+
+// checkWellFormedOutput verifies that out contains only complete,
+// parseable frames: clean error paths must not emit torn frames.
+func checkWellFormedOutput(t *testing.T, out []byte) {
+	r := bytes.NewReader(out)
+	for {
+		if _, err := ReadFrame(r); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("handshake wrote a malformed frame: %v (output %x)", err, out)
+			}
+			return
+		}
+	}
+}
+
+func FuzzHandshakeResponder(f *testing.F) {
+	id := fuzzIdentity(f)
+
+	// Structural seeds: a plausible HELLO (and AUTH) prefix so the
+	// fuzzer starts deep in the state machine rather than at frame 1.
+	var hello bytes.Buffer
+	h := Hello{Role: RoleUser, PubKey: id.Public(), Nonce: bytes.Repeat([]byte{9}, 32)}
+	if err := WriteFrame(&hello, TypeHello, h.Marshal()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hello.Bytes())
+	withAuth := bytes.NewBuffer(append([]byte(nil), hello.Bytes()...))
+	a := AuthResponse{PubKey: id.Public(), Signature: bytes.Repeat([]byte{3}, 64)}
+	if err := WriteFrame(withAuth, TypeAuthResponse, a.Marshal()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withAuth.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeHello), 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &script{in: bytes.NewReader(data)}
+		key, _, err := ResponderHandshake(s, id, nil)
+		if err == nil {
+			t.Fatalf("fuzzed bytes authenticated as %x", key)
+		}
+		if key != nil {
+			t.Fatal("failed handshake still returned a key")
+		}
+		checkWellFormedOutput(t, s.out.Bytes())
+	})
+}
+
+func FuzzHandshakeInitiator(f *testing.F) {
+	id := fuzzIdentity(f)
+
+	// A plausible CHALLENGE reply (wrong signature, right shape).
+	var chal bytes.Buffer
+	ch := Challenge{
+		PubKey:    id.Public(),
+		Signature: bytes.Repeat([]byte{5}, 64),
+		Nonce:     bytes.Repeat([]byte{6}, 32),
+	}
+	if err := WriteFrame(&chal, TypeChallenge, ch.Marshal()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chal.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeError), 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &script{in: bytes.NewReader(data)}
+		key, err := InitiatorHandshake(s, id, RoleUser, nil)
+		if err == nil {
+			t.Fatalf("fuzzed responder authenticated as %x", key)
+		}
+		if key != nil {
+			t.Fatal("failed handshake still returned a key")
+		}
+		checkWellFormedOutput(t, s.out.Bytes())
+	})
+}
