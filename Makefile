@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics vet bench-metrics chaos fuzz-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec vet bench-metrics bench-rlnc bench-rlnc-smoke chaos fuzz-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,33 @@ race-audit: vet
 race-metrics: vet
 	$(GO) test -race ./internal/metrics/... ./internal/peer/... ./internal/ratelimit/... ./internal/store/...
 
+# race-codec exercises the parallel decode engine and everything that
+# feeds it: concurrent producers into rlnc.Pipeline, the GF kernels
+# under them, and the client fetch path that shares one sink across
+# per-peer goroutines.
+race-codec: vet
+	$(GO) test -race ./internal/rlnc/... ./internal/gf/... ./internal/client/...
+
 # bench-metrics reports allocs/op for the metrics hot path; Counter.Inc
 # and Histogram.Observe must stay at 0 (TestHotPathAllocFree enforces
 # it, this target is for eyeballing the numbers).
 bench-metrics:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/metrics/
+
+# bench-rlnc measures the codec engine: the GF region kernels, both
+# decode engines head to head, and the codec grid that backs
+# EXPERIMENTS.md, leaving the machine-readable report in
+# BENCH_rlnc.json (decode-pipeline must show >= 2x decode-sequential
+# MB/s at p=8, k=64; TestPipelineSteadyStateAllocs pins the 0 B/op
+# claim).
+bench-rlnc:
+	$(GO) test -bench 'BenchmarkMulAddSlice|BenchmarkDecode' -benchmem -run '^$$' ./internal/gf/ ./internal/rlnc/
+	$(GO) run ./cmd/benchrlc -codec -size 1048576 -reps 5 -json BENCH_rlnc.json
+
+# bench-rlnc-smoke is the quick CI variant: tiny generations, one rep,
+# throwaway report — it proves the grid runs, not the numbers.
+bench-rlnc-smoke:
+	$(GO) run ./cmd/benchrlc -codec -size 65536 -reps 1 -json /tmp/BENCH_rlnc_smoke.json
 
 # chaos runs the deterministic fault-injection suite — the netsim
 # fabric's own tests plus the end-to-end harness (tracker + peers +
@@ -47,6 +69,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit chaos
+ci: vet build test race-metrics race-audit race-codec chaos
 
-check: build test race-audit race-metrics chaos
+check: build test race-audit race-metrics race-codec chaos

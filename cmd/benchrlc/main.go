@@ -8,6 +8,12 @@
 // Usage:
 //
 //	benchrlc [-size bytes] [-seed n] [-repeat n]
+//	benchrlc -codec [-size bytes] [-reps n] [-json FILE]
+//
+// The second form benchmarks the codec engines instead — encode,
+// sequential decode, and the parallel pipeline decode — across
+// p in {8,16} and k in {32,64,128}, optionally emitting the
+// BENCH_rlnc.json report (see codec.go).
 package main
 
 import (
@@ -34,11 +40,17 @@ func run(args []string, out io.Writer) error {
 	size := fs.Int("size", figures.TableDataBytes, "generation size in bytes")
 	seed := fs.Int64("seed", 1, "payload seed")
 	repeat := fs.Int("repeat", 1, "measurements per cell (best is reported)")
+	codec := fs.Bool("codec", false, "benchmark the codec engines (encode, both decoders) instead of the Table I/II grid")
+	reps := fs.Int("reps", 5, "codec mode: timed runs per cell after one warmup")
+	jsonPath := fs.String("json", "", "codec mode: also write the JSON report here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *size <= 0 || *repeat <= 0 {
-		return fmt.Errorf("size and repeat must be positive")
+	if *size <= 0 || *repeat <= 0 || *reps <= 0 {
+		return fmt.Errorf("size, repeat, and reps must be positive")
+	}
+	if *codec {
+		return runCodec(*size, *reps, *seed, *jsonPath, out)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

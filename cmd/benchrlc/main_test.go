@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,5 +45,48 @@ func TestLog2(t *testing.T) {
 		if got := log2(n); got != want {
 			t.Errorf("log2(%d) = %d, want %d", n, got, want)
 		}
+	}
+}
+
+func TestRunCodecMode(t *testing.T) {
+	var out bytes.Buffer
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-codec", "-size", "32768", "-reps", "1", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report codecReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	// 3 ops x 2 fields x 3 ks.
+	if len(report.Cells) != 18 {
+		t.Fatalf("report has %d cells, want 18", len(report.Cells))
+	}
+	ops := map[string]bool{}
+	for _, c := range report.Cells {
+		ops[c.Op] = true
+		if c.MBPerSec <= 0 || c.NsPerOp <= 0 {
+			t.Errorf("cell %+v has non-positive rates", c)
+		}
+	}
+	for _, op := range []string{"encode", "decode-sequential", "decode-pipeline"} {
+		if !ops[op] {
+			t.Errorf("report missing op %q", op)
+		}
+	}
+	if !strings.Contains(out.String(), "decode-pipeline") {
+		t.Error("table output missing decode-pipeline rows")
+	}
+}
+
+func TestRunCodecModeBadGeometry(t *testing.T) {
+	var out bytes.Buffer
+	// 1000 bytes is not divisible by k=32 chunks of whole symbols.
+	if err := run([]string{"-codec", "-size", "1000", "-reps", "1"}, &out); err == nil {
+		t.Error("indivisible size accepted")
 	}
 }

@@ -2,9 +2,12 @@
 // encoded message batches to storage peers (initialization, Sec. III-A)
 // and later downloading from many peers in parallel to fill the remote
 // download pipe beyond any single peer's upload capacity (Sec. III-B).
-// The downloader feeds every arriving message into one shared decoder,
-// sends STOP to all peers as soon as rank k is reached, and reports
-// per-peer receipts for the user's periodic feedback to its own peer.
+// The downloader feeds every arriving message into one shared
+// rlnc.Sink — by default the parallel rlnc.Pipeline, so per-connection
+// goroutines verify and derive coefficients concurrently instead of
+// serializing on a decoder mutex — sends STOP to all peers as soon as
+// rank k is reached, and reports per-peer receipts for the user's
+// periodic feedback to its own peer.
 package client
 
 import (
@@ -275,39 +278,115 @@ func (s FetchStats) EffectiveRate(decodedBytes int) float64 {
 	return float64(decodedBytes) / s.Elapsed.Seconds()
 }
 
+// FetchRequest names every input of one generation download. It
+// replaces the positional FetchGeneration parameter list and adds the
+// decode-parallelism knob.
+type FetchRequest struct {
+	// Peers are the storage peer addresses to download from in
+	// parallel.
+	Peers []string
+
+	// Params describes the generation's code (field, k, chunk size).
+	Params rlnc.Params
+
+	// FileID identifies the generation on the peers.
+	FileID uint64
+
+	// Secret is the coefficient-derivation key shared with the owner.
+	Secret []byte
+
+	// Digests, if non-nil, pins the owner-published per-message MD5
+	// digests and enables authentication of every received message.
+	Digests map[uint64]rlnc.Digest
+
+	// DecodeWorkers selects the decode engine. 0 uses the parallel
+	// rlnc.Pipeline sized to GOMAXPROCS; > 0 a Pipeline with exactly
+	// that many workers; < 0 the sequential decoder (one goroutine,
+	// messages serialized through a mutex) — mainly for comparison
+	// runs and differential tests.
+	DecodeWorkers int
+}
+
+// decodeSink is what the fetch path needs from a decode engine: the
+// concurrent Sink interface plus final decode. Both rlnc.Pipeline and
+// rlnc.SyncSink satisfy it.
+type decodeSink interface {
+	rlnc.Sink
+	Decode() ([]byte, error)
+}
+
+// newSink builds the decode engine the request asked for. The returned
+// cleanup releases pipeline workers (a no-op for the sequential sink).
+func (req *FetchRequest) newSink() (decodeSink, func() rlnc.PipelineTelemetry, error) {
+	if req.DecodeWorkers < 0 {
+		dec, err := rlnc.NewDecoder(req.Params, req.FileID, req.Secret, req.Digests)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rlnc.NewSyncSink(dec), nil, nil
+	}
+	p, err := rlnc.NewPipeline(req.Params, req.FileID, req.Secret, req.Digests,
+		rlnc.PipelineConfig{Workers: req.DecodeWorkers})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, p.Telemetry, nil
+}
+
 // FetchGeneration downloads one generation (file-id) from the given
-// peer addresses in parallel and decodes it.
+// peer addresses in parallel and decodes it. It is shorthand for Fetch
+// with a zero DecodeWorkers (the parallel pipeline).
 func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rlnc.Params,
 	fileID uint64, secret []byte, digests map[uint64]rlnc.Digest) ([]byte, FetchStats, error) {
-	stats := FetchStats{BytesFrom: make(map[string]uint64, len(addrs))}
-	if len(addrs) == 0 {
+	return c.Fetch(ctx, FetchRequest{
+		Peers:   addrs,
+		Params:  params,
+		FileID:  fileID,
+		Secret:  secret,
+		Digests: digests,
+	})
+}
+
+// Fetch downloads one generation from the request's peers in parallel
+// and decodes it. Each peer connection feeds received messages into a
+// shared rlnc.Sink: with the default pipeline engine, digest checks and
+// coefficient derivation run on the connection goroutines themselves
+// and only a short innovation check is serialized, so one slow decode
+// step never stalls the sockets.
+func (c *Client) Fetch(ctx context.Context, req FetchRequest) ([]byte, FetchStats, error) {
+	stats := FetchStats{BytesFrom: make(map[string]uint64, len(req.Peers))}
+	if len(req.Peers) == 0 {
 		c.m.recordFetch(stats, 0, ErrNoPeers)
 		return nil, stats, ErrNoPeers
 	}
-	dec, err := rlnc.NewDecoder(params, fileID, secret, digests)
+	sink, telemetry, err := req.newSink()
 	if err != nil {
 		c.m.recordFetch(stats, 0, err)
 		return nil, stats, err
 	}
+	if closer, ok := sink.(interface{ Close() }); ok {
+		defer closer.Close()
+	}
+	stopSampling := c.m.sampleDecode(telemetry)
 
 	start := time.Now()
 	fetchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		mu   sync.Mutex // guards dec and stats
+		mu   sync.Mutex // guards stats.BytesFrom
 		done = make(chan struct{})
 		once sync.Once
 	)
 	finish := func() { once.Do(func() { close(done) }) }
 
 	var wg sync.WaitGroup
-	errs := make([]error, len(addrs))
-	for i, addr := range addrs {
+	errs := make([]error, len(req.Peers))
+	for i, addr := range req.Peers {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = c.fetchPeerWithRetry(fetchCtx, addr, fileID, dec, &mu, &stats, finish)
+			errs[i] = c.fetchPeerWithRetry(fetchCtx, addr, req.FileID, sink, &mu, &stats, finish)
 		}(i, addr)
 	}
 	// Wait for either completion or all workers returning.
@@ -326,30 +405,31 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 		<-workersDone
 	}
 	stats.Elapsed = time.Since(start)
+	stopSampling()
 
-	mu.Lock()
-	received, accepted, rejected, _ := dec.Stats()
-	stats.Messages = received
-	stats.Innovative = accepted
-	stats.Rejected = rejected
-	decodeReady := dec.Done()
-	mu.Unlock()
+	st := sink.Stats()
+	stats.Messages = st.Received
+	stats.Innovative = st.Accepted
+	stats.Rejected = st.Rejected
 
-	if !decodeReady {
+	if !sink.Done() {
 		err := ctx.Err()
 		if err == nil {
 			err = fmt.Errorf("%w: rank %d of %d (%s)",
-				ErrIncomplete, dec.Rank(), params.K, joinErrs(errs))
+				ErrIncomplete, sink.Rank(), req.Params.K, joinErrs(errs))
 		}
 		c.m.recordFetch(stats, 0, err)
 		return nil, stats, err
 	}
-	data, err := dec.Decode()
+	data, err := sink.Decode()
 	if err != nil {
 		c.m.recordFetch(stats, 0, err)
 		return nil, stats, err
 	}
 	c.m.recordFetch(stats, len(data), nil)
+	if telemetry != nil {
+		c.m.recordDecodeTelemetry(telemetry())
+	}
 	return data, stats, nil
 }
 
@@ -359,10 +439,10 @@ func (c *Client) FetchGeneration(ctx context.Context, addrs []string, params rln
 // answered, and asking again will not change the answer — but
 // transport failures (refused dials, resets, aborts without STOP) are
 // retried up to PeerRetries times with doubling backoff. The shared
-// decoder keeps whatever messages earlier attempts delivered, so a
+// sink keeps whatever messages earlier attempts delivered, so a
 // retry resumes rather than restarts the peer's contribution.
 func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uint64,
-	dec *rlnc.Decoder, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	sink rlnc.Sink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	if c.opt.PeerFetchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opt.PeerFetchTimeout)
@@ -370,7 +450,7 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 	}
 	backoff := c.opt.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := c.fetchFromPeer(ctx, addr, fileID, dec, mu, stats, finish)
+		err := c.fetchFromPeer(ctx, addr, fileID, sink, mu, stats, finish)
 		if err == nil || ctx.Err() != nil || attempt >= c.opt.PeerRetries {
 			return err
 		}
@@ -387,11 +467,13 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 	}
 }
 
-// fetchFromPeer streams messages from one peer into the shared decoder
-// until the decoder completes, the peer is exhausted, or the context is
-// cancelled.
+// fetchFromPeer streams messages from one peer into the shared sink
+// until the decode completes, the peer is exhausted, or the context is
+// cancelled. The sink handles its own synchronization and, for the
+// pipeline engine, applies back-pressure by blocking Add when all
+// verifier slots are busy.
 func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
-	dec *rlnc.Decoder, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	sink rlnc.Sink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
 	if err != nil {
 		return err
@@ -434,10 +516,10 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 			if err := msg.UnmarshalBinary(frame.Payload); err != nil {
 				return err
 			}
+			_, addErr := sink.Add(&msg)
+			completed := sink.Done()
 			mu.Lock()
-			_, addErr := dec.Add(&msg)
 			stats.BytesFrom[fingerprint] += uint64(len(frame.Payload))
-			completed := dec.Done()
 			mu.Unlock()
 			c.m.received.Add(uint64(len(frame.Payload)))
 			c.m.recvRate.Mark(uint64(len(frame.Payload)))

@@ -1,6 +1,11 @@
 package client
 
-import "asymshare/internal/metrics"
+import (
+	"time"
+
+	"asymshare/internal/metrics"
+	"asymshare/internal/rlnc"
+)
 
 // Exported client metric names (see DESIGN.md §7). The redundancy
 // counters quantify the paper's q/(q-1) expected overhead of random
@@ -16,6 +21,13 @@ const (
 	MetricDecodedBytes       = "client_decoded_bytes_total"
 	MetricReceivedBytes      = "client_received_bytes_total"
 	MetricReceivedBytesRate  = "client_received_bytes_rate"
+
+	// Pipeline-engine decode telemetry (DESIGN.md §9): how deep the
+	// payload-elimination queue runs, how busy the worker pool is, and
+	// how many payload bytes the row operations have processed.
+	MetricDecodeQueueDepth  = "client_decode_queue_depth"
+	MetricDecodeBusyWorkers = "client_decode_busy_workers"
+	MetricDecodeElimBytes   = "client_decode_eliminated_bytes_total"
 )
 
 // clientMetrics holds the download-side instruments; the zero value
@@ -31,6 +43,10 @@ type clientMetrics struct {
 	decoded    *metrics.Counter
 	received   *metrics.Counter
 	recvRate   *metrics.Rate
+
+	decodeDepth *metrics.Gauge
+	decodeBusy  *metrics.Gauge
+	decodeElim  *metrics.Counter
 }
 
 // Instrument attaches per-fetch instrumentation to the client. Call it
@@ -51,6 +67,10 @@ func (c *Client) Instrument(reg *metrics.Registry) {
 		decoded:    reg.Counter(MetricDecodedBytes, "Plaintext bytes recovered by successful decodes."),
 		received:   reg.Counter(MetricReceivedBytes, "Encoded message bytes received from peers."),
 		recvRate:   reg.Rate(MetricReceivedBytesRate, "EWMA download goodput, bytes/second.", metrics.DefaultRateHalfLife),
+
+		decodeDepth: reg.Gauge(MetricDecodeQueueDepth, "Payload elimination jobs queued in the decode pipeline."),
+		decodeBusy:  reg.Gauge(MetricDecodeBusyWorkers, "Decode pipeline workers currently eliminating a segment."),
+		decodeElim:  reg.Counter(MetricDecodeElimBytes, "Payload bytes processed by decode row operations."),
 	}
 }
 
@@ -70,4 +90,44 @@ func (m *clientMetrics) recordFetch(stats FetchStats, decodedBytes int, err erro
 		m.redundant.Add(uint64(red))
 	}
 	m.decoded.Add(uint64(decodedBytes))
+}
+
+// sampleDecode starts a goroutine publishing the pipeline's queue
+// depth and worker utilization gauges while a fetch runs; the returned
+// stop function ends sampling and zeroes the gauges. It is a no-op
+// (returning a no-op stop) without instrumentation or with the
+// sequential engine, which has no telemetry.
+func (m *clientMetrics) sampleDecode(telemetry func() rlnc.PipelineTelemetry) func() {
+	if m.decodeDepth == nil || telemetry == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t := telemetry()
+				m.decodeDepth.Set(float64(t.QueueDepth))
+				m.decodeBusy.Set(float64(t.BusyWorkers))
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+		m.decodeDepth.Set(0)
+		m.decodeBusy.Set(0)
+	}
+}
+
+// recordDecodeTelemetry folds the pipeline's final counters into the
+// instruments after a successful decode.
+func (m *clientMetrics) recordDecodeTelemetry(t rlnc.PipelineTelemetry) {
+	m.decodeElim.Add(t.EliminatedBytes)
 }

@@ -1,0 +1,88 @@
+// AVX2 nibble-split GF multiply kernels. The low/high nibble product
+// tables (16 bytes each) are exactly PSHUFB shuffle masks: broadcast
+// each table into both ymm lanes and one shuffle per nibble half
+// computes c*s for 32 packed symbols at once.
+
+#include "textflag.h"
+
+// func mulAddAsmP8(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] ^= lo[src[i]&0xF] ^ hi[src[i]>>4] for i < n.
+// Requires AVX2; n must be a positive multiple of 32.
+TEXT ·mulAddAsmP8(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), DX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+
+loop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, DX
+	JNE     loop
+	VZEROUPPER
+	RET
+
+// func mulAsmP8(lo, hi *[16]byte, dst *byte, n int)
+// dst[i] = lo[dst[i]&0xF] ^ hi[dst[i]>>4] for i < n.
+// Requires AVX2; n must be a positive multiple of 32.
+TEXT ·mulAsmP8(SB), NOSPLIT, $0-32
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), DX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+
+scaleloop:
+	VMOVDQU (DI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, DI
+	SUBQ    $32, DX
+	JNE     scaleloop
+	VZEROUPPER
+	RET
+
+// func cpuidex(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+DATA nibMask<>+0(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask<>+8(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask<>+16(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask<>+24(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL nibMask<>(SB), RODATA, $32

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package gf
+
+// Non-amd64 fallbacks: no vector kernels, the pure-Go word kernels in
+// kernel.go carry the load.
+
+const haveVecP8 = false
+
+func mulAddVecP8(lo, hi *[16]byte, dst, src []byte) int { return 0 }
+func mulVecP8(lo, hi *[16]byte, dst []byte) int         { return 0 }

@@ -415,9 +415,8 @@ func TestDecoderRejectsForgeries(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("decode after forgery attempts mismatch")
 	}
-	_, _, rejected, _ := dec.Stats()
-	if rejected != 2 {
-		t.Errorf("rejected = %d, want 2", rejected)
+	if st := dec.Stats(); st.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", st.Rejected)
 	}
 }
 
@@ -452,9 +451,8 @@ func TestDecoderDuplicateAndWrongFile(t *testing.T) {
 	if _, err := dec.Add(short); !errors.Is(err, ErrBadParams) {
 		t.Errorf("short-payload error = %v", err)
 	}
-	_, _, _, dup := dec.Stats()
-	if dup != 1 {
-		t.Errorf("duplicates = %d, want 1", dup)
+	if st := dec.Stats(); st.Duplicate != 1 {
+		t.Errorf("duplicates = %d, want 1", st.Duplicate)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"asymshare/internal/gf"
 )
@@ -62,45 +63,62 @@ func (g *CoeffGenerator) Row(fileID, messageID uint64) []uint32 {
 }
 
 // RowInto fills row (which must have length k) with the coefficients
-// for (fileID, messageID), avoiding an allocation on hot paths.
+// for (fileID, messageID), avoiding a row allocation. Each call still
+// instantiates a fresh HMAC; hot loops deriving many rows should hold a
+// Stream instead.
 func (g *CoeffGenerator) RowInto(fileID, messageID uint64, row []uint32) {
+	s := RowStream{g: g, mac: hmac.New(sha256.New, g.secret)}
+	s.RowInto(fileID, messageID, row)
+}
+
+// RowStream derives coefficient rows with a reusable keyed HMAC and
+// block buffer, so steady-state derivation allocates nothing. A
+// RowStream is not safe for concurrent use; the pipeline hands one to
+// each verifier slot.
+type RowStream struct {
+	g     *CoeffGenerator
+	mac   hash.Hash
+	block []byte
+	seed  [20]byte // fileID || messageID || block counter
+}
+
+// Stream returns a reusable row deriver bound to the generator.
+func (g *CoeffGenerator) Stream() *RowStream {
+	return &RowStream{
+		g:     g,
+		mac:   hmac.New(sha256.New, g.secret),
+		block: make([]byte, 0, sha256.Size),
+	}
+}
+
+// RowInto fills row with the coefficients for (fileID, messageID),
+// producing exactly the same stream as CoeffGenerator.RowInto.
+func (s *RowStream) RowInto(fileID, messageID uint64, row []uint32) {
+	g := s.g
 	if len(row) != g.k {
 		panic("rlnc: RowInto row length mismatch")
 	}
 	bytesPerCoeff := int(g.field.Bits()+7) / 8
 	mask := g.field.Mask()
 
-	mac := hmac.New(sha256.New, g.secret)
-	var seed [16]byte
-	binary.BigEndian.PutUint64(seed[0:], fileID)
-	binary.BigEndian.PutUint64(seed[8:], messageID)
+	binary.BigEndian.PutUint64(s.seed[0:], fileID)
+	binary.BigEndian.PutUint64(s.seed[8:], messageID)
 
-	var (
-		block   []byte
-		off     int
-		counter uint32
-	)
-	nextBlock := func() {
-		mac.Reset()
-		mac.Write(seed[:])
-		var ctr [4]byte
-		binary.BigEndian.PutUint32(ctr[:], counter)
-		mac.Write(ctr[:])
-		block = mac.Sum(block[:0])
-		off = 0
+	counter := uint32(0)
+	for i := 0; i < g.k; {
+		binary.BigEndian.PutUint32(s.seed[16:], counter)
+		s.mac.Reset()
+		s.mac.Write(s.seed[:])
+		s.block = s.mac.Sum(s.block[:0])
 		counter++
-	}
-	nextBlock()
-	for i := 0; i < g.k; i++ {
-		if off+bytesPerCoeff > len(block) {
-			nextBlock()
+		for off := 0; off+bytesPerCoeff <= len(s.block) && i < g.k; i++ {
+			var v uint32
+			for b := 0; b < bytesPerCoeff; b++ {
+				v = v<<8 | uint32(s.block[off])
+				off++
+			}
+			row[i] = v & mask
 		}
-		var v uint32
-		for b := 0; b < bytesPerCoeff; b++ {
-			v = v<<8 | uint32(block[off])
-			off++
-		}
-		row[i] = v & mask
 	}
 }
 

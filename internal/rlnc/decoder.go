@@ -25,7 +25,8 @@ var ErrWrongFile = errors.New("rlnc: message for different file")
 
 // Decoder reconstructs one generation from >= k innovative messages.
 // It is not safe for concurrent use; callers multiplexing several
-// download streams must serialize Add calls (see client.Downloader).
+// download streams must serialize Add calls (wrap it in SyncSink) or
+// use the parallel Pipeline.
 type Decoder struct {
 	params  Params
 	fileID  uint64
@@ -37,10 +38,7 @@ type Decoder struct {
 	payloads [][]byte
 	seen     map[uint64]bool
 
-	received  int // messages offered via Add
-	accepted  int // messages that were innovative
-	rejected  int // messages that failed authentication
-	duplicate int // repeated message-ids
+	stats Stats
 }
 
 // NewDecoder prepares a decoder for the generation identified by fileID.
@@ -72,64 +70,78 @@ func (d *Decoder) Done() bool { return d.Rank() >= d.params.K }
 // Needed returns how many more innovative messages are required.
 func (d *Decoder) Needed() int { return d.params.K - d.Rank() }
 
-// Stats reports message accounting: offered, innovative, rejected
-// (authentication failures) and duplicates.
-func (d *Decoder) Stats() (received, accepted, rejected, duplicate int) {
-	return d.received, d.accepted, d.rejected, d.duplicate
-}
+// Stats returns the message accounting so far (see the Stats type for
+// the bucket invariant).
+func (d *Decoder) Stats() Stats { return d.stats }
 
 // Add folds one message into the system and reports whether it was
 // innovative. Messages for other files and authentication failures
 // return errors; dependent or duplicate messages return (false, nil).
 func (d *Decoder) Add(msg *Message) (bool, error) {
-	d.received++
-	if msg.FileID != d.fileID {
-		return false, fmt.Errorf("%w: got file %d, want %d", ErrWrongFile, msg.FileID, d.fileID)
-	}
-	if len(msg.Payload) != d.params.ChunkBytes() {
-		return false, fmt.Errorf("%w: payload %d bytes, want %d",
-			ErrBadParams, len(msg.Payload), d.params.ChunkBytes())
-	}
-	if d.digests != nil {
-		want, ok := d.digests[msg.MessageID]
-		if !ok || msg.Digest() != want {
-			d.rejected++
-			return false, fmt.Errorf("%w: message-id %d", ErrBadDigest, msg.MessageID)
-		}
-	}
-	if d.seen[msg.MessageID] {
-		d.duplicate++
-		return false, nil
-	}
-	d.seen[msg.MessageID] = true
-	if d.Done() {
-		return false, nil
-	}
-
-	row := d.gen.Row(d.fileID, msg.MessageID)
-	payload := make([]byte, len(msg.Payload))
-	copy(payload, msg.Payload)
-	return d.addRow(row, payload), nil
+	return d.offer(msg, nil, nil)
 }
 
 // AddRaw folds a message whose coefficient row is supplied explicitly
 // rather than derived from the secret. This is the classic
 // coefficients-in-header network-coding mode, kept for comparison
 // benchmarks and for re-encoding experiments.
+//
+// Deprecated: AddRaw skips digest authentication and duplicate
+// tracking; new code should construct Messages and use the Sink
+// interface. It remains a thin wrapper over the same elimination path
+// as Add.
 func (d *Decoder) AddRaw(coeffs []uint32, payload []byte) (bool, error) {
-	d.received++
-	if len(coeffs) != d.params.K {
+	return d.offer(nil, coeffs, payload)
+}
+
+// offer is the single verification/elimination path behind Add and
+// AddRaw. Exactly one of msg or (coeffs, payload) is set: with msg the
+// coefficient row is re-derived from the secret and the message is
+// authenticated and de-duplicated; with explicit coeffs those keyed
+// checks do not apply.
+func (d *Decoder) offer(msg *Message, coeffs []uint32, payload []byte) (bool, error) {
+	d.stats.Received++
+	if msg != nil {
+		payload = msg.Payload
+		if msg.FileID != d.fileID {
+			d.stats.Rejected++
+			return false, fmt.Errorf("%w: got file %d, want %d", ErrWrongFile, msg.FileID, d.fileID)
+		}
+	} else if len(coeffs) != d.params.K {
+		d.stats.Rejected++
 		return false, fmt.Errorf("%w: %d coefficients, want %d", ErrBadParams, len(coeffs), d.params.K)
 	}
 	if len(payload) != d.params.ChunkBytes() {
+		d.stats.Rejected++
 		return false, fmt.Errorf("%w: payload %d bytes, want %d",
 			ErrBadParams, len(payload), d.params.ChunkBytes())
 	}
+	if msg != nil {
+		if d.digests != nil {
+			want, ok := d.digests[msg.MessageID]
+			if !ok || msg.Digest() != want {
+				d.stats.Rejected++
+				return false, fmt.Errorf("%w: message-id %d", ErrBadDigest, msg.MessageID)
+			}
+		}
+		if d.seen[msg.MessageID] {
+			d.stats.Duplicate++
+			return false, nil
+		}
+		d.seen[msg.MessageID] = true
+	}
 	if d.Done() {
+		d.stats.Redundant++
 		return false, nil
 	}
-	row := make([]uint32, len(coeffs))
-	copy(row, coeffs)
+
+	var row []uint32
+	if msg != nil {
+		row = d.gen.Row(d.fileID, msg.MessageID)
+	} else {
+		row = make([]uint32, len(coeffs))
+		copy(row, coeffs)
+	}
 	p := make([]byte, len(payload))
 	copy(p, payload)
 	return d.addRow(row, p), nil
@@ -138,12 +150,13 @@ func (d *Decoder) AddRaw(coeffs []uint32, payload []byte) (bool, error) {
 func (d *Decoder) addRow(row []uint32, payload []byte) bool {
 	f := d.params.Field
 	if !reduceRow(f, row, d.echelon, d.pivots, payload, d.payloads) {
+		d.stats.Redundant++
 		return false
 	}
 	d.echelon = append(d.echelon, row)
 	d.pivots = append(d.pivots, leadingIndex(row))
 	d.payloads = append(d.payloads, payload)
-	d.accepted++
+	d.stats.Accepted++
 	return true
 }
 

@@ -48,8 +48,7 @@ func TestDecoderRankMonotoneAndBounded(t *testing.T) {
 				return false
 			}
 			prevRank = rank
-			_, accepted, _, _ := dec.Stats()
-			if accepted != rank {
+			if st := dec.Stats(); st.Accepted != rank {
 				return false
 			}
 			if dec.Needed() != k-rank {

@@ -259,23 +259,14 @@ func (m *Matrix) String() string {
 	return fmt.Sprintf("rlnc.Matrix(%dx%d over GF(2^%d))", m.rows, m.cols, m.field.Bits())
 }
 
-// scaleRow multiplies every element of row by c.
+// scaleRow multiplies every element of row by c through gf's
+// split-table word kernel.
 func scaleRow(f gf.Field, row []uint32, c uint32) {
-	for j, v := range row {
-		if v != 0 {
-			row[j] = f.Mul(v, c)
-		}
-	}
+	gf.MulWords(f, row, c)
 }
 
-// addScaledRow computes dst += c * src element-wise.
+// addScaledRow computes dst += c * src element-wise through gf's
+// split-table word kernel.
 func addScaledRow(f gf.Field, dst, src []uint32, c uint32) {
-	if c == 0 {
-		return
-	}
-	for j, v := range src {
-		if v != 0 {
-			dst[j] ^= f.Mul(c, v)
-		}
-	}
+	gf.MulAddWords(f, dst, src, c)
 }

@@ -1,0 +1,83 @@
+package rlnc
+
+import "sync"
+
+// Stats is the message accounting shared by every decoder front end.
+// Each message offered to Add lands in exactly one outcome bucket, so
+// Received == Accepted + Rejected + Duplicate + Redundant always holds.
+type Stats struct {
+	Received  int // messages offered
+	Accepted  int // innovative: increased the decoder's rank
+	Rejected  int // failed validation or digest authentication
+	Duplicate int // repeated message-ids
+	Redundant int // authentic but linearly dependent (or rank already full)
+}
+
+// Sink is the streaming decode interface the fetch path codes against:
+// something that consumes encoded messages until it has gathered a full
+// generation. Both the sequential Decoder (wrapped in SyncSink for
+// concurrent producers) and the parallel Pipeline implement it.
+type Sink interface {
+	// Add folds one message in and reports whether it was innovative.
+	// Messages for other files and authentication failures return
+	// errors; dependent or duplicate messages return (false, nil).
+	Add(msg *Message) (bool, error)
+	// Rank is the dimension of the span gathered so far.
+	Rank() int
+	// Done reports whether rank has reached k.
+	Done() bool
+	// Stats returns the message accounting so far.
+	Stats() Stats
+}
+
+var (
+	_ Sink = (*SyncSink)(nil)
+	_ Sink = (*Pipeline)(nil)
+)
+
+// SyncSink makes a sequential Decoder usable by concurrent producers by
+// serializing every call under one mutex — the baseline the Pipeline's
+// sharded design replaces (see DESIGN.md §9).
+type SyncSink struct {
+	mu  sync.Mutex
+	dec *Decoder
+}
+
+// NewSyncSink wraps dec. The decoder must not be used directly while
+// the wrapper is in use.
+func NewSyncSink(dec *Decoder) *SyncSink { return &SyncSink{dec: dec} }
+
+// Add implements Sink.
+func (s *SyncSink) Add(msg *Message) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Add(msg)
+}
+
+// Rank implements Sink.
+func (s *SyncSink) Rank() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Rank()
+}
+
+// Done implements Sink.
+func (s *SyncSink) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Done()
+}
+
+// Stats implements Sink.
+func (s *SyncSink) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Stats()
+}
+
+// Decode completes back-substitution on the wrapped decoder.
+func (s *SyncSink) Decode() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Decode()
+}
