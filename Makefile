@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec vet bench-metrics bench-rlnc bench-rlnc-smoke chaos fuzz-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store vet bench-metrics bench-rlnc bench-rlnc-smoke chaos crash-smoke fuzz-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,21 @@ race-metrics: vet
 # per-peer goroutines.
 race-codec: vet
 	$(GO) test -race ./internal/rlnc/... ./internal/gf/... ./internal/client/...
+
+# race-store exercises the durability layer under the race detector,
+# twice: the fsx filesystem seam and fault injector, the journaled
+# store's crash-point and fault sweeps, and the ledger checkpointer.
+# Run before touching anything that fsyncs.
+race-store: vet
+	$(GO) test -race -count=2 ./internal/fsx/... ./internal/store/... ./internal/fairshare/...
+
+# crash-smoke is the crash-recovery acceptance slice on its own: every
+# power-cut and I/O-fault sweep over the journaled store, the
+# checkpointer's dual-slot sweeps, and the end-to-end
+# kill-peer-mid-dissemination scenario in the harness.
+crash-smoke:
+	$(GO) test -run 'CrashPointSweep|FaultInjectionSweep|CheckpointCrashSweep|CheckpointFaultSweep|JournalRecoveryTable|PeerCrashMidDissemination' \
+		./internal/store/ ./internal/fairshare/ ./internal/netsim/harness/
 
 # bench-metrics reports allocs/op for the metrics hot path; Counter.Inc
 # and Histogram.Observe must stay at 0 (TestHotPathAllocFree enforces
@@ -69,6 +84,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec chaos
+ci: vet build test race-metrics race-audit race-codec race-store chaos
 
-check: build test race-audit race-metrics race-codec chaos
+check: build test race-audit race-metrics race-codec race-store chaos

@@ -21,7 +21,6 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +37,7 @@ import (
 	"asymshare/internal/core"
 	"asymshare/internal/dht"
 	"asymshare/internal/fairshare"
+	"asymshare/internal/fsx"
 	"asymshare/internal/metrics"
 	"asymshare/internal/peer"
 	"asymshare/internal/ring"
@@ -128,7 +128,8 @@ func cmdServe(args []string, out io.Writer) error {
 	storeDir := fs.String("store", "", "message store directory (required)")
 	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped)")
 	ownerHex := fs.String("owner", "", "owner public key (hex) allowed to send feedback")
-	ledgerPath := fs.String("ledger", "", "receipt-ledger file persisted across restarts")
+	ledgerPath := fs.String("ledger", "", "receipt-ledger checkpoint file persisted across restarts (and crashes)")
+	ckptEvery := fs.Duration("checkpoint", fairshare.DefaultCheckpointInterval, "ledger checkpoint interval")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics and expvar on this address (e.g. 127.0.0.1:9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,11 +145,17 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if rec := st.Recovery(); rec.TruncatedTails > 0 || rec.QuarantinedFiles > 0 || rec.MigratedLegacy > 0 {
+		fmt.Fprintf(out, "store recovery: %d torn tails truncated, %d files quarantined, %d legacy files migrated\n",
+			rec.TruncatedTails, rec.QuarantinedFiles, rec.MigratedLegacy)
+	}
 	cfg := peer.Config{
-		Identity:          id,
-		Store:             st,
-		UploadBytesPerSec: *upload,
-		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Identity:           id,
+		Store:              st,
+		UploadBytesPerSec:  *upload,
+		LedgerPath:         *ledgerPath,
+		CheckpointInterval: *ckptEvery,
+		Logger:             slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	var msrv *metrics.Server
 	if *metricsAddr != "" {
@@ -170,16 +177,20 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 		cfg.Owner = owner
 	}
-	if *ledgerPath != "" {
-		ledger, err := fairshare.LoadLedgerFile(*ledgerPath, fairshare.DefaultInitialCredit)
-		if err != nil {
-			return err
-		}
-		cfg.Ledger = ledger
-	}
 	node, err := peer.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *ledgerPath != "" {
+		rec := node.LedgerRecovery()
+		switch {
+		case rec.Loaded:
+			fmt.Fprintf(out, "ledger recovered from %s (generation %d)\n", *ledgerPath, rec.Gen)
+		case rec.CorruptSlots > 0:
+			fmt.Fprintf(out, "ledger slots at %s unreadable (%d corrupt); starting fresh\n", *ledgerPath, rec.CorruptSlots)
+		default:
+			fmt.Fprintf(out, "no ledger at %s; starting fresh\n", *ledgerPath)
+		}
 	}
 	if err := node.Start(*listen); err != nil {
 		return err
@@ -193,14 +204,15 @@ func cmdServe(args []string, out io.Writer) error {
 	defer stop()
 	<-ctx.Done()
 	fmt.Fprintln(out, "shutting down")
+	// Close cancels the checkpointer's context, which writes the final
+	// ledger checkpoint before Close returns — no save call needed here,
+	// and a crash instead of an orderly shutdown costs at most one
+	// checkpoint interval.
 	if err := node.Close(); err != nil {
 		return err
 	}
 	if *ledgerPath != "" {
-		if err := cfg.Ledger.SaveFile(*ledgerPath); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "ledger saved to %s\n", *ledgerPath)
+		fmt.Fprintf(out, "ledger checkpointed to %s (generation %d)\n", *ledgerPath, node.CheckpointGen())
 	}
 	return nil
 }
@@ -254,11 +266,8 @@ func cmdShare(args []string, out io.Writer) error {
 	if handlePath == "" {
 		handlePath = *filePath + ".handle"
 	}
-	blob, err := json.MarshalIndent(res.Handle, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(handlePath, blob, 0o644); err != nil {
+	// The handle is the only way back to the file; write it durably.
+	if err := core.SaveHandleFile(handlePath, &res.Handle); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "shared %d bytes as %d messages to %d peers\nhandle: %s\nsecret (keep private!): %s\n",
@@ -321,13 +330,9 @@ func cmdFetch(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("fetch: bad secret: %w", err)
 	}
-	blob, err := os.ReadFile(*handlePath)
+	handle, err := core.LoadHandleFile(*handlePath)
 	if err != nil {
 		return err
-	}
-	var handle core.Handle
-	if err := json.Unmarshal(blob, &handle); err != nil {
-		return fmt.Errorf("fetch: bad handle: %w", err)
 	}
 	sys, err := core.NewSystem(id, nil)
 	if err != nil {
@@ -350,12 +355,14 @@ func cmdFetch(args []string, out io.Writer) error {
 	case *trackerAddr != "":
 		data, stats, err = sys.FetchFileViaTracker(ctx, *trackerAddr, &handle.Manifest, secret)
 	default:
-		data, stats, err = sys.FetchFile(ctx, &handle, secret)
+		data, stats, err = sys.FetchFile(ctx, handle, secret)
 	}
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+	// Atomic so an interrupted fetch never leaves a truncated output
+	// file that looks complete.
+	if err := fsx.WriteFileAtomic(fsx.OS, *outPath, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "fetched %d bytes in %v (%.0f B/s) from %d peers; %d msgs (%d innovative, %d rejected)\n",
@@ -391,13 +398,9 @@ func cmdUpdate(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("update: bad secret: %w", err)
 	}
-	blob, err := os.ReadFile(*handlePath)
+	handle, err := core.LoadHandleFile(*handlePath)
 	if err != nil {
 		return err
-	}
-	var handle core.Handle
-	if err := json.Unmarshal(blob, &handle); err != nil {
-		return fmt.Errorf("update: bad handle: %w", err)
 	}
 	oldData, err := os.ReadFile(*oldPath)
 	if err != nil {
@@ -411,16 +414,13 @@ func cmdUpdate(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.UpdateFile(context.Background(), &handle, secret, oldData, newData)
+	res, err := sys.UpdateFile(context.Background(), handle, secret, oldData, newData)
 	if err != nil {
 		return err
 	}
-	// The manifest digests changed: rewrite the handle.
-	blob, err = json.MarshalIndent(handle, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(*handlePath, blob, 0o644); err != nil {
+	// The manifest digests changed: rewrite the handle. Atomic, so a
+	// crash here cannot leave a torn handle pointing at nothing.
+	if err := core.SaveHandleFile(*handlePath, handle); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "patched %d chunks (%d delta messages, %d bytes) and refreshed %s\n",
@@ -459,15 +459,7 @@ func cmdList(args []string, out io.Writer) error {
 
 // loadHandle reads a handle file.
 func loadHandle(path string) (*core.Handle, error) {
-	blob, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var handle core.Handle
-	if err := json.Unmarshal(blob, &handle); err != nil {
-		return nil, fmt.Errorf("bad handle %s: %w", path, err)
-	}
-	return &handle, nil
+	return core.LoadHandleFile(path)
 }
 
 func cmdAudit(args []string, out io.Writer) error {

@@ -1,0 +1,278 @@
+package fairshare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"asymshare/internal/fsx"
+	"asymshare/internal/metrics"
+)
+
+func TestLedgerRev(t *testing.T) {
+	l := NewLedger(1)
+	r0 := l.Rev()
+	l.Credit("a", 5)
+	if l.Rev() == r0 {
+		t.Error("Credit did not bump revision")
+	}
+	r1 := l.Rev()
+	l.Credit("a", -1) // ignored
+	if l.Rev() != r1 {
+		t.Error("ignored credit bumped revision")
+	}
+	l.Debit("a", 2)
+	if l.Rev() == r1 {
+		t.Error("Debit did not bump revision")
+	}
+	r2 := l.Rev()
+	l.Decay(0.5)
+	if l.Rev() == r2 {
+		t.Error("Decay did not bump revision")
+	}
+}
+
+func TestCheckpointerAlternatesSlotsNewestWins(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLedger(DefaultInitialCredit)
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs})
+
+	l.Credit("alice", 100)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l.Credit("alice", 50)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Gen() != 2 {
+		t.Fatalf("Gen = %d", c.Gen())
+	}
+	got, rec, err := RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Loaded || rec.Gen != 2 || rec.CorruptSlots != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if got.Received("alice") != l.Received("alice") {
+		t.Fatalf("recovered standing = %v, want %v", got.Received("alice"), l.Received("alice"))
+	}
+
+	// Damage the newest slot: the previous generation still recovers.
+	newest := c.slotPath(2)
+	f, err := efs.OpenFile(newest, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("{not json"))
+	f.Close()
+	got, rec, err = RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Loaded || rec.Gen != 1 || rec.CorruptSlots != 1 {
+		t.Fatalf("recovery after damage = %+v", rec)
+	}
+	if got.Received("alice") != 100+DefaultInitialCredit {
+		t.Fatalf("recovered standing = %v", got.Received("alice"))
+	}
+
+	// Both slots damaged: fresh ledger, no boot failure.
+	f, _ = efs.OpenFile(c.slotPath(1), os.O_WRONLY|os.O_TRUNC, 0o644)
+	f.Write([]byte("garbage"))
+	f.Close()
+	got, rec, err = RecoverLedger(efs, "/d/ledger", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loaded || rec.CorruptSlots != 2 {
+		t.Fatalf("recovery with both slots damaged = %+v", rec)
+	}
+	if got.Received("alice") != 0.5 {
+		t.Fatalf("fresh ledger initial = %v", got.Received("alice"))
+	}
+}
+
+func TestCheckpointerSkipsCleanLedger(t *testing.T) {
+	efs := fsx.NewErrFS(2)
+	efs.MkdirAll("/d", 0o755)
+	reg := metrics.NewRegistry()
+	l := NewLedger(DefaultInitialCredit)
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs, Metrics: reg})
+	if err := c.Checkpoint(); err != nil { // first save always happens
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil { // clean: skipped
+		t.Fatal(err)
+	}
+	if c.Gen() != 1 {
+		t.Fatalf("clean checkpoint advanced generation to %d", c.Gen())
+	}
+	l.Credit("bob", 1)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Gen() != 2 {
+		t.Fatalf("dirty checkpoint did not advance: gen %d", c.Gen())
+	}
+	saves := counterValue(reg, MetricCheckpoints)
+	if saves != 2 {
+		t.Errorf("checkpoints_total = %v, want 2", saves)
+	}
+}
+
+func counterValue(reg *metrics.Registry, name string) float64 {
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name == name {
+			var sum float64
+			for _, s := range fam.Series {
+				sum += s.Value
+			}
+			return sum
+		}
+	}
+	return 0
+}
+
+func TestCheckpointerRunFinalSave(t *testing.T) {
+	efs := fsx.NewErrFS(3)
+	efs.MkdirAll("/d", 0o755)
+	l := NewLedger(DefaultInitialCredit)
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs, Interval: time.Hour})
+	l.Credit("carol", 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { c.Run(ctx); close(done) }()
+	cancel() // the interval never fires; the shutdown save must
+	<-done
+	got, rec, err := RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Loaded {
+		t.Fatal("shutdown checkpoint missing")
+	}
+	if got.Received("carol") != 42+DefaultInitialCredit {
+		t.Fatalf("recovered standing = %v", got.Received("carol"))
+	}
+}
+
+// TestCheckpointCrashSweep crashes the filesystem at every operation of
+// a checkpoint cycle and asserts recovery always yields either the
+// previous or the new generation — intact — and never fails.
+func TestCheckpointCrashSweep(t *testing.T) {
+	runOnce := func(efs *fsx.ErrFS) error {
+		l := NewLedger(DefaultInitialCredit)
+		c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs})
+		l.Credit("a", 10)
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		l.Credit("a", 20)
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		l.Credit("a", 30)
+		return c.Checkpoint()
+	}
+	clean := fsx.NewErrFS(1)
+	clean.MkdirAll("/d", 0o755)
+	if err := runOnce(clean); err != nil {
+		t.Fatal(err)
+	}
+	total := clean.Ops()
+	for n := 1; n <= total; n++ {
+		label := fmt.Sprintf("crash@%d", n)
+		efs := fsx.NewErrFS(int64(n))
+		efs.MkdirAll("/d", 0o755)
+		efs.CrashAtOp(efs.Ops() + n)
+		runOnce(efs) // fails at some point; error content irrelevant
+		efs.Reboot()
+		got, rec, err := RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+		if err != nil {
+			t.Fatalf("%s: recover: %v", label, err)
+		}
+		if rec.CorruptSlots != 0 {
+			t.Fatalf("%s: crash produced corrupt slot: %+v", label, rec)
+		}
+		// Accumulate exactly as the ledger does: float addition is not
+		// associative, so `60 + initial` is not bit-identical.
+		v1 := DefaultInitialCredit + 10
+		v2 := v1 + 20
+		v3 := v2 + 30
+		want := map[uint64]float64{0: DefaultInitialCredit, 1: v1, 2: v2, 3: v3}[rec.Gen]
+		if got.Received("a") != want {
+			t.Fatalf("%s: gen %d standing = %v, want %v", label, rec.Gen, got.Received("a"), want)
+		}
+	}
+}
+
+// TestCheckpointFaultSweep injects a one-shot I/O error at every
+// operation and asserts the checkpoint either succeeds or fails with
+// the injected error while the previous generation stays recoverable.
+func TestCheckpointFaultSweep(t *testing.T) {
+	clean := fsx.NewErrFS(1)
+	clean.MkdirAll("/d", 0o755)
+	l := NewLedger(DefaultInitialCredit)
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: clean})
+	l.Credit("a", 10)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := clean.Ops()
+	l.Credit("a", 20)
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	perCheckpoint := clean.Ops() - base
+
+	for n := 1; n <= perCheckpoint; n++ {
+		efs := fsx.NewErrFS(int64(n))
+		efs.MkdirAll("/d", 0o755)
+		l := NewLedger(DefaultInitialCredit)
+		c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs})
+		l.Credit("a", 10)
+		if err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		l.Credit("a", 20)
+		efs.FailOp(efs.Ops()+n, fsx.ErrDiskIO)
+		err := c.Checkpoint()
+		if err != nil && !errors.Is(err, fsx.ErrDiskIO) {
+			t.Fatalf("fault@%d: foreign error: %v", n, err)
+		}
+		got, rec, rerr := RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+		if rerr != nil {
+			t.Fatalf("fault@%d: recover: %v", n, rerr)
+		}
+		if !rec.Loaded {
+			t.Fatalf("fault@%d: lost every checkpoint: %+v", n, rec)
+		}
+		v1 := DefaultInitialCredit + 10
+		v2 := v1 + 20
+		g := got.Received("a")
+		if g != v1 && g != v2 {
+			t.Fatalf("fault@%d: standing = %v", n, g)
+		}
+		if err == nil && g != v2 {
+			t.Fatalf("fault@%d: checkpoint acked but old standing %v recovered", n, g)
+		}
+		// A failed checkpoint retries cleanly once the fault clears.
+		if err != nil {
+			if err := c.Checkpoint(); err != nil {
+				t.Fatalf("fault@%d: retry: %v", n, err)
+			}
+			got, _, _ := RecoverLedger(efs, "/d/ledger", DefaultInitialCredit)
+			if got.Received("a") != v2 {
+				t.Fatalf("fault@%d: retry did not persist", n)
+			}
+		}
+	}
+}

@@ -35,6 +35,7 @@ type Ledger struct {
 	mu       sync.RWMutex
 	received map[ID]float64
 	initial  float64
+	rev      uint64 // bumped on every mutation; checkpointing skips clean ledgers
 
 	creditEvents  *metrics.Counter
 	debitEvents   *metrics.Counter
@@ -84,6 +85,7 @@ func (l *Ledger) Credit(from ID, amount float64) {
 		l.received[from] = l.initial
 	}
 	l.received[from] += amount
+	l.rev++
 	l.creditEvents.Inc()
 	l.creditedUnits.Add(amount)
 }
@@ -113,6 +115,7 @@ func (l *Ledger) Debit(from ID, amount float64) {
 		v = 0
 	}
 	l.received[from] = v
+	l.rev++
 	l.debitEvents.Inc()
 	l.debitedUnits.Add(amount)
 }
@@ -141,6 +144,16 @@ func (l *Ledger) Decay(factor float64) {
 	for id := range l.received {
 		l.received[id] *= factor
 	}
+	l.rev++
+}
+
+// Rev returns a revision counter that changes whenever the ledger
+// does. Persistence layers compare revisions to skip saving a ledger
+// that has not moved since the last checkpoint.
+func (l *Ledger) Rev() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.rev
 }
 
 // Snapshot returns a copy of the ledger contents.

@@ -2,32 +2,57 @@ package fairshare
 
 // Ledger persistence. A peer's receipt ledger is the only state the
 // allocation rule depends on; losing it on restart would zero every
-// contributor's standing. Ledgers serialize to a small JSON document.
+// contributor's standing — Theorem 1's incentive and Corollary 1's
+// fairness both assume R_i survives. Ledgers serialize to a small JSON
+// document, and file saves are fully synced: temp file fsync, rename,
+// parent-directory fsync, so a crash leaves either the old or the new
+// ledger — never a torn one, and never a name pointing at nothing.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
+	"io/fs"
+
+	"asymshare/internal/fsx"
 )
 
-// ledgerDoc is the serialized form.
+// ledgerDoc is the serialized form. Gen is the checkpoint generation
+// (see Checkpointer); plain SaveFile writes leave it zero.
 type ledgerDoc struct {
 	Initial  float64        `json:"initial"`
 	Received map[ID]float64 `json:"received"`
+	Gen      uint64         `json:"gen,omitempty"`
+}
+
+// doc snapshots the ledger into its serialized form.
+func (l *Ledger) doc(gen uint64) ledgerDoc {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	doc := ledgerDoc{Initial: l.initial, Received: make(map[ID]float64, len(l.received)), Gen: gen}
+	for id, v := range l.received {
+		doc.Received[id] = v
+	}
+	return doc
+}
+
+// ledgerFromDoc validates and rebuilds a ledger.
+func ledgerFromDoc(doc ledgerDoc) (*Ledger, error) {
+	l := NewLedger(doc.Initial)
+	for id, v := range doc.Received {
+		if v < 0 {
+			return nil, fmt.Errorf("fairshare: load ledger: negative entry for %q", id)
+		}
+		l.received[id] = v
+	}
+	return l, nil
 }
 
 // SaveJSON writes the ledger state to w.
 func (l *Ledger) SaveJSON(w io.Writer) error {
-	l.mu.RLock()
-	doc := ledgerDoc{Initial: l.initial, Received: make(map[ID]float64, len(l.received))}
-	for id, v := range l.received {
-		doc.Received[id] = v
-	}
-	l.mu.RUnlock()
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(doc); err != nil {
+	if err := enc.Encode(l.doc(0)); err != nil {
 		return fmt.Errorf("fairshare: save ledger: %w", err)
 	}
 	return nil
@@ -39,53 +64,66 @@ func LoadLedgerJSON(r io.Reader) (*Ledger, error) {
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("fairshare: load ledger: %w", err)
 	}
-	l := NewLedger(doc.Initial)
-	for id, v := range doc.Received {
-		if v < 0 {
-			return nil, fmt.Errorf("fairshare: load ledger: negative entry for %q", id)
-		}
-		l.received[id] = v
-	}
-	return l, nil
+	return ledgerFromDoc(doc)
 }
 
-// SaveFile atomically persists the ledger to path.
-func (l *Ledger) SaveFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "ledger-*")
+// marshal renders the ledger with an explicit generation.
+func (l *Ledger) marshal(gen uint64) ([]byte, error) {
+	data, err := json.Marshal(l.doc(gen))
 	if err != nil {
-		return fmt.Errorf("fairshare: save ledger: %w", err)
+		return nil, fmt.Errorf("fairshare: save ledger: %w", err)
 	}
-	tmpName := tmp.Name()
-	ok := false
-	defer func() {
-		if !ok {
-			tmp.Close()
-			os.Remove(tmpName)
-		}
-	}()
-	if err := l.SaveJSON(tmp); err != nil {
+	return append(data, '\n'), nil
+}
+
+// SaveFile durably persists the ledger to path on the real filesystem.
+func (l *Ledger) SaveFile(path string) error {
+	return l.SaveFileFS(fsx.OS, path)
+}
+
+// SaveFileFS durably persists the ledger to path through an fsx.FS.
+func (l *Ledger) SaveFileFS(fsys fsx.FS, path string) error {
+	data, err := l.marshal(0)
+	if err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
+	if err := fsx.WriteFileAtomic(fsys, path, data, 0o644); err != nil {
 		return fmt.Errorf("fairshare: save ledger: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("fairshare: save ledger: %w", err)
-	}
-	ok = true
 	return nil
 }
 
-// LoadLedgerFile reads a ledger from path. A missing file yields a
-// fresh ledger with the given initial credit (first boot).
+// LoadLedgerFile reads a ledger from path on the real filesystem. A
+// missing file yields a fresh ledger with the given initial credit
+// (first boot).
 func LoadLedgerFile(path string, initial float64) (*Ledger, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return NewLedger(initial), nil
-	}
+	return LoadLedgerFileFS(fsx.OS, path, initial)
+}
+
+// LoadLedgerFileFS reads a ledger from path through an fsx.FS.
+func LoadLedgerFileFS(fsys fsx.FS, path string, initial float64) (*Ledger, error) {
+	data, err := fsx.ReadFile(fsys, path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return NewLedger(initial), nil
+		}
 		return nil, fmt.Errorf("fairshare: load ledger: %w", err)
 	}
-	defer f.Close()
-	return LoadLedgerJSON(f)
+	doc, err := parseDoc(data)
+	if err != nil {
+		return nil, err
+	}
+	return ledgerFromDoc(doc)
 }
+
+// parseDoc unmarshals a serialized ledger document.
+func parseDoc(data []byte) (ledgerDoc, error) {
+	var doc ledgerDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return ledgerDoc{}, fmt.Errorf("fairshare: load ledger: %w", err)
+	}
+	return doc, nil
+}
+
+// isNotExistErr reports whether err means "file does not exist".
+func isNotExistErr(err error) bool { return errors.Is(err, fs.ErrNotExist) }

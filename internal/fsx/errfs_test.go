@@ -1,0 +1,230 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+// write is a test helper: create/append name with data, optionally
+// syncing file and directory.
+func write(t *testing.T, e *ErrFS, name string, data []byte, sync, syncDir bool) error {
+	t.Helper()
+	f, err := e.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if syncDir {
+		return e.SyncDir("/d")
+	}
+	return nil
+}
+
+func TestCrashKeepsSyncedPrefix(t *testing.T) {
+	e := NewErrFS(3)
+	e.MkdirAll("/d", 0o755)
+	if err := write(t, e, "/d/f", []byte("durable"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced append: may survive partially (torn tail), never more.
+	if err := write(t, e, "/d/f", []byte("-volatile"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	if _, err := ReadFile(e, "/d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v", err)
+	}
+	e.Reboot()
+	got, err := ReadFile(e, "/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("durable")) {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if len(got) > len("durable-volatile") {
+		t.Fatalf("content grew across crash: %q", got)
+	}
+	if !bytes.HasPrefix([]byte("durable-volatile"), got) {
+		t.Fatalf("torn tail is not a prefix of what was written: %q", got)
+	}
+}
+
+func TestCrashLosesUnsyncedDirEntry(t *testing.T) {
+	e := NewErrFS(4)
+	e.MkdirAll("/d", 0o755)
+	// File fully fsynced but the directory never synced: the classic
+	// pitfall — the file vanishes.
+	if err := write(t, e, "/d/ghost", []byte("data"), true, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	e.Reboot()
+	if _, err := e.Stat("/d/ghost"); err == nil {
+		t.Fatal("file with unsynced dir entry survived the crash")
+	}
+	// With the dir synced it survives.
+	e2 := NewErrFS(4)
+	e2.MkdirAll("/d", 0o755)
+	if err := write(t, e2, "/d/kept", []byte("data"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	e2.Crash()
+	e2.Reboot()
+	if got, err := ReadFile(e2, "/d/kept"); err != nil || string(got) != "data" {
+		t.Fatalf("synced file+dir = %q, %v", got, err)
+	}
+}
+
+func TestCrashRevertsUnsyncedRenameAndRemove(t *testing.T) {
+	e := NewErrFS(5)
+	e.MkdirAll("/d", 0o755)
+	if err := write(t, e, "/d/a", []byte("A"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := write(t, e, "/d/b", []byte("B"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Rename("/d/a", "/d/a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove("/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	// Neither was followed by SyncDir: both revert.
+	e.Crash()
+	e.Reboot()
+	if got, err := ReadFile(e, "/d/a"); err != nil || string(got) != "A" {
+		t.Fatalf("unsynced rename not reverted: %q, %v", got, err)
+	}
+	if _, err := e.Stat("/d/a2"); err == nil {
+		t.Fatal("rename target survived without dir sync")
+	}
+	if got, err := ReadFile(e, "/d/b"); err != nil || string(got) != "B" {
+		t.Fatalf("unsynced remove not reverted: %q, %v", got, err)
+	}
+}
+
+func TestFailOpInjectsOnce(t *testing.T) {
+	e := NewErrFS(6)
+	e.MkdirAll("/d", 0o755)
+	e.FailOp(2, ErrNoSpace) // op1 = create, op2 = first write
+	f, err := e.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write = %v, want injected ErrNoSpace", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("second write after injected failure: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadFile(e, "/d/f"); string(got) != "x" {
+		t.Fatalf("content = %q, failed write must not land", got)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	e := NewErrFS(8)
+	e.MkdirAll("/d", 0o755)
+	f, err := e.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ShortWriteOp(e.Ops() + 1)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write landed %d bytes", n)
+	}
+	f.Close()
+	if got, _ := ReadFile(e, "/d/f"); string(got) != "abcd" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestCrashAtOpDeterministicReplay(t *testing.T) {
+	run := func(seed int64, crashAt int) []byte {
+		e := NewErrFS(seed)
+		e.MkdirAll("/d", 0o755)
+		if crashAt > 0 {
+			e.CrashAtOp(crashAt)
+		}
+		for i := 0; i < 6; i++ {
+			if err := write(t, e, "/d/f", bytes.Repeat([]byte{byte('a' + i)}, 32), true, i == 0); err != nil {
+				break
+			}
+		}
+		e.Reboot()
+		got, err := ReadFile(e, "/d/f")
+		if err != nil {
+			return nil
+		}
+		return got
+	}
+	clean := NewErrFS(11)
+	clean.MkdirAll("/d", 0o755)
+	for i := 0; i < 6; i++ {
+		if err := write(t, clean, "/d/f", bytes.Repeat([]byte{byte('a' + i)}, 32), true, i == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := clean.Ops()
+	if total < 6 {
+		t.Fatalf("implausible op count %d", total)
+	}
+	for n := 1; n <= total; n++ {
+		a := run(11, n)
+		b := run(11, n)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("crash at op %d not deterministic:\n%x\n%x", n, a, b)
+		}
+	}
+	// A different seed may tear differently somewhere in the sweep.
+	diverged := false
+	for n := 1; n <= total && !diverged; n++ {
+		if !bytes.Equal(run(11, n), run(12, n)) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Log("seeds 11 and 12 agreed at every crash point (possible, just unlikely)")
+	}
+}
+
+func TestStaleHandlesDieAcrossReboot(t *testing.T) {
+	e := NewErrFS(13)
+	e.MkdirAll("/d", 0o755)
+	f, err := e.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	e.Reboot()
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle sync = %v", err)
+	}
+}

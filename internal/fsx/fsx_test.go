@@ -1,0 +1,213 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// implementations returns both FS implementations rooted at a fresh
+// directory, so the contract tests run against the real OS and the
+// fault injector alike.
+func implementations(t *testing.T) map[string]struct {
+	fsys FS
+	root string
+} {
+	t.Helper()
+	efs := NewErrFS(1)
+	if err := efs.MkdirAll("/root", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]struct {
+		fsys FS
+		root string
+	}{
+		"os":    {OS, t.TempDir()},
+		"errfs": {efs, "/root"},
+	}
+}
+
+func TestFSContract(t *testing.T) {
+	for name, impl := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			fsys, root := impl.fsys, impl.root
+			path := filepath.Join(root, "a.txt")
+
+			if _, err := fsys.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("Stat missing = %v", err)
+			}
+			f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(fsys, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "hello world" {
+				t.Fatalf("content = %q", got)
+			}
+			info, err := fsys.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() != 11 || info.IsDir() {
+				t.Fatalf("Stat = size %d dir %v", info.Size(), info.IsDir())
+			}
+
+			// Append mode continues at the end.
+			f, err = fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("!")); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if got, _ := ReadFile(fsys, path); string(got) != "hello world!" {
+				t.Fatalf("after append = %q", got)
+			}
+
+			// Rename + ReadDir + Remove.
+			dst := filepath.Join(root, "b.txt")
+			if err := fsys.Rename(path, dst); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.SyncDir(root); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := fsys.ReadDir(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 1 || entries[0].Name() != "b.txt" {
+				t.Fatalf("ReadDir = %v", entries)
+			}
+			if err := fsys.Remove(dst); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.Stat(dst); !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("Stat after Remove = %v", err)
+			}
+
+			// Truncate cuts the logical content.
+			f, err = fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Seek(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if got, _ := ReadFile(fsys, path); string(got) != "0123" {
+				t.Fatalf("after truncate = %q", got)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	for name, impl := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(impl.root, "doc.json")
+			if err := WriteFileAtomic(impl.fsys, path, []byte("v1"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFileAtomic(impl.fsys, path, []byte("v2"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(impl.fsys, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "v2" {
+				t.Fatalf("content = %q", got)
+			}
+			// No temp litter.
+			entries, err := impl.fsys.ReadDir(impl.root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 1 {
+				t.Fatalf("dir entries = %v", entries)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesOld(t *testing.T) {
+	efs := NewErrFS(7)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := "/d/doc"
+	if err := WriteFileAtomic(efs, path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fail every mutating op of the second write in turn; the visible
+	// content must be "old" or "new", never a mix, and the temp file
+	// must not survive a failure.
+	probe := NewErrFS(7)
+	probe.MkdirAll("/d", 0o755)
+	if err := WriteFileAtomic(probe, path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := probe.Ops()
+	if err := WriteFileAtomic(probe, path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops() - base
+
+	for i := 1; i <= total; i++ {
+		efs := NewErrFS(int64(i))
+		efs.MkdirAll("/d", 0o755)
+		if err := WriteFileAtomic(efs, path, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		efs.FailOp(efs.Ops()+i, ErrDiskIO)
+		err := WriteFileAtomic(efs, path, []byte("new"), 0o644)
+		got, readErr := ReadFile(efs, path)
+		if readErr != nil {
+			t.Fatalf("op %d: read back: %v", i, readErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrDiskIO) {
+				t.Fatalf("op %d: error not the injected one: %v", i, err)
+			}
+			if string(got) != "old" && string(got) != "new" {
+				t.Fatalf("op %d: torn content %q", i, got)
+			}
+		} else if string(got) != "new" {
+			t.Fatalf("op %d: clean write left %q", i, got)
+		}
+	}
+}
+
+func TestOSSyncDir(t *testing.T) {
+	if err := OS.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on real dir: %v", err)
+	}
+	if err := OS.SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on missing dir succeeded")
+	}
+}

@@ -10,6 +10,7 @@ package harness
 import (
 	"bytes"
 	"context"
+	"crypto/ed25519"
 	"os"
 	"strconv"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"asymshare/internal/auth"
 	"asymshare/internal/client"
 	"asymshare/internal/fairshare"
+	"asymshare/internal/fsx"
 	"asymshare/internal/gf"
 	"asymshare/internal/netsim"
 	"asymshare/internal/peer"
@@ -151,6 +153,85 @@ func Start(t *testing.T, seed int64, n int) *Cluster {
 		})
 	}
 	return c
+}
+
+// DurablePeer is a storage peer whose state survives crashes: its
+// message store is a journaled store.Disk and its receipt ledger
+// checkpoints to the same filesystem — an fsx.ErrFS, so tests can
+// power-cut the peer's disk deterministically and reboot it.
+type DurablePeer struct {
+	Host       string
+	ID         *auth.Identity
+	Owner      ed25519.PublicKey
+	FS         *fsx.ErrFS
+	Dir        string // store directory on FS
+	LedgerPath string // ledger checkpoint path on FS
+
+	Node  *peer.Node
+	Store *store.Disk
+	Addr  string
+}
+
+// StartDurablePeer boots a storage peer on the cluster fabric whose
+// store and ledger live on the given ErrFS. owner, if non-nil, may
+// send the peer ledger feedback. Restart reboots it after a crash.
+func (c *Cluster) StartDurablePeer(efs *fsx.ErrFS, host string, keyByte byte, owner ed25519.PublicKey) *DurablePeer {
+	c.t.Helper()
+	p := &DurablePeer{
+		Host:       host,
+		ID:         testIdentity(c.t, keyByte),
+		Owner:      owner,
+		FS:         efs,
+		Dir:        "/" + host + "/store",
+		LedgerPath: "/" + host + "/ledger",
+	}
+	if err := efs.MkdirAll(p.Dir, 0o755); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := p.boot(c); err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(func() { p.Node.Close() })
+	return p
+}
+
+// boot (re)opens the journaled store and starts a node on the peer's
+// fabric host. The periodic checkpoint timer is effectively disabled
+// so tests control durability points via Node.CheckpointNow.
+func (p *DurablePeer) boot(c *Cluster) error {
+	st, err := store.OpenDiskWith(p.Dir, store.DiskOptions{FS: p.FS})
+	if err != nil {
+		return err
+	}
+	node, err := peer.New(peer.Config{
+		Identity:           p.ID,
+		Store:              st,
+		Owner:              p.Owner,
+		LedgerPath:         p.LedgerPath,
+		CheckpointInterval: time.Hour,
+		FS:                 p.FS,
+		Transport:          c.Fabric.Host(p.Host),
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(":0"); err != nil {
+		return err
+	}
+	p.Store, p.Node, p.Addr = st, node, node.Addr().String()
+	return nil
+}
+
+// Restart simulates the machine coming back after a power cut: the
+// dead node is discarded, the filesystem reboots, the store recovers
+// its journals and the ledger its newest checkpoint, and a fresh node
+// listens on the same fabric host.
+func (p *DurablePeer) Restart(c *Cluster) error {
+	c.t.Helper()
+	p.Node.Close()
+	p.Store.Close()
+	p.FS.Reboot()
+	return p.boot(c)
 }
 
 // Client returns a client dialing from the given fabric host.

@@ -1,0 +1,130 @@
+package peer_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"asymshare/internal/fairshare"
+	"asymshare/internal/fsx"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+)
+
+// durableConfig returns a node config whose ledger lives at path on
+// the given filesystem, with the periodic timer effectively disabled
+// so tests control every checkpoint.
+func durableConfig(t *testing.T, fsys fsx.FS, path string) peer.Config {
+	t.Helper()
+	return peer.Config{
+		Identity:           identity(t, 1),
+		Store:              store.NewMemory(),
+		LedgerPath:         path,
+		CheckpointInterval: time.Hour,
+		FS:                 fsys,
+	}
+}
+
+// TestNodeLedgerSurvivesRestart runs the full lifecycle: a node earns
+// standing, shuts down (final checkpoint), and a second node at the
+// same path recovers the exact ledger.
+func TestNodeLedgerSurvivesRestart(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	n1 := startPeer(t, durableConfig(t, efs, "/d/ledger"))
+	if rec := n1.LedgerRecovery(); rec.Loaded {
+		t.Fatalf("first boot claims recovery: %+v", rec)
+	}
+	n1.Ledger().Credit("alice", 123)
+	want := n1.Ledger().Received("alice")
+	if err := n1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n1.CheckpointGen() == 0 {
+		t.Fatal("close did not checkpoint the ledger")
+	}
+
+	n2, err := peer.New(durableConfig(t, efs, "/d/ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := n2.LedgerRecovery()
+	if !rec.Loaded || rec.CorruptSlots != 0 {
+		t.Fatalf("restart recovery = %+v", rec)
+	}
+	if got := n2.Ledger().Received("alice"); got != want {
+		t.Fatalf("recovered standing = %v, want %v", got, want)
+	}
+	if rec.Gen != n1.CheckpointGen() {
+		t.Fatalf("recovered gen %d, last checkpoint gen %d", rec.Gen, n1.CheckpointGen())
+	}
+}
+
+// TestNodeLedgerCrashLosesAtMostOneInterval kills the filesystem
+// between a checkpoint and a later credit: restart recovers the
+// checkpointed standing, not zero and not the unsaved tail.
+func TestNodeLedgerCrashLosesAtMostOneInterval(t *testing.T) {
+	efs := fsx.NewErrFS(2)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	n1 := startPeer(t, durableConfig(t, efs, "/d/ledger"))
+	n1.Ledger().Credit("alice", 100)
+	if err := n1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	saved := n1.Ledger().Received("alice")
+	n1.Ledger().Credit("alice", 7) // never checkpointed
+
+	efs.Crash()
+	// Close still succeeds: the final checkpoint fails against the dead
+	// disk but Run absorbs the error rather than wedging shutdown.
+	if err := n1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	efs.Reboot()
+
+	n2, err := peer.New(durableConfig(t, efs, "/d/ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := n2.LedgerRecovery()
+	if !rec.Loaded || rec.CorruptSlots != 0 {
+		t.Fatalf("post-crash recovery = %+v", rec)
+	}
+	if got := n2.Ledger().Received("alice"); got != saved {
+		t.Fatalf("post-crash standing = %v, want checkpointed %v", got, saved)
+	}
+}
+
+// TestNodeBootsWithDamagedLedgerSlots damages both checkpoint slots:
+// the node must boot with a fresh ledger, not refuse to start.
+func TestNodeBootsWithDamagedLedgerSlots(t *testing.T) {
+	efs := fsx.NewErrFS(3)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []string{"/d/ledger", "/d/ledger.1"} {
+		f, err := efs.OpenFile(slot, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("{torn"))
+		f.Close()
+	}
+	n, err := peer.New(durableConfig(t, efs, "/d/ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := n.LedgerRecovery()
+	if rec.Loaded || rec.CorruptSlots != 2 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if got := n.Ledger().Received("anyone"); got != fairshare.DefaultInitialCredit {
+		t.Fatalf("fresh ledger initial = %v", got)
+	}
+}

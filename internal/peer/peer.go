@@ -20,6 +20,7 @@ import (
 
 	"asymshare/internal/auth"
 	"asymshare/internal/fairshare"
+	"asymshare/internal/fsx"
 	"asymshare/internal/metrics"
 	"asymshare/internal/ratelimit"
 	"asymshare/internal/store"
@@ -62,8 +63,27 @@ type Config struct {
 	Allocator fairshare.Allocator
 
 	// Ledger is the peer's receipt ledger; nil creates a fresh one with
-	// the default initial credit.
+	// the default initial credit, or recovers one from LedgerPath when
+	// that is set.
 	Ledger *fairshare.Ledger
+
+	// LedgerPath, when set, makes the ledger durable: New recovers the
+	// newest valid checkpoint from the dual slots at this path (see
+	// fairshare.RecoverLedger) and the running node checkpoints the
+	// ledger periodically and once more on Close. Without it a crash
+	// zeroes every contributor's standing — the state Eq. (2) allocates
+	// by and Theorem 1 assumes persists.
+	LedgerPath string
+
+	// CheckpointInterval is how often a dirty ledger is saved; zero
+	// means fairshare.DefaultCheckpointInterval. Ignored without
+	// LedgerPath.
+	CheckpointInterval time.Duration
+
+	// FS is the filesystem the ledger checkpoints go through; nil means
+	// the real OS. Tests inject an fsx.ErrFS to crash the node's
+	// durable state deterministically.
+	FS fsx.FS
 
 	// ReallocInterval is how often stream rates are recomputed; zero
 	// means DefaultReallocInterval.
@@ -97,12 +117,14 @@ type Config struct {
 
 // Node is a running peer.
 type Node struct {
-	cfg      Config
-	ledger   *fairshare.Ledger
-	alloc    fairshare.Allocator
-	log      *slog.Logger
-	interval time.Duration
-	m        nodeMetrics
+	cfg       Config
+	ledger    *fairshare.Ledger
+	alloc     fairshare.Allocator
+	log       *slog.Logger
+	interval  time.Duration
+	m         nodeMetrics
+	ckpt      *fairshare.Checkpointer
+	ledgerRec fairshare.LedgerRecovery
 
 	ln     net.Listener
 	ctx    context.Context
@@ -151,6 +173,19 @@ func New(cfg Config) (*Node, error) {
 		bytesOut: make(map[fairshare.ID]int64),
 		owners:   make(map[uint64]fairshare.ID),
 	}
+	if cfg.LedgerPath != "" {
+		led, rec, err := fairshare.RecoverLedger(cfg.FS, cfg.LedgerPath, fairshare.DefaultInitialCredit)
+		if err != nil {
+			return nil, fmt.Errorf("peer: recover ledger: %w", err)
+		}
+		n.ledgerRec = rec
+		if n.ledger == nil {
+			// Recovered standing replaces the fresh-ledger default; an
+			// explicitly injected ledger wins, but the on-disk generation
+			// still seeds the checkpointer so generations never regress.
+			n.ledger = led
+		}
+	}
 	if n.ledger == nil {
 		n.ledger = fairshare.NewLedger(fairshare.DefaultInitialCredit)
 	}
@@ -168,6 +203,16 @@ func New(cfg Config) (*Node, error) {
 		n.cfg.Store = store.Instrument(n.cfg.Store, cfg.Metrics)
 		n.ledger.Instrument(cfg.Metrics)
 		n.alloc = fairshare.InstrumentAllocator(n.alloc, cfg.Metrics)
+	}
+	if cfg.LedgerPath != "" {
+		n.ckpt = fairshare.NewCheckpointer(fairshare.CheckpointConfig{
+			Ledger:   n.ledger,
+			Path:     cfg.LedgerPath,
+			Interval: cfg.CheckpointInterval,
+			FS:       cfg.FS,
+			Gen:      n.ledgerRec.Gen,
+			Metrics:  cfg.Metrics,
+		})
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	return n, nil
@@ -195,6 +240,18 @@ func (n *Node) Start(addr string) error {
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.reallocLoop()
+	if n.ckpt != nil {
+		// Close cancels n.ctx before wg.Wait, so Run's shutdown path
+		// writes one final checkpoint before Close returns.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.ckpt.Run(n.ctx)
+		}()
+		n.log.Info("ledger checkpointing enabled",
+			"path", n.cfg.LedgerPath, "gen", n.ledgerRec.Gen,
+			"recovered", n.ledgerRec.Loaded, "corrupt_slots", n.ledgerRec.CorruptSlots)
+	}
 	n.log.Info("peer started", "addr", ln.Addr().String(), "fingerprint", n.cfg.Identity.Fingerprint())
 	return nil
 }
@@ -211,6 +268,29 @@ func (n *Node) Addr() net.Addr {
 
 // Ledger exposes the node's receipt ledger (shared, concurrent-safe).
 func (n *Node) Ledger() *fairshare.Ledger { return n.ledger }
+
+// LedgerRecovery reports what New found at Config.LedgerPath. The
+// zero value is returned when the node has no durable ledger.
+func (n *Node) LedgerRecovery() fairshare.LedgerRecovery { return n.ledgerRec }
+
+// CheckpointGen returns the generation of the newest completed ledger
+// checkpoint, or 0 when the node has no durable ledger.
+func (n *Node) CheckpointGen() uint64 {
+	if n.ckpt == nil {
+		return 0
+	}
+	return n.ckpt.Gen()
+}
+
+// CheckpointNow forces an immediate ledger checkpoint (no-op without a
+// durable ledger). The periodic Run loop normally handles this; it is
+// exposed for operators and tests that need a hard durability point.
+func (n *Node) CheckpointNow() error {
+	if n.ckpt == nil {
+		return nil
+	}
+	return n.ckpt.Checkpoint()
+}
 
 // Close stops serving and waits for all connection handlers to exit.
 func (n *Node) Close() error {

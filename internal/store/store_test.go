@@ -196,12 +196,27 @@ func TestDiskDropRemovesFile(t *testing.T) {
 }
 
 func TestDiskCorruptFile(t *testing.T) {
+	// A corrupt data file must not brick the store: it is quarantined as
+	// `<name>.corrupt` and the store opens without it.
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "ff.dat"), []byte{0, 0, 0, 9, 1, 2}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenDisk(dir); !errors.Is(err, ErrCorrupt) {
-		t.Errorf("corrupt open error = %v", err)
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("corrupt file must quarantine, not fail open: %v", err)
+	}
+	if got := d.Files(); len(got) != 0 {
+		t.Errorf("Files = %v, want empty", got)
+	}
+	if got := d.Recovery().QuarantinedFiles; got != 1 {
+		t.Errorf("QuarantinedFiles = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ff.dat.corrupt")); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ff.dat")); !os.IsNotExist(err) {
+		t.Errorf("original corrupt file still present: %v", err)
 	}
 }
 
