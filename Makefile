@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec race-store vet bench-metrics bench-rlnc bench-rlnc-smoke chaos crash-smoke fuzz-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store race-dht vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke chaos crash-smoke fuzz-smoke swarm-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,20 @@ race-codec: vet
 race-store: vet
 	$(GO) test -race -count=2 ./internal/fsx/... ./internal/store/... ./internal/fairshare/...
 
+# race-dht exercises the trackerless discovery stack under the race
+# detector: the Kademlia node (tables, iterative lookups, concurrent
+# announce/lookup storms), the Discovery seam with its failover chain,
+# and the rumor-gossip engine's exchange/round machinery.
+race-dht: vet
+	$(GO) test -race ./internal/dht/... ./internal/discovery/... ./internal/gossip/...
+
+# swarm-smoke is the CI-sized trackerless acceptance slice: a 128-peer
+# netsim swarm gossips a file, the tracker is killed mid-run, and a
+# cold client still fetches byte-identical plaintext through DHT
+# discovery — plus the failover-direction tests — under -race.
+swarm-smoke:
+	$(GO) test -race -run 'TestSwarmSmoke|TestDiscoveryFailoverNetsim' ./internal/netsim/harness/
+
 # crash-smoke is the crash-recovery acceptance slice on its own: every
 # power-cut and I/O-fault sweep over the journaled store, the
 # checkpointer's dual-slot sweeps, and the end-to-end
@@ -66,6 +80,18 @@ bench-rlnc:
 bench-rlnc-smoke:
 	$(GO) run ./cmd/benchrlc -codec -size 65536 -reps 1 -json /tmp/BENCH_rlnc_smoke.json
 
+# bench-swarm measures trackerless scaling — DHT lookup hops and gossip
+# dissemination rounds/time against swarm size — leaving the
+# machine-readable report in BENCH_swarm.json (median hops must grow
+# sub-linearly in N; see EXPERIMENTS.md).
+bench-swarm:
+	$(GO) run ./cmd/benchswarm -sizes 64,256,1024 -samples 32 -json BENCH_swarm.json
+
+# bench-swarm-smoke is the quick CI variant: one small swarm, throwaway
+# report — it proves the pipeline runs, not the scaling curve.
+bench-swarm-smoke:
+	$(GO) run ./cmd/benchswarm -sizes 64 -samples 8 -json /tmp/BENCH_swarm_smoke.json
+
 # chaos runs the deterministic fault-injection suite — the netsim
 # fabric's own tests plus the end-to-end harness (tracker + peers +
 # clients over simulated partitions, blackholes and drops) — twice,
@@ -84,6 +110,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec race-store chaos
+ci: vet build test race-metrics race-audit race-codec race-store race-dht swarm-smoke chaos
 
-check: build test race-audit race-metrics race-codec race-store chaos
+check: build test race-audit race-metrics race-codec race-store race-dht swarm-smoke chaos

@@ -1,0 +1,427 @@
+// Command benchswarm measures trackerless-scale behavior on a netsim
+// fabric: for each swarm size it boots N DHT+gossip nodes, gossips one
+// generation from a seeder until ~99% of the swarm holds it in full,
+// then samples iterative lookups from random members against the
+// announced key. The report shows dissemination staying logarithmic in
+// rounds and median lookup hops growing sub-linearly with N — the
+// scaling argument for demoting the tracker to a bootstrap seed.
+//
+// Usage:
+//
+//	benchswarm [-sizes 64,256,1024] [-seed n] [-samples n]
+//	           [-fanout n] [-tablecap n] [-json FILE]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"asymshare/internal/chunk"
+	"asymshare/internal/dht"
+	"asymshare/internal/gf"
+	"asymshare/internal/gossip"
+	"asymshare/internal/netsim"
+	"asymshare/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchswarm:", err)
+		os.Exit(1)
+	}
+}
+
+// sizeReport is one row of the emitted BENCH_swarm.json.
+type sizeReport struct {
+	N             int     `json:"n"`
+	JoinMS        float64 `json:"join_ms"`
+	GossipRounds  int     `json:"gossip_rounds"`
+	GossipMS      float64 `json:"gossip_ms"`
+	Coverage      int     `json:"coverage"`
+	LookupSamples int     `json:"lookup_samples"`
+	HopsMedian    float64 `json:"hops_median"`
+	HopsP90       float64 `json:"hops_p90"`
+	HopsMax       int     `json:"hops_max"`
+}
+
+type report struct {
+	Seed     int64        `json:"seed"`
+	Fanout   int          `json:"fanout"`
+	TableCap int          `json:"table_cap"`
+	K        int          `json:"k"`
+	GOOS     string       `json:"goos"`
+	GOARCH   string       `json:"goarch"`
+	Sizes    []sizeReport `json:"sizes"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchswarm", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "64,256,1024", "comma-separated swarm sizes")
+	seed := fs.Int64("seed", 4242, "fabric + gossip determinism seed")
+	samples := fs.Int("samples", 32, "lookup samples per size")
+	fanout := fs.Int("fanout", 3, "gossip fanout")
+	tableCap := fs.Int("tablecap", 32, "DHT routing-table capacity (small keeps hop growth visible)")
+	jsonPath := fs.String("json", "", "also write the JSON report here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	if *samples <= 0 || *fanout <= 0 || *tableCap <= 0 {
+		return fmt.Errorf("samples, fanout, and tablecap must be positive")
+	}
+
+	rep := report{
+		Seed:     *seed,
+		Fanout:   *fanout,
+		TableCap: *tableCap,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+	}
+	fmt.Fprintf(out, "# trackerless swarm scaling (fanout=%d, tablecap=%d, seed=%d)\n",
+		*fanout, *tableCap, *seed)
+	fmt.Fprintf(out, "%-8s %10s %8s %10s %10s %10s %8s %8s\n",
+		"n", "join(ms)", "rounds", "gossip(ms)", "coverage", "hops(med)", "p90", "max")
+	for _, n := range sizes {
+		row, k, err := measure(n, *seed, *samples, *fanout, *tableCap)
+		if err != nil {
+			return fmt.Errorf("size %d: %w", n, err)
+		}
+		rep.K = k
+		rep.Sizes = append(rep.Sizes, row)
+		fmt.Fprintf(out, "%-8d %10.1f %8d %10.1f %7d/%-3d %10.1f %8.1f %8d\n",
+			n, row.JoinMS, row.GossipRounds, row.GossipMS, row.Coverage, n,
+			row.HopsMedian, row.HopsP90, row.HopsMax)
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+// member is one swarm node: a DHT node and a gossip engine over a
+// shared in-memory store.
+type member struct {
+	node   *dht.Node
+	engine *gossip.Engine
+	store  *store.Memory
+}
+
+func (m *member) close() {
+	if m.engine != nil {
+		m.engine.Close()
+	}
+	if m.node != nil {
+		m.node.Close()
+	}
+}
+
+// bootMember starts the DHT node and gossip engine for one fabric
+// host. The gossip listener binds first so its address rides in the
+// node's contact records.
+func bootMember(f *netsim.Fabric, host string, tableCap, fanout int, seed int64) (*member, error) {
+	tr := f.Host(host)
+	gossipLn, err := tr.Listen(":0")
+	if err != nil {
+		return nil, err
+	}
+	dhtLn, err := tr.Listen(":0")
+	if err != nil {
+		gossipLn.Close()
+		return nil, err
+	}
+	node, err := dht.New(dht.Config{
+		Advertise:  dhtLn.Addr().String(),
+		Transport:  tr,
+		GossipAddr: gossipLn.Addr().String(),
+		TableCap:   tableCap,
+		RPCTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		gossipLn.Close()
+		dhtLn.Close()
+		return nil, err
+	}
+	if err := node.StartListener(dhtLn); err != nil {
+		node.Close()
+		gossipLn.Close()
+		return nil, err
+	}
+	m := &member{node: node, store: store.NewMemory()}
+	m.engine, err = gossip.New(gossip.Config{
+		Advertise: gossipLn.Addr().String(),
+		Transport: tr,
+		Store:     m.store,
+		Fanout:    fanout,
+		Seed:      seed,
+		Contacts: func(want int) []string {
+			cs := node.RandomContacts(want)
+			out := make([]string, 0, len(cs))
+			for _, c := range cs {
+				if c.Gossip != "" {
+					out = append(out, c.Gossip)
+				}
+			}
+			return out
+		},
+	})
+	if err != nil {
+		node.Close()
+		gossipLn.Close()
+		return nil, err
+	}
+	if err := m.engine.StartListener(gossipLn); err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// measure boots one swarm of n members, gossips a generation to >= 99%
+// coverage, announces the key from the seeder, and samples lookups.
+func measure(n int, seed int64, samples, fanout, tableCap int) (sizeReport, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	f := netsim.NewFabric(seed)
+	f.SetDefaultPolicy(netsim.LinkPolicy{Latency: 100 * time.Microsecond})
+
+	members := make([]*member, n)
+	defer func() {
+		for _, m := range members {
+			if m != nil {
+				m.close()
+			}
+		}
+	}()
+	for i := range members {
+		m, err := bootMember(f, "b"+strconv.Itoa(i), tableCap, fanout, seed+int64(i))
+		if err != nil {
+			return sizeReport{}, 0, err
+		}
+		members[i] = m
+	}
+
+	joinStart := time.Now()
+	if err := joinAll(ctx, members); err != nil {
+		return sizeReport{}, 0, err
+	}
+	// One bucket-refresh wave: every table converges on the live swarm
+	// instead of its join-time snapshot, as the background refreshLoop
+	// would do over time in a real deployment.
+	refreshAll(ctx, members)
+	joinMS := float64(time.Since(joinStart).Microseconds()) / 1000
+
+	// Seed one generation (k = 8 over GF(2^8)) into member 0 and drive
+	// lockstep rounds until >= 99% of the swarm holds it in full.
+	fileID, k, err := seedGeneration(members[0].engine, seed)
+	if err != nil {
+		return sizeReport{}, 0, err
+	}
+	target := n - n/100
+	maxRounds := 200
+	gossipStart := time.Now()
+	rounds := 0
+	coverage := 0
+	for ; rounds < maxRounds; rounds++ {
+		if coverage = countCoverage(members, fileID, k); coverage >= target {
+			break
+		}
+		runRound(ctx, members)
+	}
+	coverage = countCoverage(members, fileID, k)
+	gossipMS := float64(time.Since(gossipStart).Microseconds()) / 1000
+	if coverage < target {
+		return sizeReport{}, 0, fmt.Errorf("coverage stalled at %d/%d after %d rounds", coverage, n, rounds)
+	}
+
+	// The seeder announces; random members resolve, counting hops.
+	key := dht.KeyFromFileID(fileID)
+	if err := members[0].node.Announce(ctx, key, members[0].node.Addr(), 10*time.Minute); err != nil {
+		return sizeReport{}, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+	hops := make([]int, 0, samples)
+	for len(hops) < samples {
+		m := members[1+rng.Intn(n-1)]
+		res, err := m.node.LookupStats(ctx, key)
+		if err != nil {
+			return sizeReport{}, 0, fmt.Errorf("sample lookup: %w", err)
+		}
+		hops = append(hops, res.Hops)
+	}
+	sort.Ints(hops)
+	row := sizeReport{
+		N:             n,
+		JoinMS:        joinMS,
+		GossipRounds:  rounds,
+		GossipMS:      gossipMS,
+		Coverage:      coverage,
+		LookupSamples: samples,
+		HopsMedian:    quantile(hops, 0.5),
+		HopsP90:       quantile(hops, 0.9),
+		HopsMax:       hops[len(hops)-1],
+	}
+	return row, k, nil
+}
+
+func joinAll(ctx context.Context, members []*member) error {
+	bootstrap := members[0].node.Addr()
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(members))
+	for _, m := range members[1:] {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m *member) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var lastErr error
+			for attempt := 0; attempt < 4; attempt++ {
+				if lastErr = m.node.Join(ctx, bootstrap); lastErr == nil {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					errs <- lastErr
+					return
+				case <-time.After(time.Duration(100<<attempt) * time.Millisecond):
+				}
+			}
+			errs <- lastErr
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// seedGeneration mints one full-rank generation and seeds it into the
+// engine, returning its file id and rank.
+func seedGeneration(eng *gossip.Engine, seed int64) (uint64, int, error) {
+	plan := chunk.Plan{FieldBits: gf.Bits8, M: 64, ChunkSize: 512}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 500)
+	rng.Read(data)
+	secret, err := chunk.NewSecret()
+	if err != nil {
+		return 0, 0, err
+	}
+	baseID, err := chunk.NewFileID()
+	if err != nil {
+		return 0, 0, err
+	}
+	share, err := chunk.BuildShare("bench.bin", data, plan, baseID, secret)
+	if err != nil {
+		return 0, 0, err
+	}
+	batches, err := share.BatchForPeer(0, 1<<31-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	info := share.Manifest.Chunks[0]
+	batch := batches[0]
+	payloadLen := 0
+	if len(batch) > 0 {
+		payloadLen = len(batch[0].Payload)
+	}
+	if err := eng.Seed(info.FileID, info.K, payloadLen, batch); err != nil {
+		return 0, 0, err
+	}
+	return info.FileID, info.K, nil
+}
+
+func refreshAll(ctx context.Context, members []*member) {
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m *member) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.node.Refresh(ctx)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func runRound(ctx context.Context, members []*member) {
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e *gossip.Engine) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _ = e.Round(ctx)
+		}(m.engine)
+	}
+	wg.Wait()
+}
+
+func countCoverage(members []*member, fileID uint64, k int) int {
+	full := 0
+	for _, m := range members {
+		if m.store.Count(fileID) >= k {
+			full++
+		}
+	}
+	return full
+}
+
+func quantile(sorted []int, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return float64(sorted[len(sorted)-1])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+}

@@ -28,9 +28,10 @@ var ErrBadHandle = errors.New("core: invalid share handle")
 
 // System is a user's view of the network.
 type System struct {
-	id     *auth.Identity
-	client *client.Client
-	plan   chunk.Plan
+	id         *auth.Identity
+	client     *client.Client
+	plan       chunk.Plan
+	clientOpts client.Options
 }
 
 // Option customizes a System.
@@ -42,20 +43,27 @@ func WithPlan(plan chunk.Plan) Option {
 	return func(s *System) { s.plan = plan }
 }
 
+// WithClientOptions customizes the system's client networking —
+// timeouts, retries, or an alternative transport (a netsim host, say).
+func WithClientOptions(opts client.Options) Option {
+	return func(s *System) { s.clientOpts = opts }
+}
+
 // NewSystem creates a System for the given identity. trustedPeers, if
 // non-nil, pins the peer keys the system will talk to.
 func NewSystem(id *auth.Identity, trustedPeers *auth.TrustSet, opts ...Option) (*System, error) {
 	if id == nil {
 		return nil, errors.New("core: identity required")
 	}
-	c, err := client.New(id, trustedPeers)
-	if err != nil {
-		return nil, err
-	}
-	s := &System{id: id, client: c, plan: chunk.DefaultPlan()}
+	s := &System{id: id, plan: chunk.DefaultPlan()}
 	for _, opt := range opts {
 		opt(s)
 	}
+	c, err := client.NewWith(id, trustedPeers, s.clientOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.client = c
 	if err := s.plan.Validate(); err != nil {
 		return nil, err
 	}

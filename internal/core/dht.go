@@ -1,8 +1,9 @@
 package core
 
-// DHT integration: the decentralized alternative to the tracker. The
-// user runs (or borrows) a dht.Node; announcements replicate on the K
-// nodes closest to each chunk's key, and any node can resolve them.
+// DHT integration: the decentralized alternative to the tracker,
+// expressed through the Discovery seam in via.go. The user runs (or
+// borrows) a dht.Node; announcements replicate on the K nodes closest
+// to each chunk's key, and any node can resolve them.
 
 import (
 	"context"
@@ -12,59 +13,33 @@ import (
 	"asymshare/internal/chunk"
 	"asymshare/internal/client"
 	"asymshare/internal/dht"
+	"asymshare/internal/discovery"
 )
 
 // AnnounceHandleDHT publishes every (chunk key -> peer address) pair of
-// a handle through the DHT, honoring per-chunk placement.
+// a handle through the DHT, honoring per-chunk placement. The caller
+// keeps ownership of node; records are announced once (no TTL refresh —
+// wrap the node in discovery.NewDHT for that).
 func (s *System) AnnounceHandleDHT(ctx context.Context, node *dht.Node, h *Handle, ttl time.Duration) error {
 	if h == nil || len(h.Peers) == 0 {
 		return fmt.Errorf("%w: missing peers", ErrBadHandle)
 	}
-	for i, info := range h.Manifest.Chunks {
-		key := dht.KeyFromFileID(info.FileID)
-		for _, addr := range h.PeersForChunk(i) {
-			if err := node.Announce(ctx, key, addr, ttl); err != nil {
-				return fmt.Errorf("core: dht announce chunk %d: %w", info.FileID, err)
-			}
-		}
+	d, err := discovery.NewDHT(node, discovery.DHTOptions{ReannounceInterval: -1})
+	if err != nil {
+		return err
 	}
-	return nil
+	defer d.Close()
+	return s.AnnounceHandleVia(ctx, d, h, ttl)
 }
 
 // FetchFileViaDHT retrieves a file resolving each chunk's peers through
 // the DHT — no tracker, no pre-shared peer list.
 func (s *System) FetchFileViaDHT(ctx context.Context, node *dht.Node,
 	m *chunk.Manifest, secret []byte) ([]byte, client.FetchStats, error) {
-	total := client.FetchStats{BytesFrom: make(map[string]uint64)}
-	if err := m.Validate(); err != nil {
-		return nil, total, err
-	}
-	pieces := make([][]byte, len(m.Chunks))
-	for i, info := range m.Chunks {
-		addrs, err := node.Lookup(ctx, dht.KeyFromFileID(info.FileID))
-		if err != nil {
-			return nil, total, fmt.Errorf("core: dht resolve chunk %d: %w", i, err)
-		}
-		params, err := info.Params(m.Plan)
-		if err != nil {
-			return nil, total, err
-		}
-		data, stats, err := s.client.FetchGeneration(ctx, addrs, params, info.FileID, secret, info.Digests)
-		if err != nil {
-			return nil, total, fmt.Errorf("core: chunk %d: %w", i, err)
-		}
-		pieces[i] = data
-		total.Messages += stats.Messages
-		total.Innovative += stats.Innovative
-		total.Rejected += stats.Rejected
-		total.Elapsed += stats.Elapsed
-		for k, v := range stats.BytesFrom {
-			total.BytesFrom[k] += v
-		}
-	}
-	data, err := chunk.Assemble(m, pieces)
+	d, err := discovery.NewDHT(node, discovery.DHTOptions{ReannounceInterval: -1})
 	if err != nil {
-		return nil, total, err
+		return nil, client.FetchStats{BytesFrom: make(map[string]uint64)}, err
 	}
-	return data, total, nil
+	defer d.Close()
+	return s.FetchFileVia(ctx, d, m, secret)
 }

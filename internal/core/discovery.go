@@ -1,34 +1,28 @@
 package core
 
 // Tracker integration: the out-of-band content-location mechanism the
-// paper assumes exists (Sec. II). The owner announces which peers hold
-// each generation; a remote user with only the manifest, the secret and
-// the tracker address can resolve peers per chunk and fetch.
+// paper assumes exists (Sec. II), now expressed as one Discovery
+// implementation behind the seam in via.go. The owner announces which
+// peers hold each generation; a remote user with only the manifest, the
+// secret and the tracker address can resolve peers per chunk and fetch.
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"asymshare/internal/chunk"
 	"asymshare/internal/client"
-	"asymshare/internal/tracker"
+	"asymshare/internal/discovery"
 )
 
 // AnnounceHandle registers every (chunk file-id -> peer address) pair
 // of a handle with a tracker. A zero ttl requests the tracker maximum.
 func (s *System) AnnounceHandle(ctx context.Context, trackerAddr string, h *Handle, ttl time.Duration) error {
-	if h == nil || len(h.Peers) == 0 {
-		return fmt.Errorf("%w: missing peers", ErrBadHandle)
+	d, err := discovery.NewTracker(trackerAddr, nil)
+	if err != nil {
+		return err
 	}
-	for _, info := range h.Manifest.Chunks {
-		for _, peerAddr := range h.Peers {
-			if err := tracker.Announce(ctx, trackerAddr, info.FileID, peerAddr, ttl); err != nil {
-				return fmt.Errorf("core: announce chunk %d: %w", info.FileID, err)
-			}
-		}
-	}
-	return nil
+	return s.AnnounceHandleVia(ctx, d, h, ttl)
 }
 
 // FetchFileViaTracker retrieves a file resolving the serving peers for
@@ -36,39 +30,9 @@ func (s *System) AnnounceHandle(ctx context.Context, trackerAddr string, h *Hand
 // list — only the manifest, the secret, and the tracker address.
 func (s *System) FetchFileViaTracker(ctx context.Context, trackerAddr string,
 	m *chunk.Manifest, secret []byte) ([]byte, client.FetchStats, error) {
-	total := client.FetchStats{BytesFrom: make(map[string]uint64)}
-	if err := m.Validate(); err != nil {
-		return nil, total, err
-	}
-	pieces := make([][]byte, len(m.Chunks))
-	for i, info := range m.Chunks {
-		addrs, err := tracker.Lookup(ctx, trackerAddr, info.FileID)
-		if err != nil {
-			return nil, total, fmt.Errorf("core: resolve chunk %d: %w", i, err)
-		}
-		if len(addrs) == 0 {
-			return nil, total, fmt.Errorf("core: chunk %d: %w", i, client.ErrNoPeers)
-		}
-		params, err := info.Params(m.Plan)
-		if err != nil {
-			return nil, total, err
-		}
-		data, stats, err := s.client.FetchGeneration(ctx, addrs, params, info.FileID, secret, info.Digests)
-		if err != nil {
-			return nil, total, fmt.Errorf("core: chunk %d: %w", i, err)
-		}
-		pieces[i] = data
-		total.Messages += stats.Messages
-		total.Innovative += stats.Innovative
-		total.Rejected += stats.Rejected
-		total.Elapsed += stats.Elapsed
-		for k, v := range stats.BytesFrom {
-			total.BytesFrom[k] += v
-		}
-	}
-	data, err := chunk.Assemble(m, pieces)
+	d, err := discovery.NewTracker(trackerAddr, nil)
 	if err != nil {
-		return nil, total, err
+		return nil, client.FetchStats{BytesFrom: make(map[string]uint64)}, err
 	}
-	return data, total, nil
+	return s.FetchFileVia(ctx, d, m, secret)
 }

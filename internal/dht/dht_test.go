@@ -144,6 +144,85 @@ func TestAnnounceAndLookupAcrossNetwork(t *testing.T) {
 	}
 }
 
+// TestCappedTableAnnouncePlacement pins the replica-placement fix:
+// with tight TableCaps, Announce must place replicas on the lookup's
+// converged shortlist (the true K closest), not on whatever survived
+// in the announcer's thinned table — otherwise readers, whose
+// iterative lookups do converge globally, miss every replica.
+func TestCappedTableAnnouncePlacement(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const n = 40
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := New(Config{Advertise: ln.Addr().String(), TableCap: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.StartListener(ln); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(ctx, nodes[0].Addr()); err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+	// One bucket-refresh wave so every table reflects the full swarm,
+	// not its join-time snapshot.
+	for _, node := range nodes {
+		node.Refresh(ctx)
+	}
+
+	key := KeyFromFileID(777)
+	if err := nodes[1].Announce(ctx, key, "peerX:7070", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range nodes {
+		got, err := node.Lookup(ctx, key)
+		if err != nil {
+			t.Fatalf("node %d lookup with capped tables: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != "peerX:7070" {
+			t.Fatalf("node %d lookup = %v", i, got)
+		}
+	}
+}
+
+// TestTableEvictionKeepsDistanceBands pins the capped table's spread:
+// eviction trims the crowded far bands but never empties them, so a
+// saturated table still spans multiple distance scales (the property
+// greedy routing needs to make progress across the ring).
+func TestTableEvictionKeepsDistanceBands(t *testing.T) {
+	self := NodeIDFromAddr("self:0")
+	tb := newTable(self, 8)
+	for i := 0; i < 500; i++ {
+		addr := fmt.Sprintf("n%d:1", i)
+		tb.observe(parsedContact{id: NodeIDFromAddr(addr), addr: addr})
+	}
+	if tb.size() != 8 {
+		t.Fatalf("table size = %d, want cap 8", tb.size())
+	}
+	bands := make(map[int]int)
+	for _, c := range tb.closest(self, 8) {
+		bands[bucketIndex(self, c.id)]++
+	}
+	if len(bands) < 3 {
+		t.Fatalf("capped table collapsed to %d distance bands: %v", len(bands), bands)
+	}
+	for band, count := range bands {
+		if count > 4 {
+			t.Fatalf("band %d hoards %d of 8 slots: %v", band, count, bands)
+		}
+	}
+}
+
 func TestLookupUnknownKey(t *testing.T) {
 	nodes := buildNetwork(t, 5)
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)

@@ -80,16 +80,24 @@ func lessDistance(target, a, b ID) bool {
 	return bytes.Compare(da[:], db[:]) < 0
 }
 
-// Contact is a known node.
+// Contact is a known node. Beyond the DHT RPC address, a contact may
+// carry the node's sibling service addresses: Serve is the peer
+// protocol endpoint (what gets announced for fetches) and Gossip the
+// rumor-dissemination endpoint, so a gossip engine can pick random
+// partners straight out of the routing table without a second lookup.
 type Contact struct {
-	ID   string `json:"id"` // hex
-	Addr string `json:"addr"`
+	ID     string `json:"id"` // hex
+	Addr   string `json:"addr"`
+	Serve  string `json:"serve,omitempty"`
+	Gossip string `json:"gossip,omitempty"`
 }
 
-// parsedContact pairs the decoded identifier with the address.
+// parsedContact pairs the decoded identifier with the addresses.
 type parsedContact struct {
-	id   ID
-	addr string
+	id     ID
+	addr   string
+	serve  string
+	gossip string
 }
 
 func (c Contact) parse() (parsedContact, error) {
@@ -100,9 +108,9 @@ func (c Contact) parse() (parsedContact, error) {
 	if c.Addr == "" {
 		return parsedContact{}, fmt.Errorf("dht: contact without address")
 	}
-	return parsedContact{id: id, addr: c.Addr}, nil
+	return parsedContact{id: id, addr: c.Addr, serve: c.Serve, gossip: c.Gossip}, nil
 }
 
 func (p parsedContact) wire() Contact {
-	return Contact{ID: p.id.String(), Addr: p.addr}
+	return Contact{ID: p.id.String(), Addr: p.addr, Serve: p.serve, Gossip: p.gossip}
 }

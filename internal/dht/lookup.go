@@ -6,20 +6,25 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"sort"
 	"time"
 
 	"asymshare/internal/wire"
 )
 
-// rpc performs one request/response exchange with a remote node.
+// rpc performs one request/response exchange with a remote node over
+// the node's transport. The caller's context governs the exchange
+// end-to-end: its deadline bounds dial, write and read (capped at the
+// node's RPCTimeout when the context carries no tighter deadline), and
+// its cancellation severs an in-flight exchange immediately — a
+// blackholed or partitioned peer can wedge one RPC for at most the
+// remaining context budget, never the fixed timeout.
 func (n *Node) rpc(ctx context.Context, addr string, reqType wire.Type, req any,
 	respType wire.Type) ([]byte, error) {
-	var d net.Dialer
-	rpcCtx, cancel := context.WithTimeout(ctx, rpcTimeout)
+	n.m.rpcCounter(reqType).Inc()
+	rpcCtx, cancel := context.WithTimeout(ctx, n.rpcTimeout) // deadline = min(ctx, now+RPCTimeout)
 	defer cancel()
-	conn, err := d.DialContext(rpcCtx, "tcp", addr)
+	conn, err := n.tr.DialContext(rpcCtx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("dht: dial %s: %w", addr, err)
 	}
@@ -27,6 +32,17 @@ func (n *Node) rpc(ctx context.Context, addr string, reqType wire.Type, req any,
 	if deadline, ok := rpcCtx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}
+	// Deadlines cover the timeout path; cancellation needs a watcher to
+	// unblock reads when the caller gives up early.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-rpcCtx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
 	blob, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -36,6 +52,9 @@ func (n *Node) rpc(ctx context.Context, addr string, reqType wire.Type, req any,
 	}
 	frame, err := wire.ReadFrame(conn)
 	if err != nil {
+		if ctxErr := rpcCtx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
 		return nil, fmt.Errorf("dht: rpc to %s: %w", addr, err)
 	}
 	if frame.Type != respType {
@@ -117,7 +136,7 @@ func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
 		return fmt.Errorf("dht: join: %w", err)
 	}
 	// Locate ourselves: populates the table with our neighbourhood.
-	_, err := n.iterativeFind(ctx, n.id, false)
+	_, _, _, err := n.iterativeFind(ctx, n.id, false)
 	return err
 }
 
@@ -166,22 +185,33 @@ func (s *lookupState) nextBatch() []parsedContact {
 
 // iterativeFind runs the Kademlia lookup. With wantValue it returns
 // the first values found; otherwise it converges on the K closest
-// contacts to target.
-func (n *Node) iterativeFind(ctx context.Context, target ID, wantValue bool) ([]string, error) {
+// contacts to target, returned as the shortlist. The shortlist — not
+// the routing table, which a TableCap may have thinned — is the
+// authoritative closest-set for replica placement. The returned hop
+// count is the number of Alpha-parallel query rounds issued.
+func (n *Node) iterativeFind(ctx context.Context, target ID, wantValue bool) ([]string, []parsedContact, int, error) {
 	state := &lookupState{target: target, queried: make(map[ID]bool)}
 	state.add(n.table.closest(target, K))
+	hops := 0
 
+	closest := func() []parsedContact {
+		if len(state.short) > K {
+			return state.short[:K]
+		}
+		return state.short
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, closest(), hops, err
 		}
 		batch := state.nextBatch()
 		if len(batch) == 0 {
 			if wantValue {
-				return nil, ErrNotFound
+				return nil, closest(), hops, ErrNotFound
 			}
-			return nil, nil
+			return nil, closest(), hops, nil
 		}
+		hops++
 		type result struct {
 			values   []string
 			contacts []parsedContact
@@ -205,7 +235,7 @@ func (n *Node) iterativeFind(ctx context.Context, target ID, wantValue bool) ([]
 			state.add(res.contacts)
 		}
 		if wantValue && len(values) > 0 {
-			return dedupe(values), nil
+			return dedupe(values), closest(), hops, nil
 		}
 	}
 }
@@ -230,10 +260,10 @@ func (n *Node) Announce(ctx context.Context, key ID, value string, ttl time.Dura
 	if ttl <= 0 {
 		ttl = n.maxTTL
 	}
-	if _, err := n.iterativeFind(ctx, key, false); err != nil {
+	_, targets, _, err := n.iterativeFind(ctx, key, false)
+	if err != nil {
 		return err
 	}
-	targets := n.table.closest(key, K)
 	// Count ourselves as a candidate replica only if we can serve.
 	all := append([]parsedContact{}, targets...)
 	if n.Serving() {
@@ -265,11 +295,33 @@ func (n *Node) Announce(ctx context.Context, key ID, value string, ttl time.Dura
 	return nil
 }
 
+// LookupResult carries a lookup's values and its cost.
+type LookupResult struct {
+	Values []string
+
+	// Hops is the number of Alpha-parallel query rounds the iterative
+	// lookup issued; 0 means the value was resolved locally.
+	Hops int
+}
+
 // Lookup resolves a key to its values via iterative search, checking
 // the local store first.
 func (n *Node) Lookup(ctx context.Context, key ID) ([]string, error) {
+	res, err := n.LookupStats(ctx, key)
+	return res.Values, err
+}
+
+// LookupStats is Lookup with cost accounting, feeding the
+// dht_lookup_hops histogram.
+func (n *Node) LookupStats(ctx context.Context, key ID) (LookupResult, error) {
 	if local := n.loadLocal(key); len(local) > 0 {
-		return dedupe(local), nil
+		n.m.lookupHops.Observe(0)
+		return LookupResult{Values: dedupe(local)}, nil
 	}
-	return n.iterativeFind(ctx, key, true)
+	values, _, hops, err := n.iterativeFind(ctx, key, true)
+	n.m.lookupHops.Observe(uint64(hops))
+	if err != nil {
+		return LookupResult{Hops: hops}, err
+	}
+	return LookupResult{Values: values, Hops: hops}, nil
 }

@@ -1,13 +1,20 @@
 package dht
 
 import (
+	"math/bits"
+	"math/rand"
 	"sort"
 	"sync"
 )
 
-// table is the simplified routing table: a bounded set of contacts,
-// evicting the contact farthest from self when full. See the package
-// comment for the trade-off versus per-prefix k-buckets.
+// table is a bounded routing table that keeps contacts spread across
+// XOR-distance bands: when full, it evicts from the most-populated
+// band. Evicting the globally farthest contact instead would collapse
+// the table into a self-neighbourhood — greedy routing then stalls
+// mid-ring and capped-table lookups dead-end. Per-band eviction
+// preserves Kademlia's invariant (contacts at every distance scale,
+// crowded far bands trimmed first) with a single capacity knob
+// instead of per-prefix k-buckets.
 type table struct {
 	self ID
 	cap  int
@@ -21,6 +28,21 @@ func newTable(self ID, capacity int) *table {
 		capacity = 128
 	}
 	return &table{self: self, cap: capacity, contacts: make(map[ID]parsedContact)}
+}
+
+// bucketIndex is the position of the highest set bit of the XOR
+// distance between self and id: 0 for the farthest half of the ID
+// space, growing as contacts get closer. Uniformly distributed swarms
+// put ~half their nodes in band 0, a quarter in band 1, and so on —
+// so the crowded bands are always the far ones.
+func bucketIndex(self, id ID) int {
+	d := xorDistance(self, id)
+	for i, b := range d {
+		if b != 0 {
+			return i*8 + bits.LeadingZeros8(b)
+		}
+	}
+	return IDLen*8 - 1
 }
 
 // observe records a live contact (any node we heard from or about).
@@ -38,10 +60,24 @@ func (t *table) observe(c parsedContact) {
 	if len(t.contacts) <= t.cap {
 		return
 	}
-	// Evict the contact farthest from self.
+	// Evict from the most-populated distance band (ties to the
+	// farther band), dropping its farthest-from-self member.
+	counts := make(map[int]int)
+	for id := range t.contacts {
+		counts[bucketIndex(t.self, id)]++
+	}
+	crowded, best := -1, 0
+	for b, n := range counts {
+		if n > best || (n == best && (crowded == -1 || b < crowded)) {
+			crowded, best = b, n
+		}
+	}
 	var worst ID
 	first := true
 	for id := range t.contacts {
+		if bucketIndex(t.self, id) != crowded {
+			continue
+		}
 		if first || lessDistance(t.self, worst, id) {
 			worst = id
 			first = false
@@ -75,6 +111,23 @@ func (t *table) closest(target ID, k int) []parsedContact {
 		out = out[:k]
 	}
 	return out
+}
+
+// random returns up to k contacts drawn uniformly without replacement.
+func (t *table) random(k int) []parsedContact {
+	t.mu.Lock()
+	all := make([]parsedContact, 0, len(t.contacts))
+	for _, c := range t.contacts {
+		all = append(all, c)
+	}
+	t.mu.Unlock()
+	// Map iteration order is already randomized, but not uniformly;
+	// shuffle for an unbiased sample.
+	rand.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }
 
 // size returns the contact count.

@@ -1,0 +1,183 @@
+package discovery
+
+// Failover semantics: retriable errors consult the next mechanism,
+// fatal ones abort the chain. These are the error-classification
+// contracts the netsim failover tests exercise end-to-end.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fake is a scriptable Discovery for chain-order assertions.
+type fake struct {
+	name        string
+	lookupErr   error
+	lookupAddrs []string
+	announceErr error
+
+	lookups   atomic.Int64
+	announces atomic.Int64
+	closed    atomic.Bool
+}
+
+func (f *fake) Announce(ctx context.Context, fileID uint64, addr string, ttl time.Duration) error {
+	f.announces.Add(1)
+	return f.announceErr
+}
+
+func (f *fake) Lookup(ctx context.Context, fileID uint64) ([]string, error) {
+	f.lookups.Add(1)
+	if f.lookupErr != nil {
+		return nil, f.lookupErr
+	}
+	return f.lookupAddrs, nil
+}
+
+func (f *fake) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+// timeoutErr satisfies net.Error, the shape a dial into a blackholed
+// host produces.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"bad record", ErrBadRecord, false},
+		{"wrapped bad record", fmt.Errorf("announce: %w", ErrBadRecord), false},
+		{"joined bad record", errors.Join(ErrBadRecord, errors.New("code 3")), false},
+		{"not found", ErrNotFound, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"canceled", context.Canceled, true},
+		{"net timeout", timeoutErr{}, true},
+		{"wrapped net timeout", fmt.Errorf("dial: %w", timeoutErr{}), true},
+		{"op error", &net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{"unknown", errors.New("mystery"), true},
+	}
+	for _, tc := range cases {
+		if got := Retriable(tc.err); got != tc.want {
+			t.Errorf("Retriable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFailoverLookupFallsThroughOnRetriable(t *testing.T) {
+	ctx := context.Background()
+	for _, primaryErr := range []error{ErrNotFound, timeoutErr{}, context.DeadlineExceeded} {
+		primary := &fake{name: "dht", lookupErr: primaryErr}
+		backup := &fake{name: "tracker", lookupAddrs: []string{"peer1:1", "peer2:1"}}
+		f, err := NewFailover(primary, backup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs, err := f.Lookup(ctx, 7)
+		if err != nil {
+			t.Fatalf("primaryErr=%v: lookup failed: %v", primaryErr, err)
+		}
+		if len(addrs) != 2 {
+			t.Fatalf("primaryErr=%v: got %v, want backup's 2 addrs", primaryErr, addrs)
+		}
+		if primary.lookups.Load() != 1 || backup.lookups.Load() != 1 {
+			t.Fatalf("primaryErr=%v: lookup counts primary=%d backup=%d, want 1/1",
+				primaryErr, primary.lookups.Load(), backup.lookups.Load())
+		}
+	}
+}
+
+func TestFailoverLookupPrimaryWinsWithoutConsultingBackup(t *testing.T) {
+	primary := &fake{name: "dht", lookupAddrs: []string{"peerA:1"}}
+	backup := &fake{name: "tracker", lookupAddrs: []string{"peerB:1"}}
+	f, _ := NewFailover(primary, backup)
+	addrs, err := f.Lookup(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != "peerA:1" {
+		t.Fatalf("got %v, want primary's answer", addrs)
+	}
+	if backup.lookups.Load() != 0 {
+		t.Fatal("backup consulted even though primary answered")
+	}
+}
+
+func TestFailoverLookupFatalAbortsChain(t *testing.T) {
+	primary := &fake{name: "dht", lookupErr: fmt.Errorf("rejected: %w", ErrBadRecord)}
+	backup := &fake{name: "tracker", lookupAddrs: []string{"peerB:1"}}
+	f, _ := NewFailover(primary, backup)
+	_, err := f.Lookup(context.Background(), 7)
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v, want ErrBadRecord surfaced", err)
+	}
+	if backup.lookups.Load() != 0 {
+		t.Fatal("fatal error still consulted the backup mechanism")
+	}
+}
+
+func TestFailoverLookupAllFailReportsFirstError(t *testing.T) {
+	primary := &fake{name: "dht", lookupErr: ErrNotFound}
+	backup := &fake{name: "tracker", lookupErr: timeoutErr{}}
+	f, _ := NewFailover(primary, backup)
+	_, err := f.Lookup(context.Background(), 7)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want the primary's ErrNotFound preserved", err)
+	}
+}
+
+func TestFailoverAnnounceBestEffort(t *testing.T) {
+	// One mechanism down: announce still succeeds and reaches the other.
+	primary := &fake{name: "dht", announceErr: timeoutErr{}}
+	backup := &fake{name: "tracker"}
+	f, _ := NewFailover(primary, backup)
+	if err := f.Announce(context.Background(), 7, "peer:1", time.Minute); err != nil {
+		t.Fatalf("announce with one live mechanism failed: %v", err)
+	}
+	if primary.announces.Load() != 1 || backup.announces.Load() != 1 {
+		t.Fatal("announce did not attempt every mechanism")
+	}
+
+	// All down: the failure propagates.
+	p2 := &fake{announceErr: timeoutErr{}}
+	b2 := &fake{announceErr: ErrNotFound}
+	f2, _ := NewFailover(p2, b2)
+	if err := f2.Announce(context.Background(), 7, "peer:1", time.Minute); err == nil {
+		t.Fatal("announce succeeded with every mechanism failing")
+	}
+
+	// Fatal input: abort immediately, do not spam the rest of the chain.
+	p3 := &fake{announceErr: fmt.Errorf("reject: %w", ErrBadRecord)}
+	b3 := &fake{}
+	f3, _ := NewFailover(p3, b3)
+	if err := f3.Announce(context.Background(), 7, "peer:1", time.Minute); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v, want ErrBadRecord", err)
+	}
+	if b3.announces.Load() != 0 {
+		t.Fatal("fatal announce error still reached the backup mechanism")
+	}
+}
+
+func TestFailoverCloseClosesChain(t *testing.T) {
+	a, b := &fake{}, &fake{}
+	f, _ := NewFailover(a, b)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.closed.Load() || !b.closed.Load() {
+		t.Fatal("close did not reach every mechanism")
+	}
+}

@@ -1,0 +1,272 @@
+package gossip
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asymshare/internal/metrics"
+	"asymshare/internal/rlnc"
+	"asymshare/internal/store"
+)
+
+const testPayloadLen = 32
+
+func mkMsgs(fileID uint64, ids ...uint64) []*rlnc.Message {
+	out := make([]*rlnc.Message, len(ids))
+	for i, id := range ids {
+		payload := make([]byte, testPayloadLen)
+		for j := range payload {
+			payload[j] = byte(id + uint64(j))
+		}
+		out[i] = &rlnc.Message{FileID: fileID, MessageID: id, Payload: payload}
+	}
+	return out
+}
+
+// newTestEngine boots an engine on a real localhost listener.
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Advertise = ln.Addr().String()
+	if cfg.Store == nil {
+		cfg.Store = store.NewMemory()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(len(cfg.Advertise)) // deterministic per-addr
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartListener(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestExchangeMovesOnlyMissing(t *testing.T) {
+	ctx := context.Background()
+	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
+	a := newTestEngine(t, Config{Metrics: regA})
+	b := newTestEngine(t, Config{Metrics: regB})
+	const fileID = 7
+	if err := a.Seed(fileID, 6, testPayloadLen, mkMsgs(fileID, 1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seed(fileID, 6, testPayloadLen, mkMsgs(fileID, 3, 4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	moved, err := a.Exchange(ctx, b.Addr(), fileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ships {1,2}, pulls {5,6}: exactly the symmetric difference.
+	if moved != 4 {
+		t.Fatalf("moved = %d, want 4", moved)
+	}
+	if got := a.cfg.Store.Count(fileID); got != 6 {
+		t.Fatalf("initiator store count = %d, want 6", got)
+	}
+	if got := b.cfg.Store.Count(fileID); got != 6 {
+		t.Fatalf("responder store count = %d, want 6", got)
+	}
+
+	// Fully synced: a second exchange moves nothing.
+	moved, err = a.Exchange(ctx, b.Addr(), fileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("synced exchange moved %d messages", moved)
+	}
+
+	for name, reg := range map[string]*metrics.Registry{"a": regA, "b": regB} {
+		if v := reg.Counter(MetricInnovative, "").Value(); v != 2 {
+			t.Errorf("engine %s innovative = %d, want 2", name, v)
+		}
+		if v := reg.Counter(MetricDuplicate, "").Value(); v != 0 {
+			t.Errorf("engine %s duplicate = %d, want 0", name, v)
+		}
+	}
+}
+
+func TestBudgetCapsOneExchange(t *testing.T) {
+	ctx := context.Background()
+	a := newTestEngine(t, Config{Budget: 3})
+	b := newTestEngine(t, Config{Budget: 3})
+	const fileID = 8
+	ids := []uint64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	if err := a.Seed(fileID, 10, testPayloadLen, mkMsgs(fileID, ids...)); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := a.Exchange(ctx, b.Addr(), fileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 {
+		t.Fatalf("budgeted exchange moved %d, want 3", moved)
+	}
+	if got := b.cfg.Store.Count(fileID); got != 3 {
+		t.Fatalf("responder store count = %d, want 3", got)
+	}
+}
+
+func TestAnnounceHookFiresOncePerGeneration(t *testing.T) {
+	ctx := context.Background()
+	var aCalls, bCalls atomic.Int64
+	var bFileID atomic.Uint64
+	a := newTestEngine(t, Config{Announce: func(uint64) { aCalls.Add(1) }})
+	b := newTestEngine(t, Config{Announce: func(id uint64) { bCalls.Add(1); bFileID.Store(id) }})
+	const fileID = 9
+	if err := a.Seed(fileID, 4, testPayloadLen, mkMsgs(fileID, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if aCalls.Load() != 1 {
+		t.Fatalf("seeder announce calls = %d, want 1", aCalls.Load())
+	}
+	if _, err := a.Exchange(ctx, b.Addr(), fileID); err != nil {
+		t.Fatal(err)
+	}
+	// More data for the same generation: no re-announce.
+	if err := a.Seed(fileID, 4, testPayloadLen, mkMsgs(fileID, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exchange(ctx, b.Addr(), fileID); err != nil {
+		t.Fatal(err)
+	}
+	if bCalls.Load() != 1 {
+		t.Fatalf("receiver announce calls = %d, want 1", bCalls.Load())
+	}
+	if bFileID.Load() != fileID {
+		t.Fatalf("receiver announced file %d, want %d", bFileID.Load(), fileID)
+	}
+	if aCalls.Load() != 1 {
+		t.Fatalf("seeder announce calls after reseed = %d, want 1", aCalls.Load())
+	}
+}
+
+func TestRumorSpreadsToAllAndDies(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const (
+		n      = 12
+		fileID = 21
+		k      = 8
+	)
+	engines := make([]*Engine, n)
+	addrs := make([]string, n)
+	contacts := func(int) []string { return addrs }
+	reg := metrics.NewRegistry()
+	for i := range engines {
+		engines[i] = newTestEngine(t, Config{
+			Contacts: contacts,
+			MaxIdle:  2,
+			Seed:     int64(i + 1),
+			Metrics:  reg,
+		})
+		addrs[i] = engines[i].Addr()
+	}
+	var seedIDs []uint64
+	for i := 0; i < k; i++ {
+		seedIDs = append(seedIDs, uint64(100+i))
+	}
+	if err := engines[0].Seed(fileID, k, testPayloadLen, mkMsgs(fileID, seedIDs...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lockstep rounds until every store holds the full generation.
+	covered := func() int {
+		full := 0
+		for _, e := range engines {
+			if e.cfg.Store.Count(fileID) == k {
+				full++
+			}
+		}
+		return full
+	}
+	rounds := 0
+	for ; rounds < 40 && covered() < n; rounds++ {
+		for _, e := range engines {
+			if _, err := e.Round(ctx); err != nil {
+				t.Fatalf("round %d: %v", rounds, err)
+			}
+		}
+	}
+	if covered() < n {
+		t.Fatalf("after %d rounds only %d/%d engines hold the full generation", rounds, covered(), n)
+	}
+	t.Logf("full coverage of %d engines in %d rounds", n, rounds)
+
+	// Saturated: futile exchanges kill every rumor within MaxIdle+slack.
+	for extra := 0; extra < 8; extra++ {
+		for _, e := range engines {
+			_, _ = e.Round(ctx)
+		}
+	}
+	for i, e := range engines {
+		if hot := e.HotRumors(); len(hot) != 0 {
+			t.Errorf("engine %d still hot after saturation: %v", i, hot)
+		}
+	}
+	if v := reg.Counter(MetricRounds, "").Value(); v == 0 {
+		t.Error("gossip_rounds_total never incremented")
+	}
+}
+
+// TestPrometheusExpositionRows pins the exposition format of the new
+// gossip metrics — the rows dashboards scrape.
+func TestPrometheusExpositionRows(t *testing.T) {
+	ctx := context.Background()
+	reg := metrics.NewRegistry()
+	a := newTestEngine(t, Config{Metrics: reg})
+	b := newTestEngine(t, Config{Metrics: reg, Contacts: func(int) []string { return []string{} }})
+	const fileID = 5
+	if err := a.Seed(fileID, 2, testPayloadLen, mkMsgs(fileID, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exchange(ctx, b.Addr(), fileID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exchange(ctx, b.Addr(), fileID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Round(ctx); err != nil { // hot rumor, zero contacts: counts the round
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, row := range []string{
+		"# TYPE gossip_rounds_total counter",
+		"gossip_rounds_total 1",
+		"# TYPE gossip_innovative_messages_total counter",
+		"gossip_innovative_messages_total 2",
+		"# TYPE gossip_duplicate_messages_total counter",
+		"gossip_duplicate_messages_total 0",
+	} {
+		if !strings.Contains(got, row) {
+			t.Errorf("exposition missing row %q\n--- got ---\n%s", row, got)
+		}
+	}
+}
+
+func TestExchangeUnknownGeneration(t *testing.T) {
+	a := newTestEngine(t, Config{})
+	b := newTestEngine(t, Config{})
+	if _, err := a.Exchange(context.Background(), b.Addr(), 404); err == nil {
+		t.Fatal("exchange of an unseeded generation succeeded")
+	}
+}
