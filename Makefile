@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec race-store race-dht vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke chaos crash-smoke fuzz-smoke swarm-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,21 @@ race-store: vet
 # and the rumor-gossip engine's exchange/round machinery.
 race-dht: vet
 	$(GO) test -race ./internal/dht/... ./internal/discovery/... ./internal/gossip/...
+
+# race-contract exercises the storage-contract subsystem under the
+# race detector: the journaled book/set, the wire frames, the peer
+# handlers and client RPCs, and the proactive repair daemon whose
+# ticker races its own Close.
+race-contract: vet
+	$(GO) test -race ./internal/contract/... ./internal/repair/... ./internal/peer/... ./internal/client/...
+
+# churn-smoke is the proactive-repair acceptance slice: 30% of the
+# storage peers holding a file are killed and blackholed, the repair
+# daemon restores the replica watermark on spare peers within a 3x
+# traffic budget, a cold client still fetches byte-identical plaintext,
+# and contract state on both sides survives a power cut — under -race.
+churn-smoke:
+	$(GO) test -race -run TestChurnRepairKeepsFileFetchable ./internal/netsim/harness/
 
 # swarm-smoke is the CI-sized trackerless acceptance slice: a 128-peer
 # netsim swarm gossips a file, the tracker is killed mid-run, and a
@@ -110,6 +125,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec race-store race-dht swarm-smoke chaos
+ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract swarm-smoke churn-smoke chaos
 
-check: build test race-audit race-metrics race-codec race-store race-dht swarm-smoke chaos
+check: build test race-audit race-metrics race-codec race-store race-dht race-contract swarm-smoke churn-smoke chaos

@@ -24,7 +24,12 @@
 //	asymshare spotcheck -key user.key -handle video.handle -secret <hex> [-sample 8] [-feedback host:7070]
 //	asymshare auditdemo [-honest 2] [-size 4096] [-sample 8]
 //	asymshare repair  -key user.key -handle video.handle -secret <hex> -file video.mpg
+//	asymshare contracts -key user.key -peer host:7070
 //	asymshare stats   -addr 127.0.0.1:9090 [-filter peer_]
+//
+// Storage peers advertise a contract capacity with `serve -capacity`
+// (bytes; 0 = unlimited) and journal accepted obligations across
+// restarts with `serve -contracts <path>`.
 package main
 
 import (
@@ -89,6 +94,8 @@ func run(args []string, out io.Writer) error {
 		return cmdAuditDemo(args[1:], out)
 	case "repair":
 		return cmdRepair(args[1:], out)
+	case "contracts":
+		return cmdContracts(args[1:], out)
 	case "stats":
 		return cmdStats(args[1:], out)
 	default:
@@ -143,6 +150,8 @@ func cmdServe(args []string, out io.Writer) error {
 	ledgerPath := fs.String("ledger", "", "receipt-ledger checkpoint file persisted across restarts (and crashes)")
 	ckptEvery := fs.Duration("checkpoint", fairshare.DefaultCheckpointInterval, "ledger checkpoint interval")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus metrics and expvar on this address (e.g. 127.0.0.1:9090)")
+	capacity := fs.Int64("capacity", 0, "advertised storage-contract capacity in bytes (0 = unlimited)")
+	contractPath := fs.String("contracts", "", "contract-book journal file persisted across restarts (and crashes)")
 	dhtBootstrap := fs.String("dht", "", "join the DHT through this bootstrap node (trackerless mode)")
 	dhtListen := fs.String("dht-listen", "", "serve DHT RPCs on this address (default 127.0.0.1:0 when -dht or -gossip-listen is set)")
 	gossipListen := fs.String("gossip-listen", "", "run a gossip engine over the peer's store on this address (requires the DHT node)")
@@ -171,6 +180,8 @@ func cmdServe(args []string, out io.Writer) error {
 		UploadBytesPerSec:  *upload,
 		LedgerPath:         *ledgerPath,
 		CheckpointInterval: *ckptEvery,
+		CapacityBytes:      *capacity,
+		ContractPath:       *contractPath,
 		Logger:             slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	var msrv *metrics.Server
@@ -206,6 +217,19 @@ func cmdServe(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "ledger slots at %s unreadable (%d corrupt); starting fresh\n", *ledgerPath, rec.CorruptSlots)
 		default:
 			fmt.Fprintf(out, "no ledger at %s; starting fresh\n", *ledgerPath)
+		}
+	}
+	if *contractPath != "" {
+		rec := node.ContractRecovery()
+		switch {
+		case rec.Active > 0 || rec.Records > 0:
+			fmt.Fprintf(out, "contract book recovered from %s (%d active obligations", *contractPath, rec.Active)
+			if rec.Truncated {
+				fmt.Fprint(out, ", torn tail truncated")
+			}
+			fmt.Fprintln(out, ")")
+		default:
+			fmt.Fprintf(out, "no contract book at %s; starting fresh\n", *contractPath)
 		}
 	}
 	if err := node.Start(*listen); err != nil {
@@ -687,6 +711,47 @@ func cmdAudit(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "replication healthy")
 	} else {
 		fmt.Fprintln(out, "replication DEGRADED - run 'asymshare repair'")
+	}
+	return nil
+}
+
+// cmdContracts lists the caller's storage contracts on one peer: the
+// book's aggregate capacity/used counters plus each obligation with
+// its remaining term. Peers only reveal the requesting owner's own
+// contracts, so the listing is exactly what this key placed there.
+func cmdContracts(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("contracts", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "user key file (required)")
+	peerAddr := fs.String("peer", "", "peer address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *peerAddr == "" {
+		return errors.New("contracts: -key and -peer are required")
+	}
+	id, err := loadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	c, err := client.New(id, nil)
+	if err != nil {
+		return err
+	}
+	info, err := c.ListContracts(context.Background(), *peerAddr)
+	if err != nil {
+		return err
+	}
+	capStr := "unlimited"
+	if info.CapacityBytes > 0 {
+		capStr = fmt.Sprintf("%d bytes", info.CapacityBytes)
+	}
+	fmt.Fprintf(out, "peer %s: %d bytes obligated, capacity %s\n", *peerAddr, info.UsedBytes, capStr)
+	fmt.Fprintf(out, "%d contracts held by this key\n", len(info.Contracts))
+	now := time.Now()
+	for _, e := range info.Contracts {
+		left := time.Unix(e.ExpiresUnix, 0).Sub(now).Round(time.Second)
+		fmt.Fprintf(out, "  contract %016x: file %016x, %d messages, %d bytes, expires in %s\n",
+			e.ContractID, e.FileID, e.Messages, e.Bytes, left)
 	}
 	return nil
 }

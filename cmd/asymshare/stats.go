@@ -173,12 +173,50 @@ func parseSampleLine(line string) (statsSample, error) {
 	return s, nil
 }
 
+// statsSections titles the known subsystem prefixes, in the order
+// DESIGN.md §7 documents them. Families with an unlisted prefix fall
+// under their raw prefix so nothing is hidden.
+var statsSections = map[string]string{
+	"wire":      "wire protocol",
+	"peer":      "peer node",
+	"client":    "client fetch path",
+	"fairshare": "fairness ledger & allocator",
+	"audit":     "retention audits",
+	"store":     "message store",
+	"ratelimit": "upload shaping",
+	"tracker":   "tracker discovery",
+	"dht":       "DHT discovery",
+	"gossip":    "rumor gossip",
+	"contract":  "storage contracts (peer book)",
+	"repair":    "proactive repair (owner daemon)",
+}
+
+// statsSection maps a family name to its section heading.
+func statsSection(name string) string {
+	prefix := name
+	if i := strings.IndexByte(name, '_'); i > 0 {
+		prefix = name[:i]
+	}
+	if title, ok := statsSections[prefix]; ok {
+		return title
+	}
+	return prefix
+}
+
 // printStats renders families grouped by subsystem prefix.
 func printStats(out io.Writer, families []*statsFamily, filter string) {
 	shown := 0
+	section := ""
 	for _, f := range families {
 		if filter != "" && !strings.Contains(f.name, filter) {
 			continue
+		}
+		if s := statsSection(f.name); s != section {
+			if shown > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintf(out, "== %s ==\n", s)
+			section = s
 		}
 		shown++
 		typ := f.typ

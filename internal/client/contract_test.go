@@ -1,0 +1,179 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"asymshare/internal/client"
+	"asymshare/internal/peer"
+	"asymshare/internal/store"
+	"asymshare/internal/wire"
+)
+
+func startCapacityPeer(t *testing.T, seed byte, capacity int64) *peer.Node {
+	t.Helper()
+	n, err := peer.New(peer.Config{
+		Identity:      identity(t, seed),
+		Store:         store.NewMemory(),
+		CapacityBytes: capacity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// TestContractLifecycleOverWire drives propose → list → renew →
+// release against a live peer and checks the book's accounting at each
+// step.
+func TestContractLifecycleOverWire(t *testing.T) {
+	node := startCapacityPeer(t, 40, 10_000)
+	addr := node.Addr().String()
+	c, err := client.New(identity(t, 41), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	grant, fp, err := c.ProposeContract(ctx, addr, wire.ContractPropose{
+		ContractID: 7, FileID: 100, Messages: 8, Bytes: 4000, TTLSeconds: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == "" {
+		t.Error("empty peer fingerprint")
+	}
+	if grant.ContractID != 7 || grant.UsedBytes != 4000 || grant.CapacityBytes != 10_000 {
+		t.Fatalf("grant = %+v", grant)
+	}
+	if grant.ExpiresUnix <= time.Now().Unix() {
+		t.Errorf("grant expiry %d not in the future", grant.ExpiresUnix)
+	}
+
+	info, err := c.ListContracts(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UsedBytes != 4000 || len(info.Contracts) != 1 || info.Contracts[0].ContractID != 7 {
+		t.Fatalf("contract info = %+v", info)
+	}
+
+	renewed, err := c.RenewContract(ctx, addr, wire.ContractRenew{ContractID: 7, TTLSeconds: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renewed.ExpiresUnix < grant.ExpiresUnix {
+		t.Errorf("renewal moved expiry backwards: %d -> %d", grant.ExpiresUnix, renewed.ExpiresUnix)
+	}
+
+	released, err := c.ReleaseContract(ctx, addr, wire.ContractRelease{ContractID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released.ExpiresUnix != 0 {
+		t.Errorf("release grant expiry = %d, want 0", released.ExpiresUnix)
+	}
+	if got := node.Contracts().Used(); got != 0 {
+		t.Errorf("used after release = %d, want 0", got)
+	}
+}
+
+// TestProposeOverCapacityTypedError pins the eviction-gap fix end to
+// end: a peer asked to obligate more than its advertised capacity
+// answers with the typed over-capacity wire error, the accounting is
+// untouched, and other owners' proposals still fit.
+func TestProposeOverCapacityTypedError(t *testing.T) {
+	node := startCapacityPeer(t, 42, 5000)
+	addr := node.Addr().String()
+	c, err := client.New(identity(t, 43), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, _, err := c.ProposeContract(ctx, addr, wire.ContractPropose{
+		ContractID: 1, FileID: 200, Messages: 8, Bytes: 4000, TTLSeconds: 3600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.ProposeContract(ctx, addr, wire.ContractPropose{
+		ContractID: 2, FileID: 201, Messages: 8, Bytes: 4000, TTLSeconds: 3600,
+	})
+	var remote *wire.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("over-capacity proposal: err = %v, want *wire.RemoteError", err)
+	}
+	if remote.Code != wire.CodeOverCapacity {
+		t.Fatalf("error code = %d, want CodeOverCapacity(%d)", remote.Code, wire.CodeOverCapacity)
+	}
+	if got := node.Contracts().Used(); got != 4000 {
+		t.Errorf("used after refusal = %d, want 4000 (refused bytes must not count)", got)
+	}
+	// A proposal that fits still lands after the refusal.
+	if _, _, err := c.ProposeContract(ctx, addr, wire.ContractPropose{
+		ContractID: 3, FileID: 202, Messages: 2, Bytes: 1000, TTLSeconds: 3600,
+	}); err != nil {
+		t.Fatalf("fitting proposal after refusal: %v", err)
+	}
+}
+
+// TestRenewUnknownContractTypedError: renewing a contract the peer
+// never accepted (or has already expired) yields CodeUnknownContract.
+func TestRenewUnknownContractTypedError(t *testing.T) {
+	node := startCapacityPeer(t, 44, 0)
+	c, err := client.New(identity(t, 45), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = c.RenewContract(ctx, node.Addr().String(), wire.ContractRenew{ContractID: 99, TTLSeconds: 60})
+	var remote *wire.RemoteError
+	if !errors.As(err, &remote) || remote.Code != wire.CodeUnknownContract {
+		t.Fatalf("err = %v, want RemoteError with CodeUnknownContract", err)
+	}
+}
+
+// TestContractOwnershipEnforcedOverWire: a second identity cannot
+// renew or release a contract it does not own.
+func TestContractOwnershipEnforcedOverWire(t *testing.T) {
+	node := startCapacityPeer(t, 46, 0)
+	addr := node.Addr().String()
+	owner, err := client.New(identity(t, 47), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranger, err := client.New(identity(t, 48), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, _, err := owner.ProposeContract(ctx, addr, wire.ContractPropose{
+		ContractID: 5, FileID: 300, Messages: 4, Bytes: 2000, TTLSeconds: 3600,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = stranger.ReleaseContract(ctx, addr, wire.ContractRelease{ContractID: 5})
+	var remote *wire.RemoteError
+	if !errors.As(err, &remote) || remote.Code != wire.CodeNotPermitted {
+		t.Fatalf("stranger release: err = %v, want CodeNotPermitted", err)
+	}
+	// The stranger's list shows nothing — placements are per-owner.
+	info, err := stranger.ListContracts(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Contracts) != 0 {
+		t.Errorf("stranger sees %d contracts, want 0", len(info.Contracts))
+	}
+}

@@ -1,0 +1,368 @@
+package contract
+
+// Book is the storage-peer side of the contract subsystem: the set of
+// obligations this peer has accepted, with capacity accounting. Accept
+// is where the eviction gap closes — a proposal that would push the
+// obligated bytes past the advertised capacity is refused with
+// ErrOverCapacity while the owner is still on the line, instead of
+// being silently dropped under pressure later. With a journal path the
+// book is durable: every accept/renew/release is CRC-framed, appended
+// and fsynced before it is acknowledged, and OpenBook replays the
+// journal (truncating torn tails) so a kill -9 never forgets an
+// acknowledged obligation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asymshare/internal/fsx"
+	"asymshare/internal/metrics"
+)
+
+// Book record opcodes.
+const (
+	opAccept  = 1
+	opRenew   = 2
+	opRelease = 3
+)
+
+// BookConfig configures a Book.
+type BookConfig struct {
+	// Capacity is the advertised contract capacity in payload bytes.
+	// Zero or negative means unlimited.
+	Capacity int64
+
+	// Path, when set, makes the book durable: obligations are journaled
+	// there and recovered by OpenBook. Empty keeps the book in memory.
+	Path string
+
+	// FS is the filesystem the journal goes through; nil means the real
+	// OS. Tests inject fsx.ErrFS to crash the book deterministically.
+	FS fsx.FS
+
+	// Clock overrides time.Now for expiry decisions (tests).
+	Clock func() time.Time
+
+	// Metrics, when set, receives the contract_* instrument families.
+	Metrics *metrics.Registry
+}
+
+// Book tracks accepted obligations and enforces capacity.
+type Book struct {
+	mu          sync.Mutex
+	capacity    int64
+	clock       func() time.Time
+	obligations map[uint64]Contract
+	used        int64
+	j           *journal
+	closed      bool
+	m           bookMetrics
+}
+
+// NewBook returns an in-memory book with the given capacity (zero or
+// negative means unlimited).
+func NewBook(capacity int64) *Book {
+	b, _, err := OpenBook(BookConfig{Capacity: capacity})
+	if err != nil {
+		// Unreachable: the memory-only path cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// OpenBook opens a book, replaying the journal at cfg.Path when set.
+// Obligations whose term lapsed while the peer was down are replayed
+// and then dropped by the usual lazy expiry, so recovery reports them
+// in Recovery.Records but not in the live accounting.
+func OpenBook(cfg BookConfig) (*Book, Recovery, error) {
+	b := &Book{
+		capacity:    cfg.Capacity,
+		clock:       cfg.Clock,
+		obligations: make(map[uint64]Contract),
+		m:           newBookMetrics(cfg.Metrics),
+	}
+	if b.clock == nil {
+		b.clock = time.Now
+	}
+	if b.capacity < 0 {
+		b.capacity = 0
+	}
+	var rec Recovery
+	if cfg.Path != "" {
+		j, r, err := openJournal(cfg.FS, cfg.Path, b.replay)
+		if err != nil {
+			return nil, r, err
+		}
+		b.j = j
+		rec = r
+	}
+	b.expireLocked(b.clock())
+	rec.Active = len(b.obligations)
+	b.m.capacity.Set(float64(b.capacity))
+	b.publishLocked()
+	return b, rec, nil
+}
+
+// replay applies one journal record during OpenBook. Invalid records
+// in a valid CRC frame are impossible short of a code change; they are
+// skipped rather than fatal so an old journal never bricks the peer.
+func (b *Book) replay(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case opAccept:
+		c, ok := decodeAccept(payload)
+		if !ok {
+			return
+		}
+		b.used -= b.obligations[c.ID].Bytes // replace-on-replay
+		b.obligations[c.ID] = c
+		b.used += c.Bytes
+	case opRenew:
+		if len(payload) != 17 {
+			return
+		}
+		id := binary.BigEndian.Uint64(payload[1:])
+		c, ok := b.obligations[id]
+		if !ok {
+			return
+		}
+		c.Expires = time.Unix(int64(binary.BigEndian.Uint64(payload[9:])), 0)
+		b.obligations[id] = c
+	case opRelease:
+		if len(payload) != 9 {
+			return
+		}
+		id := binary.BigEndian.Uint64(payload[1:])
+		if c, ok := b.obligations[id]; ok {
+			b.used -= c.Bytes
+			delete(b.obligations, id)
+		}
+	}
+}
+
+// encodeAccept renders an accept record:
+// op(1) id(8) fileID(8) messages(4) bytes(8) expires(8) ownerLen(2) owner.
+func encodeAccept(c Contract) []byte {
+	out := make([]byte, 39+len(c.Owner))
+	out[0] = opAccept
+	binary.BigEndian.PutUint64(out[1:], c.ID)
+	binary.BigEndian.PutUint64(out[9:], c.FileID)
+	binary.BigEndian.PutUint32(out[17:], uint32(c.Messages))
+	binary.BigEndian.PutUint64(out[21:], uint64(c.Bytes))
+	binary.BigEndian.PutUint64(out[29:], uint64(c.Expires.Unix()))
+	binary.BigEndian.PutUint16(out[37:], uint16(len(c.Owner)))
+	copy(out[39:], c.Owner)
+	return out
+}
+
+func decodeAccept(payload []byte) (Contract, bool) {
+	if len(payload) < 39 {
+		return Contract{}, false
+	}
+	ownerLen := int(binary.BigEndian.Uint16(payload[37:]))
+	if len(payload) != 39+ownerLen {
+		return Contract{}, false
+	}
+	return Contract{
+		ID:       binary.BigEndian.Uint64(payload[1:]),
+		FileID:   binary.BigEndian.Uint64(payload[9:]),
+		Messages: int(binary.BigEndian.Uint32(payload[17:])),
+		Bytes:    int64(binary.BigEndian.Uint64(payload[21:])),
+		Expires:  time.Unix(int64(binary.BigEndian.Uint64(payload[29:])), 0),
+		Owner:    string(payload[39:]),
+	}, true
+}
+
+// Accept admits an obligation if it fits. Re-proposing an id the book
+// already holds is idempotent for the same owner (the obligation is
+// replaced, its bytes re-counted) and ErrNotOwner for anyone else.
+func (b *Book) Accept(c Contract) error {
+	if err := c.validate(); err != nil {
+		b.m.invalid.Inc()
+		return fmt.Errorf("%w: %v", ErrBadContract, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	now := b.clock()
+	b.expireLocked(now)
+	if c.Expired(now) {
+		b.m.invalid.Inc()
+		return fmt.Errorf("%w: already expired", ErrBadContract)
+	}
+	replaced := int64(0)
+	if old, ok := b.obligations[c.ID]; ok {
+		if old.Owner != c.Owner {
+			b.m.notOwner.Inc()
+			return fmt.Errorf("%w: contract %d", ErrNotOwner, c.ID)
+		}
+		replaced = old.Bytes
+	}
+	if b.capacity > 0 && b.used-replaced+c.Bytes > b.capacity {
+		b.m.overCap.Inc()
+		return fmt.Errorf("%w: %d obligated + %d proposed > %d capacity",
+			ErrOverCapacity, b.used-replaced, c.Bytes, b.capacity)
+	}
+	if b.j != nil {
+		if err := b.j.append(encodeAccept(c)); err != nil {
+			return err
+		}
+	}
+	b.used += c.Bytes - replaced
+	b.obligations[c.ID] = c
+	b.m.accepted.Inc()
+	b.publishLocked()
+	return nil
+}
+
+// Renew extends an obligation to the new expiry. Only the contract's
+// owner may renew.
+func (b *Book) Renew(id uint64, owner string, expires time.Time) (Contract, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Contract{}, ErrClosed
+	}
+	b.expireLocked(b.clock())
+	c, ok := b.obligations[id]
+	if !ok {
+		return Contract{}, fmt.Errorf("%w: %d", ErrUnknown, id)
+	}
+	if c.Owner != owner {
+		b.m.notOwner.Inc()
+		return Contract{}, fmt.Errorf("%w: contract %d", ErrNotOwner, id)
+	}
+	if b.j != nil {
+		rec := make([]byte, 17)
+		rec[0] = opRenew
+		binary.BigEndian.PutUint64(rec[1:], id)
+		binary.BigEndian.PutUint64(rec[9:], uint64(expires.Unix()))
+		if err := b.j.append(rec); err != nil {
+			return Contract{}, err
+		}
+	}
+	c.Expires = expires
+	b.obligations[id] = c
+	b.m.renewed.Inc()
+	return c, nil
+}
+
+// Release ends an obligation early, freeing its capacity. Only the
+// contract's owner may release.
+func (b *Book) Release(id uint64, owner string) (Contract, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Contract{}, ErrClosed
+	}
+	b.expireLocked(b.clock())
+	c, ok := b.obligations[id]
+	if !ok {
+		return Contract{}, fmt.Errorf("%w: %d", ErrUnknown, id)
+	}
+	if c.Owner != owner {
+		b.m.notOwner.Inc()
+		return Contract{}, fmt.Errorf("%w: contract %d", ErrNotOwner, id)
+	}
+	if b.j != nil {
+		rec := make([]byte, 9)
+		rec[0] = opRelease
+		binary.BigEndian.PutUint64(rec[1:], id)
+		if err := b.j.append(rec); err != nil {
+			return Contract{}, err
+		}
+	}
+	b.used -= c.Bytes
+	delete(b.obligations, id)
+	b.m.released.Inc()
+	b.publishLocked()
+	return c, nil
+}
+
+// expireLocked drops lapsed obligations. Expiry is lazy and purely
+// in-memory — the journal keeps the accept records, and replay plus
+// the same lazy sweep reproduces the exact live set after a restart.
+func (b *Book) expireLocked(now time.Time) {
+	dropped := 0
+	for id, c := range b.obligations {
+		if c.Expired(now) {
+			b.used -= c.Bytes
+			delete(b.obligations, id)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		b.m.expired.Add(uint64(dropped))
+		b.publishLocked()
+	}
+}
+
+// publishLocked refreshes the book gauges.
+func (b *Book) publishLocked() {
+	b.m.active.Set(float64(len(b.obligations)))
+	b.m.obligated.Set(float64(b.used))
+}
+
+// Used returns the currently obligated payload bytes.
+func (b *Book) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	return b.used
+}
+
+// Capacity returns the advertised capacity (0 = unlimited).
+func (b *Book) Capacity() int64 { return b.capacity }
+
+// Get returns one obligation.
+func (b *Book) Get(id uint64) (Contract, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	c, ok := b.obligations[id]
+	return c, ok
+}
+
+// Contracts returns the live obligations sorted by id.
+func (b *Book) Contracts() []Contract {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.clock())
+	out := make([]Contract, 0, len(b.obligations))
+	for _, c := range b.obligations {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ContractsOf returns the live obligations of one owner, sorted by id.
+func (b *Book) ContractsOf(owner string) []Contract {
+	all := b.Contracts()
+	out := all[:0]
+	for _, c := range all {
+		if c.Owner == owner {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Close releases the journal handle. Further mutations fail with
+// ErrClosed.
+func (b *Book) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	return b.j.close()
+}

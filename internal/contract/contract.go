@@ -1,0 +1,84 @@
+// Package contract implements the storage-contract subsystem: explicit,
+// durable obligations layered over the fire-and-forget dissemination of
+// Sec. III-A. A storage peer advertises a capacity it can actually
+// honor and keeps a Book of accepted obligations — a contract proposal
+// that would push the book past capacity is refused up front
+// (ErrOverCapacity → wire.CodeOverCapacity) instead of being silently
+// evicted later. The owner keeps the mirror image, a Set of holdings:
+// which peer holds which batch rank of which generation, under which
+// contract, until when. Both sides journal every mutation through
+// internal/fsx with the same CRC-framed append-only format as the disk
+// store, so obligations survive kill -9 on either end and the repair
+// daemon (internal/repair) can recompute the rank-margin watermark from
+// recovered state alone.
+package contract
+
+import (
+	"errors"
+	"time"
+)
+
+var (
+	// ErrOverCapacity is returned when accepting an obligation would
+	// exceed the peer's advertised capacity.
+	ErrOverCapacity = errors.New("contract: over advertised capacity")
+
+	// ErrUnknown is returned for operations on a contract id the book
+	// does not hold.
+	ErrUnknown = errors.New("contract: unknown contract")
+
+	// ErrNotOwner is returned when a principal other than the contract's
+	// owner tries to renew, release or re-propose it.
+	ErrNotOwner = errors.New("contract: not the contract owner")
+
+	// ErrBadContract is returned for proposals missing required fields.
+	ErrBadContract = errors.New("contract: invalid contract")
+
+	// ErrClosed is returned by operations on a closed book or set.
+	ErrClosed = errors.New("contract: closed")
+)
+
+// Contract is one storage obligation: the holder promises to keep
+// Messages encoded messages (Bytes payload bytes) of generation FileID
+// for the Owner until Expires.
+type Contract struct {
+	ID       uint64
+	FileID   uint64
+	Owner    string // owner key fingerprint
+	Messages int
+	Bytes    int64
+	Expires  time.Time
+}
+
+// Expired reports whether the obligation's term has lapsed.
+func (c Contract) Expired(now time.Time) bool {
+	return !c.Expires.After(now)
+}
+
+// validate checks the fields every accepted contract must carry.
+func (c Contract) validate() error {
+	if c.ID == 0 {
+		return errors.New("contract: zero contract id")
+	}
+	if c.Owner == "" {
+		return errors.New("contract: missing owner")
+	}
+	if c.Messages <= 0 || c.Bytes <= 0 {
+		return errors.New("contract: non-positive size")
+	}
+	return nil
+}
+
+// Recovery describes what opening a journaled Book or Set found on
+// disk.
+type Recovery struct {
+	// Records is how many journal records replayed cleanly.
+	Records int
+
+	// Active is how many contracts/holdings were live after replay.
+	Active int
+
+	// Truncated reports whether a torn or corrupt tail was cut off
+	// (the journal was truncated back to its last valid record).
+	Truncated bool
+}

@@ -1,0 +1,184 @@
+package contract
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a settable clock for deterministic expiry tests.
+type fixedClock struct{ now time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.now }
+
+func testContract(id uint64, bytes int64, expires time.Time) Contract {
+	return Contract{
+		ID:       id,
+		FileID:   100 + id,
+		Owner:    "owner-a",
+		Messages: 8,
+		Bytes:    bytes,
+		Expires:  expires,
+	}
+}
+
+func TestBookAcceptAndCapacity(t *testing.T) {
+	clk := &fixedClock{now: time.Unix(1_000_000, 0)}
+	b, _, err := OpenBook(BookConfig{Capacity: 1000, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := clk.now.Add(time.Hour)
+	if err := b.Accept(testContract(1, 600, exp)); err != nil {
+		t.Fatalf("accept 1: %v", err)
+	}
+	if err := b.Accept(testContract(2, 300, exp)); err != nil {
+		t.Fatalf("accept 2: %v", err)
+	}
+	// 900/1000 used: a 200-byte obligation must be refused.
+	err = b.Accept(testContract(3, 200, exp))
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("accept over capacity: err = %v, want ErrOverCapacity", err)
+	}
+	if got := b.Used(); got != 900 {
+		t.Errorf("used = %d, want 900", got)
+	}
+	// Releasing 1 frees room for 3.
+	if _, err := b.Release(1, "owner-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accept(testContract(3, 200, exp)); err != nil {
+		t.Errorf("accept after release: %v", err)
+	}
+}
+
+func TestBookOwnershipEnforced(t *testing.T) {
+	clk := &fixedClock{now: time.Unix(1_000_000, 0)}
+	b, _, err := OpenBook(BookConfig{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := clk.now.Add(time.Hour)
+	if err := b.Accept(testContract(1, 100, exp)); err != nil {
+		t.Fatal(err)
+	}
+	// A different principal cannot renew, release, or re-propose.
+	if _, err := b.Renew(1, "owner-b", exp.Add(time.Hour)); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("renew by stranger: err = %v, want ErrNotOwner", err)
+	}
+	if _, err := b.Release(1, "owner-b"); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("release by stranger: err = %v, want ErrNotOwner", err)
+	}
+	c := testContract(1, 100, exp)
+	c.Owner = "owner-b"
+	if err := b.Accept(c); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("re-propose by stranger: err = %v, want ErrNotOwner", err)
+	}
+	// Unknown ids are typed too.
+	if _, err := b.Renew(99, "owner-a", exp); !errors.Is(err, ErrUnknown) {
+		t.Errorf("renew unknown: err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestBookLazyExpiryFreesCapacity(t *testing.T) {
+	clk := &fixedClock{now: time.Unix(1_000_000, 0)}
+	b, _, err := OpenBook(BookConfig{Capacity: 500, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accept(testContract(1, 500, clk.now.Add(time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accept(testContract(2, 500, clk.now.Add(time.Hour))); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("accept while full: err = %v", err)
+	}
+	// After contract 1 lapses, its capacity is reclaimed lazily.
+	clk.now = clk.now.Add(2 * time.Minute)
+	if err := b.Accept(testContract(2, 500, clk.now.Add(time.Hour))); err != nil {
+		t.Errorf("accept after expiry: %v", err)
+	}
+	if got := len(b.Contracts()); got != 1 {
+		t.Errorf("contracts = %d, want 1", got)
+	}
+	if _, ok := b.Get(1); ok {
+		t.Error("expired contract still visible")
+	}
+}
+
+func TestBookIdempotentReProposal(t *testing.T) {
+	clk := &fixedClock{now: time.Unix(1_000_000, 0)}
+	b, _, err := OpenBook(BookConfig{Capacity: 1000, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := clk.now.Add(time.Hour)
+	if err := b.Accept(testContract(1, 600, exp)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-proposing the same id replaces the obligation without double
+	// counting the bytes.
+	if err := b.Accept(testContract(1, 700, exp)); err != nil {
+		t.Fatalf("re-propose: %v", err)
+	}
+	if got := b.Used(); got != 700 {
+		t.Errorf("used = %d, want 700", got)
+	}
+}
+
+func TestBookRejectsInvalid(t *testing.T) {
+	b := NewBook(0)
+	defer b.Close()
+	now := time.Now()
+	cases := []Contract{
+		{ID: 0, Owner: "a", Messages: 1, Bytes: 1, Expires: now.Add(time.Hour)},
+		{ID: 1, Owner: "", Messages: 1, Bytes: 1, Expires: now.Add(time.Hour)},
+		{ID: 1, Owner: "a", Messages: 0, Bytes: 1, Expires: now.Add(time.Hour)},
+		{ID: 1, Owner: "a", Messages: 1, Bytes: 0, Expires: now.Add(time.Hour)},
+		{ID: 1, Owner: "a", Messages: 1, Bytes: 1, Expires: now.Add(-time.Hour)},
+	}
+	for i, c := range cases {
+		if err := b.Accept(c); !errors.Is(err, ErrBadContract) {
+			t.Errorf("case %d: err = %v, want ErrBadContract", i, err)
+		}
+	}
+}
+
+func TestSetAddDropRenewAndRanks(t *testing.T) {
+	s := NewSet()
+	defer s.Close()
+	exp := time.Now().Add(time.Hour)
+	for i, rank := range []int{0, 1, 4} {
+		err := s.Add(Holding{
+			ContractID: uint64(i + 1), Addr: "a", Peer: "fp", Chunk: 0,
+			Rank: rank, Messages: 4, Bytes: 400, Expires: exp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MaxRank(0); got != 4 {
+		t.Errorf("MaxRank(0) = %d, want 4", got)
+	}
+	if got := s.MaxRank(1); got != -1 {
+		t.Errorf("MaxRank(1) = %d, want -1", got)
+	}
+	if !s.Has("a", 0) || s.Has("b", 0) || s.Has("a", 1) {
+		t.Error("Has() misreports holdings")
+	}
+	if err := s.Drop(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxRank(0); got != 1 {
+		t.Errorf("MaxRank after drop = %d, want 1", got)
+	}
+	newExp := exp.Add(time.Hour)
+	if err := s.Renew(1, newExp); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Holdings()[0].Expires.Unix(); got != newExp.Unix() {
+		t.Errorf("renewed expiry = %d, want %d", got, newExp.Unix())
+	}
+	if err := s.Renew(99, newExp); !errors.Is(err, ErrUnknown) {
+		t.Errorf("renew unknown holding: err = %v", err)
+	}
+}

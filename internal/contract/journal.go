@@ -1,0 +1,223 @@
+package contract
+
+// Append-only contract journal, shared by the peer-side Book and the
+// owner-side Set. The format mirrors internal/store's message journals
+// — magic header, then CRC-32C (Castagnoli) length-prefixed records —
+// but records are opaque payloads interpreted by the caller, so both
+// sides can journal their own record shapes through one recovery
+// policy: replay the longest valid prefix, truncate a torn or corrupt
+// tail in place, and append from there. Every append is fsynced before
+// it returns: obligations are low-rate control state, and an
+// acknowledged contract must never be lost to a kill -9.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"asymshare/internal/fsx"
+)
+
+const (
+	journalMagic   = "ASC1"
+	journalVersion = 1
+	jHeaderLen     = 8
+	jRecordHdrLen  = 8 // u32 payload length, u32 CRC
+
+	// maxJournalRecord bounds one record payload; contract records are
+	// tiny, so anything larger is corruption, not data.
+	maxJournalRecord = 1 << 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errJournalCorrupt classifies an unreadable header — unlike a torn
+// tail this means the file was never a contract journal.
+var errJournalCorrupt = errors.New("contract: corrupt journal")
+
+// journal is an open, fsync-on-append record log.
+type journal struct {
+	fsys fsx.FS
+	f    fsx.File
+	path string
+}
+
+// journalCRC computes the record CRC over the length field and the
+// payload, skipping the CRC field itself.
+func journalCRC(length []byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, length)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// openJournal opens (or creates) the journal at path, replays every
+// valid record into the replay callback, truncates any torn or corrupt
+// tail, and leaves the file positioned for appending.
+func openJournal(fsys fsx.FS, path string, replay func(payload []byte)) (*journal, Recovery, error) {
+	if fsys == nil {
+		fsys = fsx.OS
+	}
+	var rec Recovery
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return nil, rec, fmt.Errorf("contract: mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("contract: open journal %s: %w", path, err)
+	}
+	j := &journal{fsys: fsys, f: f, path: path}
+
+	size, err := j.size()
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	if size == 0 {
+		// Fresh journal: write and persist the header so a crash right
+		// after creation still leaves a parseable file.
+		hdr := make([]byte, jHeaderLen)
+		copy(hdr, journalMagic)
+		binary.BigEndian.PutUint32(hdr[4:], journalVersion)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("contract: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("contract: sync journal header: %w", err)
+		}
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("contract: sync journal dir: %w", err)
+		}
+		return j, rec, nil
+	}
+
+	valid, n, truncated, err := j.scan(size, replay)
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	rec.Records = n
+	rec.Truncated = truncated
+	if truncated {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("contract: truncate torn tail: %w", err)
+		}
+		if valid < jHeaderLen {
+			// The crash tore the header itself: rewrite it so the next
+			// open parses a well-formed (empty) journal.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return nil, rec, fmt.Errorf("contract: seek after header reset: %w", err)
+			}
+			hdr := make([]byte, jHeaderLen)
+			copy(hdr, journalMagic)
+			binary.BigEndian.PutUint32(hdr[4:], journalVersion)
+			if _, err := f.Write(hdr); err != nil {
+				f.Close()
+				return nil, rec, fmt.Errorf("contract: rewrite journal header: %w", err)
+			}
+			valid = jHeaderLen
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("contract: sync after truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("contract: seek journal end: %w", err)
+	}
+	return j, rec, nil
+}
+
+// size stats the open journal file.
+func (j *journal) size() (int64, error) {
+	info, err := j.fsys.Stat(j.path)
+	if err != nil {
+		return 0, fmt.Errorf("contract: stat journal: %w", err)
+	}
+	return info.Size(), nil
+}
+
+// scan replays records from the start, returning the byte offset of
+// the last valid record's end, the record count, and whether a tail
+// must be truncated. A journal whose header cannot be parsed — a
+// partially-written 4-byte file, say — is treated as a fully torn tail
+// and reset rather than refused: losing a contract journal must not
+// brick the peer.
+func (j *journal) scan(size int64, replay func([]byte)) (valid int64, n int, truncated bool, err error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, false, fmt.Errorf("contract: seek journal: %w", err)
+	}
+	hdr := make([]byte, jHeaderLen)
+	if size < jHeaderLen {
+		return 0, 0, true, nil
+	}
+	if _, err := io.ReadFull(j.f, hdr); err != nil {
+		return 0, 0, true, nil
+	}
+	if string(hdr[:4]) != journalMagic || binary.BigEndian.Uint32(hdr[4:]) != journalVersion {
+		return 0, 0, false, fmt.Errorf("%w: bad magic in %s", errJournalCorrupt, j.path)
+	}
+	valid = jHeaderLen
+	remaining := size - jHeaderLen
+	var rhdr [jRecordHdrLen]byte
+	for remaining >= jRecordHdrLen {
+		if _, err := io.ReadFull(j.f, rhdr[:]); err != nil {
+			return valid, n, true, nil
+		}
+		payloadLen := binary.BigEndian.Uint32(rhdr[:4])
+		recLen := int64(jRecordHdrLen) + int64(payloadLen)
+		if payloadLen > maxJournalRecord || recLen > remaining {
+			return valid, n, true, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			return valid, n, true, nil
+		}
+		if journalCRC(rhdr[:4], payload) != binary.BigEndian.Uint32(rhdr[4:]) {
+			return valid, n, true, nil
+		}
+		replay(payload)
+		valid += recLen
+		remaining -= recLen
+		n++
+	}
+	return valid, n, remaining != 0, nil
+}
+
+// append frames, writes and fsyncs one record.
+func (j *journal) append(payload []byte) error {
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("contract: journal record of %d bytes", len(payload))
+	}
+	buf := make([]byte, jRecordHdrLen+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[jRecordHdrLen:], payload)
+	binary.BigEndian.PutUint32(buf[4:], journalCRC(buf[:4], payload))
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("contract: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("contract: sync journal: %w", err)
+	}
+	return nil
+}
+
+// close releases the file handle.
+func (j *journal) close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

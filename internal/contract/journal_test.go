@@ -1,0 +1,204 @@
+package contract
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"asymshare/internal/fsx"
+)
+
+// TestBookJournalRecovery pins the durability contract: every accept,
+// renew and release that returned nil survives a hard crash, expired
+// obligations are swept on recovery, and capacity accounting is exact
+// after replay.
+func TestBookJournalRecovery(t *testing.T) {
+	efs := fsx.NewErrFS(7)
+	clk := &fixedClock{now: time.Unix(1_000_000, 0)}
+	cfg := BookConfig{Capacity: 2000, Path: "peer/contracts.j", FS: efs, Clock: clk.Now}
+
+	b, rec, err := OpenBook(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 || rec.Truncated {
+		t.Fatalf("fresh recovery = %+v", rec)
+	}
+	exp := clk.now.Add(time.Hour)
+	short := clk.now.Add(time.Minute)
+	if err := b.Accept(testContract(1, 500, exp)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accept(testContract(2, 400, exp)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accept(testContract(3, 300, short)); err != nil { // will lapse
+		t.Fatal(err)
+	}
+	if _, err := b.Renew(2, "owner-a", exp.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Release(1, "owner-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9: no Close, handles die, only fsynced bytes survive.
+	efs.Reboot()
+	clk.now = clk.now.Add(30 * time.Minute) // contract 3 lapsed meanwhile
+
+	b2, rec2, err := OpenBook(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Records != 5 {
+		t.Errorf("recovered records = %d, want 5", rec2.Records)
+	}
+	live := b2.Contracts()
+	if len(live) != 1 || live[0].ID != 2 {
+		t.Fatalf("recovered contracts = %+v, want only id 2", live)
+	}
+	if got := live[0].Expires.Unix(); got != exp.Add(time.Hour).Unix() {
+		t.Errorf("recovered expiry = %d, want the renewed one %d", got, exp.Add(time.Hour).Unix())
+	}
+	if got := b2.Used(); got != 400 {
+		t.Errorf("recovered used = %d, want 400", got)
+	}
+}
+
+// TestBookJournalTornTail crashes the filesystem at every op of a
+// fixed workload and verifies the invariant that matters: an accept
+// that returned nil is never lost, and recovery never errors — a torn
+// tail is truncated, not fatal.
+func TestBookJournalTornTail(t *testing.T) {
+	clkNow := time.Unix(1_000_000, 0)
+	exp := clkNow.Add(time.Hour)
+	workload := func(b *Book) int {
+		acked := 0
+		for i := uint64(1); i <= 6; i++ {
+			if err := b.Accept(testContract(i, 100, exp)); err != nil {
+				break
+			}
+			acked++
+		}
+		return acked
+	}
+	// Baseline run to count ops.
+	base := fsx.NewErrFS(1)
+	clk := &fixedClock{now: clkNow}
+	b, _, err := OpenBook(BookConfig{Path: "c.j", FS: base, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(b)
+	totalOps := base.Ops()
+
+	for crashAt := 1; crashAt <= totalOps; crashAt++ {
+		efs := fsx.NewErrFS(int64(crashAt))
+		efs.CrashAtOp(crashAt)
+		clk := &fixedClock{now: clkNow}
+		cfg := BookConfig{Path: "c.j", FS: efs, Clock: clk.Now}
+		b, _, err := OpenBook(cfg)
+		acked := 0
+		if err == nil {
+			acked = workload(b)
+		}
+		efs.Reboot()
+		b2, _, err := OpenBook(cfg)
+		if err != nil {
+			t.Fatalf("crash@%d: recovery failed: %v", crashAt, err)
+		}
+		if got := len(b2.Contracts()); got < acked {
+			t.Errorf("crash@%d: recovered %d contracts, acked %d", crashAt, got, acked)
+		}
+		b2.Close()
+	}
+}
+
+// TestSetJournalRecovery mirrors the Book test for the owner side:
+// holdings recorded before a kill -9 — including renews and drops —
+// replay exactly, so the repair daemon can recompute watermarks from
+// recovered state.
+func TestSetJournalRecovery(t *testing.T) {
+	efs := fsx.NewErrFS(11)
+	exp := time.Unix(2_000_000, 0)
+
+	s, _, err := OpenSet(efs, "owner/holdings.j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []Holding{
+		{ContractID: 1, Addr: "p1:1", Peer: "fp1", Chunk: 0, Rank: 0, Messages: 4, Bytes: 400, Expires: exp},
+		{ContractID: 2, Addr: "p2:1", Peer: "fp2", Chunk: 0, Rank: 1, Messages: 4, Bytes: 400, Expires: exp},
+		{ContractID: 3, Addr: "p1:1", Peer: "fp1", Chunk: 1, Rank: 0, Messages: 4, Bytes: 400, Expires: exp},
+	}
+	for _, h := range adds {
+		if err := s.Add(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Renew(2, exp.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop(3); err != nil {
+		t.Fatal(err)
+	}
+
+	efs.Reboot()
+
+	s2, rec, err := OpenSet(efs, "owner/holdings.j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 5 || rec.Active != 2 {
+		t.Errorf("recovery = %+v, want 5 records / 2 active", rec)
+	}
+	hs := s2.Holdings()
+	if len(hs) != 2 || hs[0].ContractID != 1 || hs[1].ContractID != 2 {
+		t.Fatalf("recovered holdings = %+v", hs)
+	}
+	if hs[1].Expires.Unix() != exp.Add(time.Hour).Unix() {
+		t.Errorf("renewed expiry lost: %d", hs[1].Expires.Unix())
+	}
+	if hs[0].Addr != "p1:1" || hs[0].Peer != "fp1" {
+		t.Errorf("holding fields corrupted: %+v", hs[0])
+	}
+}
+
+// TestJournalGarbageHeaderResets pins the recovery policy for a file
+// that was never a valid journal: refuse (typed error) rather than
+// misinterpret — but a short torn header is reset, not fatal.
+func TestJournalGarbageHeaderResets(t *testing.T) {
+	efs := fsx.NewErrFS(3)
+	f, err := efs.OpenFile("bad.j", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("NOTAJOURNAL!")); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	f.Close()
+	if _, _, err := OpenBook(BookConfig{Path: "bad.j", FS: efs}); !errors.Is(err, errJournalCorrupt) {
+		t.Errorf("garbage header: err = %v, want errJournalCorrupt", err)
+	}
+
+	// A 3-byte torn header (crash during creation) is swept instead.
+	g, err := efs.OpenFile("torn.j", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("AS")); err != nil {
+		t.Fatal(err)
+	}
+	g.Sync()
+	g.Close()
+	b, rec, err := OpenBook(BookConfig{Path: "torn.j", FS: efs})
+	if err != nil {
+		t.Fatalf("torn header: %v", err)
+	}
+	if !rec.Truncated {
+		t.Error("torn header not reported as truncated")
+	}
+	b.Close()
+}

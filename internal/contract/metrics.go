@@ -1,0 +1,48 @@
+package contract
+
+import "asymshare/internal/metrics"
+
+// Metric names exported by the contract subsystem (see DESIGN.md §7).
+const (
+	MetricAccepted      = "contract_accepted_total"
+	MetricRejected      = "contract_rejected_total"
+	MetricRenewed       = "contract_renewed_total"
+	MetricReleased      = "contract_released_total"
+	MetricExpired       = "contract_expired_total"
+	MetricActive        = "contract_active"
+	MetricObligatedByte = "contract_obligated_bytes"
+	MetricCapacityBytes = "contract_capacity_bytes"
+)
+
+// bookMetrics are the instruments of one obligation book. All fields
+// are nil-safe: an uninstrumented book records nothing.
+type bookMetrics struct {
+	accepted  *metrics.Counter
+	overCap   *metrics.Counter
+	notOwner  *metrics.Counter
+	invalid   *metrics.Counter
+	renewed   *metrics.Counter
+	released  *metrics.Counter
+	expired   *metrics.Counter
+	active    *metrics.Gauge
+	obligated *metrics.Gauge
+	capacity  *metrics.Gauge
+}
+
+func newBookMetrics(reg *metrics.Registry) bookMetrics {
+	return bookMetrics{
+		accepted: reg.Counter(MetricAccepted, "Storage obligations accepted into the book."),
+		overCap: reg.Counter(MetricRejected, "Storage obligations refused.",
+			metrics.L("reason", "over_capacity")),
+		notOwner: reg.Counter(MetricRejected, "Storage obligations refused.",
+			metrics.L("reason", "not_owner")),
+		invalid: reg.Counter(MetricRejected, "Storage obligations refused.",
+			metrics.L("reason", "invalid")),
+		renewed:   reg.Counter(MetricRenewed, "Obligation terms extended by their owner."),
+		released:  reg.Counter(MetricReleased, "Obligations released early by their owner."),
+		expired:   reg.Counter(MetricExpired, "Obligations dropped because their term lapsed."),
+		active:    reg.Gauge(MetricActive, "Obligations currently held."),
+		obligated: reg.Gauge(MetricObligatedByte, "Payload bytes currently under obligation."),
+		capacity:  reg.Gauge(MetricCapacityBytes, "Advertised contract capacity in bytes (0 = unlimited)."),
+	}
+}

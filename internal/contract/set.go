@@ -1,0 +1,278 @@
+package contract
+
+// Set is the owner side of the contract subsystem: which peer holds
+// which batch rank of which generation, under which contract id, until
+// when. The repair daemon (internal/repair) recomputes the per-chunk
+// rank-margin watermark from this state alone, so with a journal path
+// the set survives kill -9 mid-repair: Add/Renew/Drop are fsynced
+// before they return, and OpenSet replays the longest valid prefix,
+// truncating torn tails — the same recovery policy as the peer-side
+// Book and the disk store.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asymshare/internal/fsx"
+)
+
+// Holding is one owner-side contract record: peer `Peer` (fingerprint,
+// dialable at Addr) holds the batch of rank Rank for chunk Chunk under
+// contract ContractID until Expires.
+type Holding struct {
+	ContractID uint64
+	Addr       string
+	Peer       string // key fingerprint, the ledger identity to credit
+	Chunk      int
+	Rank       int
+	Messages   int
+	Bytes      int64
+	Expires    time.Time
+}
+
+// Expired reports whether the holding's contract term has lapsed.
+func (h Holding) Expired(now time.Time) bool { return !h.Expires.After(now) }
+
+// Set tracks the owner's holdings, optionally journaled.
+type Set struct {
+	mu       sync.Mutex
+	holdings map[uint64]Holding
+	j        *journal
+	closed   bool
+}
+
+// NewSet returns an in-memory set.
+func NewSet() *Set {
+	s, _, err := OpenSet(nil, "")
+	if err != nil {
+		panic(err) // unreachable: the memory-only path cannot fail
+	}
+	return s
+}
+
+// OpenSet opens a holdings set, replaying the journal at path when
+// non-empty. fsys nil means the real OS.
+func OpenSet(fsys fsx.FS, path string) (*Set, Recovery, error) {
+	s := &Set{holdings: make(map[uint64]Holding)}
+	var rec Recovery
+	if path != "" {
+		j, r, err := openJournal(fsys, path, s.replay)
+		if err != nil {
+			return nil, r, err
+		}
+		s.j = j
+		rec = r
+	}
+	rec.Active = len(s.holdings)
+	return s, rec, nil
+}
+
+// Set record opcodes (a separate journal from the Book's, so the
+// overlapping numbers are harmless).
+const (
+	opHoldingAdd   = 1
+	opHoldingRenew = 2
+	opHoldingDrop  = 3
+)
+
+// encodeHolding renders an add record: op(1) id(8) chunk(4) rank(4)
+// messages(4) bytes(8) expires(8) addrLen(2) addr peerLen(2) peer.
+func encodeHolding(h Holding) []byte {
+	out := make([]byte, 41+len(h.Addr)+len(h.Peer))
+	out[0] = opHoldingAdd
+	binary.BigEndian.PutUint64(out[1:], h.ContractID)
+	binary.BigEndian.PutUint32(out[9:], uint32(h.Chunk))
+	binary.BigEndian.PutUint32(out[13:], uint32(h.Rank))
+	binary.BigEndian.PutUint32(out[17:], uint32(h.Messages))
+	binary.BigEndian.PutUint64(out[21:], uint64(h.Bytes))
+	binary.BigEndian.PutUint64(out[29:], uint64(h.Expires.Unix()))
+	binary.BigEndian.PutUint16(out[37:], uint16(len(h.Addr)))
+	off := 39 + copy(out[39:], h.Addr)
+	binary.BigEndian.PutUint16(out[off:], uint16(len(h.Peer)))
+	copy(out[off+2:], h.Peer)
+	return out
+}
+
+func decodeHolding(payload []byte) (Holding, bool) {
+	if len(payload) < 41 {
+		return Holding{}, false
+	}
+	addrLen := int(binary.BigEndian.Uint16(payload[37:]))
+	if len(payload) < 41+addrLen {
+		return Holding{}, false
+	}
+	peerOff := 39 + addrLen
+	peerLen := int(binary.BigEndian.Uint16(payload[peerOff:]))
+	if len(payload) != 41+addrLen+peerLen {
+		return Holding{}, false
+	}
+	return Holding{
+		ContractID: binary.BigEndian.Uint64(payload[1:]),
+		Chunk:      int(binary.BigEndian.Uint32(payload[9:])),
+		Rank:       int(binary.BigEndian.Uint32(payload[13:])),
+		Messages:   int(binary.BigEndian.Uint32(payload[17:])),
+		Bytes:      int64(binary.BigEndian.Uint64(payload[21:])),
+		Expires:    time.Unix(int64(binary.BigEndian.Uint64(payload[29:])), 0),
+		Addr:       string(payload[39 : 39+addrLen]),
+		Peer:       string(payload[peerOff+2:]),
+	}, true
+}
+
+// replay applies one journal record during OpenSet.
+func (s *Set) replay(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case opHoldingAdd:
+		if h, ok := decodeHolding(payload); ok {
+			s.holdings[h.ContractID] = h
+		}
+	case opHoldingRenew:
+		if len(payload) != 17 {
+			return
+		}
+		id := binary.BigEndian.Uint64(payload[1:])
+		if h, ok := s.holdings[id]; ok {
+			h.Expires = time.Unix(int64(binary.BigEndian.Uint64(payload[9:])), 0)
+			s.holdings[id] = h
+		}
+	case opHoldingDrop:
+		if len(payload) != 9 {
+			return
+		}
+		delete(s.holdings, binary.BigEndian.Uint64(payload[1:]))
+	}
+}
+
+// Add records (or replaces) a holding.
+func (s *Set) Add(h Holding) error {
+	if h.ContractID == 0 || h.Addr == "" {
+		return fmt.Errorf("%w: holding needs a contract id and address", ErrBadContract)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.j != nil {
+		if err := s.j.append(encodeHolding(h)); err != nil {
+			return err
+		}
+	}
+	s.holdings[h.ContractID] = h
+	return nil
+}
+
+// Renew records a holding's new expiry.
+func (s *Set) Renew(id uint64, expires time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	h, ok := s.holdings[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknown, id)
+	}
+	if s.j != nil {
+		rec := make([]byte, 17)
+		rec[0] = opHoldingRenew
+		binary.BigEndian.PutUint64(rec[1:], id)
+		binary.BigEndian.PutUint64(rec[9:], uint64(expires.Unix()))
+		if err := s.j.append(rec); err != nil {
+			return err
+		}
+	}
+	h.Expires = expires
+	s.holdings[id] = h
+	return nil
+}
+
+// Drop forgets a holding (lost, expired, or released).
+func (s *Set) Drop(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.holdings[id]; !ok {
+		return nil
+	}
+	if s.j != nil {
+		rec := make([]byte, 9)
+		rec[0] = opHoldingDrop
+		binary.BigEndian.PutUint64(rec[1:], id)
+		if err := s.j.append(rec); err != nil {
+			return err
+		}
+	}
+	delete(s.holdings, id)
+	return nil
+}
+
+// Holdings returns every holding sorted by contract id.
+func (s *Set) Holdings() []Holding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Holding, 0, len(s.holdings))
+	for _, h := range s.holdings {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ContractID < out[j].ContractID })
+	return out
+}
+
+// ForChunk returns the holdings of one chunk sorted by contract id.
+func (s *Set) ForChunk(chunk int) []Holding {
+	all := s.Holdings()
+	out := all[:0]
+	for _, h := range all {
+		if h.Chunk == chunk {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Has reports whether addr already holds a batch of the given chunk.
+func (s *Set) Has(addr string, chunk int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.holdings {
+		if h.Addr == addr && h.Chunk == chunk {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxRank returns the highest batch rank recorded for a chunk, or -1.
+// Fresh repair batches must be minted past every rank ever used so a
+// replacement peer's coefficients are not simply a copy of a dead
+// peer's (see repair.NextRank, which also consults manifest digests).
+func (s *Set) MaxRank(chunk int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := -1
+	for _, h := range s.holdings {
+		if h.Chunk == chunk && h.Rank > max {
+			max = h.Rank
+		}
+	}
+	return max
+}
+
+// Close releases the journal handle.
+func (s *Set) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.j.close()
+}

@@ -16,7 +16,7 @@ import (
 	"sort"
 
 	"asymshare/internal/audit"
-	"asymshare/internal/chunk"
+	"asymshare/internal/repair"
 	"asymshare/internal/rlnc"
 )
 
@@ -155,8 +155,11 @@ func (s *System) ReportSpotCheck(ctx context.Context, ownPeerAddr string, r *Spo
 // RepairFailed regenerates and re-disseminates every batch that failed
 // a spot-check, regardless of the inventory the peer claims. Unlike
 // Repair, it never consults LIST: the cryptographic verdict already
-// established the data is unusable there. Returns the number of
-// messages re-uploaded.
+// established the data is unusable there. The actual re-mint and
+// upload go through internal/repair's engine — the same code path the
+// proactive repair daemon uses — at the batches' original ranks, so no
+// new digests are minted and the handle needs no re-persisting.
+// Returns the number of messages re-uploaded.
 func (s *System) RepairFailed(ctx context.Context, h *Handle, secret, data []byte, r *SpotCheckReport) (int, error) {
 	if h == nil || len(h.Peers) == 0 {
 		return 0, fmt.Errorf("%w: missing peers", ErrBadHandle)
@@ -168,45 +171,28 @@ func (s *System) RepairFailed(ctx context.Context, h *Handle, secret, data []byt
 		return 0, fmt.Errorf("%w: data is %d bytes, manifest says %d",
 			ErrBadHandle, len(data), h.Manifest.TotalSize)
 	}
-	pieces := chunk.Split(data, h.Manifest.Plan.ChunkSize)
 	addrs := make([]string, 0, len(r.FailedChunks))
 	for addr := range r.FailedChunks {
 		addrs = append(addrs, addr)
 	}
 	sort.Strings(addrs)
-	repaired := 0
+	var tasks []repair.Task
 	for _, addr := range addrs {
-		var resend []*rlnc.Message
 		for _, i := range r.FailedChunks[addr] {
 			if i < 0 || i >= len(h.Manifest.Chunks) {
-				return repaired, fmt.Errorf("%w: chunk index %d out of range", ErrBadHandle, i)
+				return 0, fmt.Errorf("%w: chunk index %d out of range", ErrBadHandle, i)
 			}
-			info := h.Manifest.Chunks[i]
 			rank := h.batchRank(addr, i)
 			if rank < 0 {
 				continue // placement changed since the audit
 			}
-			params, err := info.Params(h.Manifest.Plan)
-			if err != nil {
-				return repaired, err
-			}
-			enc, err := rlnc.NewEncoder(params, info.FileID, secret, pieces[i])
-			if err != nil {
-				return repaired, err
-			}
-			batch, err := enc.BatchForPeer(rank, params.K)
-			if err != nil {
-				return repaired, err
-			}
-			resend = append(resend, batch...)
+			tasks = append(tasks, repair.Task{Addr: addr, Chunk: i, Rank: rank})
 		}
-		if len(resend) == 0 {
-			continue
-		}
-		if err := s.client.Disseminate(ctx, addr, resend); err != nil {
-			return repaired, fmt.Errorf("core: repair %s after failed audit: %w", addr, err)
-		}
-		repaired += len(resend)
 	}
-	return repaired, nil
+	eng := &repair.Engine{Manifest: &h.Manifest, Secret: secret, Uploader: s.client}
+	res, err := eng.Rebuild(ctx, data, tasks)
+	if err != nil {
+		return res.Messages, fmt.Errorf("core: repair after failed audit: %w", err)
+	}
+	return res.Messages, nil
 }

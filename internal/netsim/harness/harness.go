@@ -160,12 +160,18 @@ func Start(t *testing.T, seed int64, n int) *Cluster {
 // checkpoints to the same filesystem — an fsx.ErrFS, so tests can
 // power-cut the peer's disk deterministically and reboot it.
 type DurablePeer struct {
-	Host       string
-	ID         *auth.Identity
-	Owner      ed25519.PublicKey
-	FS         *fsx.ErrFS
-	Dir        string // store directory on FS
-	LedgerPath string // ledger checkpoint path on FS
+	Host         string
+	ID           *auth.Identity
+	Owner        ed25519.PublicKey
+	FS           *fsx.ErrFS
+	Dir          string // store directory on FS
+	LedgerPath   string // ledger checkpoint path on FS
+	ContractPath string // contract journal path on FS
+
+	// Capacity is the advertised contract capacity in bytes (0 =
+	// unlimited). Set it before StartDurablePeer boots the node — or
+	// between Restart calls to simulate an operator reconfiguring.
+	Capacity int64
 
 	Node  *peer.Node
 	Store *store.Disk
@@ -178,12 +184,13 @@ type DurablePeer struct {
 func (c *Cluster) StartDurablePeer(efs *fsx.ErrFS, host string, keyByte byte, owner ed25519.PublicKey) *DurablePeer {
 	c.t.Helper()
 	p := &DurablePeer{
-		Host:       host,
-		ID:         testIdentity(c.t, keyByte),
-		Owner:      owner,
-		FS:         efs,
-		Dir:        "/" + host + "/store",
-		LedgerPath: "/" + host + "/ledger",
+		Host:         host,
+		ID:           testIdentity(c.t, keyByte),
+		Owner:        owner,
+		FS:           efs,
+		Dir:          "/" + host + "/store",
+		LedgerPath:   "/" + host + "/ledger",
+		ContractPath: "/" + host + "/contracts.j",
 	}
 	if err := efs.MkdirAll(p.Dir, 0o755); err != nil {
 		c.t.Fatal(err)
@@ -209,6 +216,8 @@ func (p *DurablePeer) boot(c *Cluster) error {
 		Owner:              p.Owner,
 		LedgerPath:         p.LedgerPath,
 		CheckpointInterval: time.Hour,
+		CapacityBytes:      p.Capacity,
+		ContractPath:       p.ContractPath,
 		FS:                 p.FS,
 		Transport:          c.Fabric.Host(p.Host),
 	})

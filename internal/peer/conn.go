@@ -144,6 +144,25 @@ func (n *Node) handleConn(conn net.Conn) {
 				n.log.Debug("audit failed", "client", client, "err", err)
 				return
 			}
+		case wire.TypeContractPropose:
+			if err := n.handleContractPropose(lw, client, frame.Payload); err != nil {
+				n.log.Debug("contract propose failed", "client", client, "err", err)
+				return
+			}
+		case wire.TypeContractRenew:
+			if err := n.handleContractRenew(lw, client, frame.Payload); err != nil {
+				n.log.Debug("contract renew failed", "client", client, "err", err)
+				return
+			}
+		case wire.TypeContractRelease:
+			if err := n.handleContractRelease(lw, client, frame.Payload); err != nil {
+				n.log.Debug("contract release failed", "client", client, "err", err)
+				return
+			}
+		case wire.TypeContractList:
+			if err := n.handleContractList(lw, client); err != nil {
+				return
+			}
 		case wire.TypeFeedback:
 			n.handleFeedback(clientKey, client, frame.Payload)
 			// Acknowledge so the sender knows the credits landed before

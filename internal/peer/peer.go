@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"asymshare/internal/auth"
+	"asymshare/internal/contract"
 	"asymshare/internal/fairshare"
 	"asymshare/internal/fsx"
 	"asymshare/internal/metrics"
@@ -85,6 +86,19 @@ type Config struct {
 	// durable state deterministically.
 	FS fsx.FS
 
+	// CapacityBytes is the peer's advertised storage capacity for
+	// contracted obligations, in payload bytes. A proposal that would
+	// push the obligated total past it is refused with a typed
+	// over-capacity error while the owner is still on the line. Zero
+	// or negative means unlimited.
+	CapacityBytes int64
+
+	// ContractPath, when set, journals accepted obligations there
+	// (through FS) so a kill -9 never forgets an acknowledged
+	// contract; see internal/contract. Empty keeps the book in
+	// memory.
+	ContractPath string
+
 	// ReallocInterval is how often stream rates are recomputed; zero
 	// means DefaultReallocInterval.
 	ReallocInterval time.Duration
@@ -125,6 +139,8 @@ type Node struct {
 	m         nodeMetrics
 	ckpt      *fairshare.Checkpointer
 	ledgerRec fairshare.LedgerRecovery
+	book      *contract.Book
+	bookRec   contract.Recovery
 
 	ln     net.Listener
 	ctx    context.Context
@@ -189,6 +205,17 @@ func New(cfg Config) (*Node, error) {
 	if n.ledger == nil {
 		n.ledger = fairshare.NewLedger(fairshare.DefaultInitialCredit)
 	}
+	book, bookRec, err := contract.OpenBook(contract.BookConfig{
+		Capacity: cfg.CapacityBytes,
+		Path:     cfg.ContractPath,
+		FS:       cfg.FS,
+		Metrics:  cfg.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("peer: recover contract book: %w", err)
+	}
+	n.book = book
+	n.bookRec = bookRec
 	if n.alloc == nil {
 		n.alloc = fairshare.PairwiseProportional{}
 	}
@@ -269,6 +296,13 @@ func (n *Node) Addr() net.Addr {
 // Ledger exposes the node's receipt ledger (shared, concurrent-safe).
 func (n *Node) Ledger() *fairshare.Ledger { return n.ledger }
 
+// Contracts exposes the node's obligation book (concurrent-safe).
+func (n *Node) Contracts() *contract.Book { return n.book }
+
+// ContractRecovery reports what New found at Config.ContractPath. The
+// zero value is returned when the node has no durable book.
+func (n *Node) ContractRecovery() contract.Recovery { return n.bookRec }
+
 // LedgerRecovery reports what New found at Config.LedgerPath. The
 // zero value is returned when the node has no durable ledger.
 func (n *Node) LedgerRecovery() fairshare.LedgerRecovery { return n.ledgerRec }
@@ -307,7 +341,7 @@ func (n *Node) Close() error {
 		ln.Close()
 	}
 	n.wg.Wait()
-	return nil
+	return n.book.Close()
 }
 
 // ServedBytes reports the total bytes served per downloader

@@ -1,0 +1,86 @@
+package repair
+
+import "asymshare/internal/metrics"
+
+// Metric names exported by the repair daemon (see DESIGN.md §7).
+const (
+	MetricRounds       = "repair_rounds_total"
+	MetricProbes       = "repair_probes_total"
+	MetricExpired      = "repair_expired_total"
+	MetricRenewals     = "repair_renewals_total"
+	MetricReplacements = "repair_replacements_total"
+	MetricMessages     = "repair_messages_total"
+	MetricBytes        = "repair_bytes_total"
+	MetricErrors       = "repair_errors_total"
+	MetricWatermark    = "repair_watermark"
+	MetricWatermarkMin = "repair_watermark_min"
+)
+
+// daemonMetrics are the instruments of one repair daemon; all nil-safe.
+type daemonMetrics struct {
+	reg       *metrics.Registry
+	rounds    *metrics.Counter
+	probePass *metrics.Counter
+	probeFail *metrics.Counter
+	probeDead *metrics.Counter
+	expired   *metrics.Counter
+	renewals  *metrics.Counter
+	replaced  *metrics.Counter
+	messages  *metrics.Counter
+	bytes     *metrics.Counter
+	errors    *metrics.Counter
+	minMargin *metrics.Gauge
+	marks     map[int]*metrics.Gauge
+}
+
+func newDaemonMetrics(reg *metrics.Registry) daemonMetrics {
+	return daemonMetrics{
+		reg:    reg,
+		rounds: reg.Counter(MetricRounds, "Repair rounds completed."),
+		probePass: reg.Counter(MetricProbes, "Contract liveness/retention probes.",
+			metrics.L("outcome", "pass")),
+		probeFail: reg.Counter(MetricProbes, "Contract liveness/retention probes.",
+			metrics.L("outcome", "fail")),
+		probeDead: reg.Counter(MetricProbes, "Contract liveness/retention probes.",
+			metrics.L("outcome", "dead")),
+		expired:   reg.Counter(MetricExpired, "Holdings dropped because their contract lapsed."),
+		renewals:  reg.Counter(MetricRenewals, "Contracts renewed ahead of expiry."),
+		replaced:  reg.Counter(MetricReplacements, "Fresh batches placed on replacement peers."),
+		messages:  reg.Counter(MetricMessages, "Messages uploaded by repair."),
+		bytes:     reg.Counter(MetricBytes, "Bytes uploaded by repair (payload + header)."),
+		errors:    reg.Counter(MetricErrors, "Repair round errors (negotiation, upload, feedback)."),
+		minMargin: reg.Gauge(MetricWatermarkMin, "Lowest per-chunk rank-margin watermark, in units of k."),
+		marks:     make(map[int]*metrics.Gauge),
+	}
+}
+
+// watermarkGauge lazily creates the per-chunk watermark gauge.
+func (m *daemonMetrics) watermarkGauge(chunk int) *metrics.Gauge {
+	if m.reg == nil {
+		return nil
+	}
+	if g, ok := m.marks[chunk]; ok {
+		return g
+	}
+	g := m.reg.Gauge(MetricWatermark,
+		"Per-chunk rank-margin watermark: surviving innovative coefficients / k.",
+		metrics.L("chunk", fmt0(chunk)))
+	m.marks[chunk] = g
+	return g
+}
+
+// fmt0 formats a small non-negative int without fmt (hot-path-free
+// label construction, mirroring the metrics package's style).
+func fmt0(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,164 @@
+package wire
+
+// Storage-contract frames. Dissemination alone is fire-and-forget: a
+// peer that accepted a batch has made no promise to keep it. A contract
+// turns the batch into an explicit obligation — the owner proposes
+// (contract-id, file-id, message count, byte size, term), the peer
+// accepts only if the obligation fits inside its advertised capacity,
+// and the owner renews the term for as long as it wants the replica
+// alive. A peer over capacity answers with CodeOverCapacity instead of
+// silently evicting later, so the owner can place the replica somewhere
+// it will actually survive (see internal/contract for the accounting
+// and internal/repair for the daemon that acts on it).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// ContractPropose asks a peer to accept a storage obligation for one
+// generation (file-id): Messages encoded messages totalling Bytes
+// payload bytes, kept for TTLSeconds.
+type ContractPropose struct {
+	ContractID uint64
+	FileID     uint64
+	Messages   uint32
+	Bytes      uint64
+	TTLSeconds uint32
+}
+
+// Marshal serializes the proposal.
+func (p *ContractPropose) Marshal() []byte {
+	out := make([]byte, 32)
+	binary.BigEndian.PutUint64(out, p.ContractID)
+	binary.BigEndian.PutUint64(out[8:], p.FileID)
+	binary.BigEndian.PutUint32(out[16:], p.Messages)
+	binary.BigEndian.PutUint64(out[20:], p.Bytes)
+	binary.BigEndian.PutUint32(out[28:], p.TTLSeconds)
+	return out
+}
+
+// Unmarshal parses a proposal.
+func (p *ContractPropose) Unmarshal(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("%w: contract proposal of %d bytes", ErrBadFrame, len(b))
+	}
+	p.ContractID = binary.BigEndian.Uint64(b)
+	p.FileID = binary.BigEndian.Uint64(b[8:])
+	p.Messages = binary.BigEndian.Uint32(b[16:])
+	p.Bytes = binary.BigEndian.Uint64(b[20:])
+	p.TTLSeconds = binary.BigEndian.Uint32(b[28:])
+	return nil
+}
+
+// ContractGrant acknowledges a propose, renew or release. ExpiresUnix
+// is the obligation's new expiry (0 after a release); UsedBytes and
+// CapacityBytes report the peer's book afterwards so the owner can
+// steer further placement without an extra CONTRACT_LIST round-trip
+// (CapacityBytes 0 means unlimited).
+type ContractGrant struct {
+	ContractID    uint64
+	ExpiresUnix   int64
+	UsedBytes     uint64
+	CapacityBytes uint64
+}
+
+// Marshal serializes the grant.
+func (g *ContractGrant) Marshal() []byte {
+	out := make([]byte, 32)
+	binary.BigEndian.PutUint64(out, g.ContractID)
+	binary.BigEndian.PutUint64(out[8:], uint64(g.ExpiresUnix))
+	binary.BigEndian.PutUint64(out[16:], g.UsedBytes)
+	binary.BigEndian.PutUint64(out[24:], g.CapacityBytes)
+	return out
+}
+
+// Unmarshal parses a grant.
+func (g *ContractGrant) Unmarshal(b []byte) error {
+	if len(b) != 32 {
+		return fmt.Errorf("%w: contract grant of %d bytes", ErrBadFrame, len(b))
+	}
+	g.ContractID = binary.BigEndian.Uint64(b)
+	g.ExpiresUnix = int64(binary.BigEndian.Uint64(b[8:]))
+	g.UsedBytes = binary.BigEndian.Uint64(b[16:])
+	g.CapacityBytes = binary.BigEndian.Uint64(b[24:])
+	return nil
+}
+
+// ContractRenew extends an accepted obligation by TTLSeconds from now.
+type ContractRenew struct {
+	ContractID uint64
+	TTLSeconds uint32
+}
+
+// Marshal serializes the renewal.
+func (r *ContractRenew) Marshal() []byte {
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint64(out, r.ContractID)
+	binary.BigEndian.PutUint32(out[8:], r.TTLSeconds)
+	return out
+}
+
+// Unmarshal parses a renewal.
+func (r *ContractRenew) Unmarshal(b []byte) error {
+	if len(b) != 12 {
+		return fmt.Errorf("%w: contract renew of %d bytes", ErrBadFrame, len(b))
+	}
+	r.ContractID = binary.BigEndian.Uint64(b)
+	r.TTLSeconds = binary.BigEndian.Uint32(b[8:])
+	return nil
+}
+
+// ContractRelease ends an obligation early, freeing the peer's
+// capacity.
+type ContractRelease struct {
+	ContractID uint64
+}
+
+// Marshal serializes the release.
+func (r *ContractRelease) Marshal() []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, r.ContractID)
+	return out
+}
+
+// Unmarshal parses a release.
+func (r *ContractRelease) Unmarshal(b []byte) error {
+	if len(b) != 8 {
+		return fmt.Errorf("%w: contract release of %d bytes", ErrBadFrame, len(b))
+	}
+	r.ContractID = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+// ContractInfo answers a CONTRACT_LIST request: the peer's aggregate
+// book plus the requesting owner's own obligations (a peer never leaks
+// another owner's contracts).
+type ContractInfo struct {
+	CapacityBytes uint64          `json:"capacityBytes"`
+	UsedBytes     uint64          `json:"usedBytes"`
+	Contracts     []ContractEntry `json:"contracts,omitempty"`
+}
+
+// ContractEntry describes one obligation.
+type ContractEntry struct {
+	ContractID  uint64 `json:"contractId"`
+	FileID      uint64 `json:"fileId"`
+	Messages    uint32 `json:"messages"`
+	Bytes       uint64 `json:"bytes"`
+	ExpiresUnix int64  `json:"expiresUnix"`
+}
+
+// Marshal serializes the info as JSON (low-rate control traffic).
+func (i *ContractInfo) Marshal() ([]byte, error) {
+	return json.Marshal(i)
+}
+
+// Unmarshal parses an info response.
+func (i *ContractInfo) Unmarshal(b []byte) error {
+	if err := json.Unmarshal(b, i); err != nil {
+		return fmt.Errorf("%w: contract info: %v", ErrBadFrame, err)
+	}
+	return nil
+}

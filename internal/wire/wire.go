@@ -18,23 +18,29 @@ type Type uint8
 
 // Frame types.
 const (
-	TypeHello          Type = iota + 1 // connection opener: role + public key
-	TypeChallenge                      // authentication nonce
-	TypeAuthResponse                   // signature over the nonce
-	TypeAuthOK                         // authentication accepted
-	TypePut                            // upload one encoded message for storage
-	TypePutOK                          // storage acknowledged
-	TypeGet                            // request streaming of a file's messages
-	TypeData                           // one encoded message
-	TypeStop                           // stop transmission (paper's message "5")
-	TypeFeedback                       // informational update to the user's own peer
-	TypeError                          // terminal error with reason
-	TypeBye                            // orderly close
-	TypePatch                          // apply a delta message to a stored message
-	TypeList                           // request the peer's stored file inventory
-	TypeFileList                       // inventory response
-	TypeAuditChallenge                 // keyed spot-check over sampled stored messages
-	TypeAuditResponse                  // per-message possession proofs
+	TypeHello           Type = iota + 1 // connection opener: role + public key
+	TypeChallenge                       // authentication nonce
+	TypeAuthResponse                    // signature over the nonce
+	TypeAuthOK                          // authentication accepted
+	TypePut                             // upload one encoded message for storage
+	TypePutOK                           // storage acknowledged
+	TypeGet                             // request streaming of a file's messages
+	TypeData                            // one encoded message
+	TypeStop                            // stop transmission (paper's message "5")
+	TypeFeedback                        // informational update to the user's own peer
+	TypeError                           // terminal error with reason
+	TypeBye                             // orderly close
+	TypePatch                           // apply a delta message to a stored message
+	TypeList                            // request the peer's stored file inventory
+	TypeFileList                        // inventory response
+	TypeAuditChallenge                  // keyed spot-check over sampled stored messages
+	TypeAuditResponse                   // per-message possession proofs
+	TypeContractPropose                 // owner offers a storage obligation
+	TypeContractGrant                   // peer accepted (or renewed/released) an obligation
+	TypeContractRenew                   // owner extends an obligation's term
+	TypeContractRelease                 // owner releases an obligation early
+	TypeContractList                    // request the peer's obligation book
+	TypeContractInfo                    // obligation book response
 )
 
 func (t Type) String() string {
@@ -73,6 +79,18 @@ func (t Type) String() string {
 		return "AUDIT_CHALLENGE"
 	case TypeAuditResponse:
 		return "AUDIT_RESPONSE"
+	case TypeContractPropose:
+		return "CONTRACT_PROPOSE"
+	case TypeContractGrant:
+		return "CONTRACT_GRANT"
+	case TypeContractRenew:
+		return "CONTRACT_RENEW"
+	case TypeContractRelease:
+		return "CONTRACT_RELEASE"
+	case TypeContractList:
+		return "CONTRACT_LIST"
+	case TypeContractInfo:
+		return "CONTRACT_INFO"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -353,11 +371,13 @@ func (l *FileList) Unmarshal(b []byte) error {
 
 // Error codes carried in ErrorMsg.
 const (
-	CodeAuthFailed   uint16 = 1
-	CodeUnknownFile  uint16 = 2
-	CodeBadRequest   uint16 = 3
-	CodeInternal     uint16 = 4
-	CodeNotPermitted uint16 = 5
+	CodeAuthFailed      uint16 = 1
+	CodeUnknownFile     uint16 = 2
+	CodeBadRequest      uint16 = 3
+	CodeInternal        uint16 = 4
+	CodeNotPermitted    uint16 = 5
+	CodeOverCapacity    uint16 = 6 // contract would exceed the peer's advertised capacity
+	CodeUnknownContract uint16 = 7 // renew/release of an obligation the peer does not hold
 )
 
 // ErrorMsg is a terminal protocol error.
