@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke bench-wire bench-wire-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ race-metrics: vet
 # per-peer goroutines.
 race-codec: vet
 	$(GO) test -race ./internal/rlnc/... ./internal/gf/... ./internal/client/...
+
+# race-wire is the zero-copy hot-path regression suite under the race
+# detector: the buffer pool's refcounting, the FrameReader/FrameWriter
+# differential and allocation proofs, AddBytes into the pipeline, and
+# the muxed PeerSession (demux goroutine vs per-stream consumers).
+# The alloc gates themselves (`TestFrame*SteadyStateAllocs`,
+# `TestMuxedDataPathSteadyStateAllocs`, `TestAddBytesSteadyStateAllocs`)
+# only count allocations without -race, so run the wire package plain
+# too.
+race-wire: vet
+	$(GO) test -race ./internal/wire/... ./internal/rlnc/... ./internal/client/... ./internal/peer/...
+	$(GO) test -run 'SteadyStateAllocs' -count=1 ./internal/wire/ ./internal/rlnc/
 
 # race-store exercises the durability layer under the race detector,
 # twice: the fsx filesystem seam and fault injector, the journaled
@@ -95,6 +107,19 @@ bench-rlnc:
 bench-rlnc-smoke:
 	$(GO) run ./cmd/benchrlc -codec -size 65536 -reps 1 -json /tmp/BENCH_rlnc_smoke.json
 
+# bench-wire measures the zero-copy wire hot path end to end over
+# loopback TCP — decode-pipeline ceiling, transport-only throughput,
+# and the muxed fetch — and gates the fetch at 85% of the achievable
+# composite (see cmd/benchwire). Refreshes BENCH_wire.json.
+bench-wire:
+	$(GO) run ./cmd/benchwire -sizes 262144,1048576 -streams 1,4 -workers 0,2 -reps 3 -gate 0.85 -json BENCH_wire.json
+
+# bench-wire-smoke is the quick CI variant: one small cell, throwaway
+# report, no gate (shared runners make throughput ratios too noisy to
+# fail a build on).
+bench-wire-smoke:
+	$(GO) run ./cmd/benchwire -sizes 262144 -streams 1,4 -reps 2 -json /tmp/BENCH_wire_smoke.json
+
 # bench-swarm measures trackerless scaling — DHT lookup hops and gossip
 # dissemination rounds/time against swarm size — leaving the
 # machine-readable report in BENCH_swarm.json (median hops must grow
@@ -121,10 +146,11 @@ chaos: vet
 # replays). New crashers land in internal/wire/testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz FuzzFrameReader -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz FuzzHandshakeResponder -fuzztime 10s -run '^$$' ./internal/wire/
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract swarm-smoke churn-smoke chaos
+ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract race-wire swarm-smoke churn-smoke chaos
 
-check: build test race-audit race-metrics race-codec race-store race-dht race-contract swarm-smoke churn-smoke chaos
+check: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire swarm-smoke churn-smoke chaos

@@ -74,6 +74,14 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// attempt. Zero means DefaultRetryBackoff.
 	RetryBackoff time.Duration
+
+	// LegacyWire selects the pre-pooling receive path: allocate each
+	// frame with wire.ReadFrame, unmarshal into an rlnc.Message, and
+	// Add it to the sink. The default (false) path reads frames into
+	// pooled buffers and feeds the serialized bytes straight to the
+	// decoder with AddBytes — zero allocations per frame in steady
+	// state. Differential tests run both and require identical output.
+	LegacyWire bool
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -308,10 +316,10 @@ type FetchRequest struct {
 }
 
 // decodeSink is what the fetch path needs from a decode engine: the
-// concurrent Sink interface plus final decode. Both rlnc.Pipeline and
-// rlnc.SyncSink satisfy it.
+// concurrent byte-ingesting Sink interface plus final decode. Both
+// rlnc.Pipeline and rlnc.SyncSink satisfy it.
 type decodeSink interface {
-	rlnc.Sink
+	rlnc.ByteSink
 	Decode() ([]byte, error)
 }
 
@@ -442,7 +450,7 @@ func (c *Client) Fetch(ctx context.Context, req FetchRequest) ([]byte, FetchStat
 // sink keeps whatever messages earlier attempts delivered, so a
 // retry resumes rather than restarts the peer's contribution.
 func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uint64,
-	sink rlnc.Sink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	if c.opt.PeerFetchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opt.PeerFetchTimeout)
@@ -472,8 +480,14 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 // cancelled. The sink handles its own synchronization and, for the
 // pipeline engine, applies back-pressure by blocking Add when all
 // verifier slots are busy.
+//
+// The default receive loop is the pooled zero-copy path: each frame
+// lands in a reference-counted buffer from wire.DefaultPool and its
+// bytes go straight to sink.AddBytes — no per-frame allocation and no
+// intermediate Message. Options.LegacyWire selects the historical
+// allocate-and-unmarshal loop, kept for differential testing.
 func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
-	sink rlnc.Sink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
 	if err != nil {
 		return err
@@ -496,8 +510,20 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 	if err := wire.WriteFrame(conn, wire.TypeGet, get.Marshal()); err != nil {
 		return err
 	}
+	if c.opt.LegacyWire {
+		return c.recvLoopLegacy(ctx, conn, addr, fingerprint, fileID, sink, mu, stats, finish)
+	}
+	return c.recvLoop(ctx, conn, addr, fingerprint, fileID, sink, mu, stats, finish)
+}
+
+// recvLoop is the pooled receive loop shared by the legacy-GET fetch
+// path (one stream per connection). Error classification matches
+// recvLoopLegacy exactly; the differential suite pins this.
+func (c *Client) recvLoop(ctx context.Context, conn net.Conn, addr, fingerprint string,
+	fileID uint64, sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	fr := wire.NewFrameReader(conn)
 	for {
-		frame, err := wire.ReadFrame(conn)
+		t, b, err := fr.Next()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil // cancelled: decode completed elsewhere, or deadline
@@ -506,6 +532,62 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 				// The stream died without an orderly STOP: the peer
 				// crashed or the path broke mid-transfer. Surface it as
 				// retriable instead of mistaking it for exhaustion.
+				return fmt.Errorf("%w (%s): %v", errPeerAborted, addr, err)
+			}
+			return err
+		}
+		switch t {
+		case wire.TypeData:
+			_, addErr := sink.AddBytes(b.Bytes())
+			completed := sink.Done()
+			n := len(b.Bytes())
+			b.Release()
+			mu.Lock()
+			stats.BytesFrom[fingerprint] += uint64(n)
+			mu.Unlock()
+			c.m.received.Add(uint64(n))
+			c.m.recvRate.Mark(uint64(n))
+			if addErr != nil && !errors.Is(addErr, rlnc.ErrBadDigest) {
+				return addErr
+			}
+			if completed {
+				// Politely tell the peer to stop before disconnecting.
+				stop := wire.Stop{FileID: fileID}
+				_ = wire.WriteFrame(conn, wire.TypeStop, stop.Marshal())
+				_ = wire.WriteFrame(conn, wire.TypeBye, nil)
+				finish()
+				return nil
+			}
+		case wire.TypeStop:
+			// Peer exhausted its stored messages.
+			b.Release()
+			return nil
+		case wire.TypeError:
+			var e wire.ErrorMsg
+			uerr := e.Unmarshal(b.Bytes())
+			b.Release()
+			if uerr != nil {
+				return uerr
+			}
+			return &wire.RemoteError{Code: e.Code, Reason: e.Reason}
+		default:
+			b.Release()
+			return fmt.Errorf("%w: %s during fetch", wire.ErrUnexpectedFrame, t)
+		}
+	}
+}
+
+// recvLoopLegacy is the historical per-frame-allocation receive loop,
+// retained behind Options.LegacyWire as the differential baseline.
+func (c *Client) recvLoopLegacy(ctx context.Context, conn net.Conn, addr, fingerprint string,
+	fileID uint64, sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // cancelled: decode completed elsewhere, or deadline
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return fmt.Errorf("%w (%s): %v", errPeerAborted, addr, err)
 			}
 			return err
@@ -527,7 +609,6 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 				return addErr
 			}
 			if completed {
-				// Politely tell the peer to stop before disconnecting.
 				stop := wire.Stop{FileID: fileID}
 				_ = wire.WriteFrame(conn, wire.TypeStop, stop.Marshal())
 				_ = wire.WriteFrame(conn, wire.TypeBye, nil)
@@ -535,7 +616,6 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 				return nil
 			}
 		case wire.TypeStop:
-			// Peer exhausted its stored messages.
 			return nil
 		case wire.TypeError:
 			var e wire.ErrorMsg
@@ -567,32 +647,94 @@ func joinErrs(errs []error) string {
 	return out
 }
 
-// FetchFile downloads and reassembles a whole manifest: every chunk is
-// fetched (sequentially, each chunk itself in parallel across peers)
-// and assembled, enabling the chunk-streaming mode of Sec. III-D.
+// fetchFileStreams is how many chunk downloads FetchFile keeps in
+// flight concurrently over its muxed sessions.
+const fetchFileStreams = 4
+
+// FetchFile downloads and reassembles a whole manifest, enabling the
+// chunk-streaming mode of Sec. III-D. One multiplexed session is opened
+// per peer and every chunk becomes a concurrent generation stream on
+// those sessions — up to fetchFileStreams chunks in flight, each chunk
+// still downloading from all peers in parallel — so a manifest of many
+// chunks pays one dial+handshake per peer instead of one per chunk per
+// peer. A chunk whose muxed download fails falls back to the legacy
+// one-connection-per-peer Fetch before the whole call is failed.
 func (c *Client) FetchFile(ctx context.Context, addrs []string, m *chunk.Manifest,
 	secret []byte) ([]byte, FetchStats, error) {
 	total := FetchStats{BytesFrom: make(map[string]uint64)}
 	if err := m.Validate(); err != nil {
 		return nil, total, err
 	}
+	start := time.Now()
+
+	// One muxed session per reachable peer, shared by all chunk streams.
+	sessions := make([]*PeerSession, 0, len(addrs))
+	for _, addr := range addrs {
+		s, err := c.NewPeerSession(ctx, addr)
+		if err != nil {
+			continue // the per-chunk fallback still dials directly
+		}
+		sessions = append(sessions, s)
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	fileCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	pieces := make([][]byte, len(m.Chunks))
+	errs := make([]error, len(m.Chunks))
+	var (
+		mu  sync.Mutex // guards total
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, fetchFileStreams)
+	)
 	for i, info := range m.Chunks {
 		params, err := info.Params(m.Plan)
 		if err != nil {
+			cancel()
+			wg.Wait()
 			return nil, total, err
 		}
-		data, stats, err := c.FetchGeneration(ctx, addrs, params, info.FileID, secret, info.Digests)
+		wg.Add(1)
+		go func(i int, fileID uint64, params rlnc.Params, digests map[uint64]rlnc.Digest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if fileCtx.Err() != nil {
+				errs[i] = fileCtx.Err()
+				return
+			}
+			data, stats, err := c.fetchChunkMux(fileCtx, sessions, params, fileID, secret, digests)
+			if err != nil && fileCtx.Err() == nil {
+				// Muxed path failed (no sessions, session died, stream
+				// refused): retry the chunk over fresh legacy connections.
+				data, stats, err = c.FetchGeneration(fileCtx, addrs, params, fileID, secret, digests)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+				cancel()
+				return
+			}
+			pieces[i] = data
+			mu.Lock()
+			total.Messages += stats.Messages
+			total.Innovative += stats.Innovative
+			total.Rejected += stats.Rejected
+			for k, v := range stats.BytesFrom {
+				total.BytesFrom[k] += v
+			}
+			mu.Unlock()
+		}(i, info.FileID, params, info.Digests)
+	}
+	wg.Wait()
+	total.Elapsed = time.Since(start)
+	for _, err := range errs {
 		if err != nil {
-			return nil, total, fmt.Errorf("chunk %d: %w", i, err)
-		}
-		pieces[i] = data
-		total.Messages += stats.Messages
-		total.Innovative += stats.Innovative
-		total.Rejected += stats.Rejected
-		total.Elapsed += stats.Elapsed
-		for k, v := range stats.BytesFrom {
-			total.BytesFrom[k] += v
+			return nil, total, err
 		}
 	}
 	data, err := chunk.Assemble(m, pieces)
@@ -600,4 +742,77 @@ func (c *Client) FetchFile(ctx context.Context, addrs []string, m *chunk.Manifes
 		return nil, total, err
 	}
 	return data, total, nil
+}
+
+// fetchChunkMux downloads one generation over the open sessions: every
+// session streams the chunk concurrently into one shared sink, exactly
+// like Fetch does over dedicated connections.
+func (c *Client) fetchChunkMux(ctx context.Context, sessions []*PeerSession, params rlnc.Params,
+	fileID uint64, secret []byte, digests map[uint64]rlnc.Digest) ([]byte, FetchStats, error) {
+	stats := FetchStats{BytesFrom: make(map[string]uint64, len(sessions))}
+	if len(sessions) == 0 {
+		return nil, stats, ErrNoPeers
+	}
+	req := FetchRequest{Params: params, FileID: fileID, Secret: secret, Digests: digests}
+	sink, telemetry, err := req.newSink()
+	if err != nil {
+		return nil, stats, err
+	}
+	if closer, ok := sink.(interface{ Close() }); ok {
+		defer closer.Close()
+	}
+	stopSampling := c.m.sampleDecode(telemetry)
+
+	start := time.Now()
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu sync.Mutex // guards stats.BytesFrom
+		wg sync.WaitGroup
+	)
+	errs := make([]error, len(sessions))
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *PeerSession) {
+			defer wg.Done()
+			fp := s.Fingerprint()
+			errs[i] = s.Fetch(streamCtx, fileID, sink, func(n int) {
+				mu.Lock()
+				stats.BytesFrom[fp] += uint64(n)
+				mu.Unlock()
+			})
+			if sink.Done() {
+				cancel() // wake sibling streams so they STOP promptly
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	stopSampling()
+
+	st := sink.Stats()
+	stats.Messages = st.Received
+	stats.Innovative = st.Accepted
+	stats.Rejected = st.Rejected
+
+	if !sink.Done() {
+		err := ctx.Err()
+		if err == nil {
+			err = fmt.Errorf("%w: rank %d of %d (%s)",
+				ErrIncomplete, sink.Rank(), params.K, joinErrs(errs))
+		}
+		c.m.recordFetch(stats, 0, err)
+		return nil, stats, err
+	}
+	data, err := sink.Decode()
+	if err != nil {
+		c.m.recordFetch(stats, 0, err)
+		return nil, stats, err
+	}
+	c.m.recordFetch(stats, len(data), nil)
+	if telemetry != nil {
+		c.m.recordDecodeTelemetry(telemetry())
+	}
+	return data, stats, nil
 }

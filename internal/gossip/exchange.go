@@ -53,20 +53,22 @@ type pullMsg struct {
 	Want []uint64 `json:"want,omitempty"`
 }
 
-func writeJSON(conn net.Conn, t wire.Type, v any) error {
+func writeJSON(fw *wire.FrameWriter, t wire.Type, v any) error {
 	buf, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return wire.WriteFrame(conn, t, buf)
+	return fw.WriteFrame(t, buf)
 }
 
-func readJSON(conn net.Conn, want wire.Type, v any) error {
-	f, err := wire.Expect(conn, want)
+func readJSON(fr *wire.FrameReader, want wire.Type, v any) error {
+	b, err := fr.Expect(want)
 	if err != nil {
 		return err
 	}
-	return json.Unmarshal(f.Payload, v)
+	err = json.Unmarshal(b.Bytes(), v)
+	b.Release()
+	return err
 }
 
 // armConn bounds the connection by min(ctx deadline, ExchangeTimeout)
@@ -189,40 +191,43 @@ func (e *Engine) absorb(msg *rlnc.Message, fileID uint64, k, payloadLen int) err
 
 // sendData ships the named stored messages as Data frames; ids the
 // store no longer has are silently skipped (the terminator frame tells
-// the reader when the stream ends, not a count).
-func (e *Engine) sendData(conn net.Conn, fileID uint64, ids []uint64) (int, error) {
+// the reader when the stream ends, not a count). Each message is framed
+// zero-copy — 16 header bytes into the writer arena, the stored payload
+// handed to the vectored write untouched — and batches of frames share
+// one writev (the writer auto-flushes as the queue grows).
+func (e *Engine) sendData(fw *wire.FrameWriter, fileID uint64, ids []uint64) (int, error) {
+	var hdr [rlnc.MessageHeaderBytes]byte
 	sent := 0
 	for _, id := range ids {
 		msg, err := e.cfg.Store.Get(fileID, id)
 		if err != nil {
 			continue
 		}
-		buf, err := msg.MarshalBinary()
-		if err != nil {
-			return sent, err
-		}
-		if err := wire.WriteFrame(conn, typeData, buf); err != nil {
+		msg.PutHeader(hdr[:])
+		if err := fw.QueueSpan(typeData, hdr[:], msg.Payload); err != nil {
 			return sent, err
 		}
 		sent++
 	}
-	return sent, nil
+	return sent, fw.Flush()
 }
 
 // readData consumes Data frames until the terminator type arrives,
 // absorbing each message; it returns the count absorbed innovatively
-// plus the terminator's payload.
-func (e *Engine) readData(conn net.Conn, fileID uint64, k, payloadLen int, terminator wire.Type) (int, []byte, error) {
+// plus the terminator's payload (copied out of the pooled frame).
+func (e *Engine) readData(fr *wire.FrameReader, fileID uint64, k, payloadLen int, terminator wire.Type) (int, []byte, error) {
 	got := 0
 	for {
-		f, err := wire.ReadFrame(conn)
+		t, b, err := fr.Next()
 		if err != nil {
 			return got, nil, err
 		}
-		switch f.Type {
+		switch t {
 		case typeData:
 			var msg rlnc.Message
-			if err := msg.UnmarshalBinary(f.Payload); err != nil {
+			err := msg.UnmarshalBinary(b.Bytes())
+			b.Release()
+			if err != nil {
 				return got, nil, err
 			}
 			if err := e.absorb(&msg, fileID, k, payloadLen); err != nil {
@@ -230,9 +235,12 @@ func (e *Engine) readData(conn net.Conn, fileID uint64, k, payloadLen int, termi
 			}
 			got++
 		case terminator:
-			return got, f.Payload, nil
+			payload := append([]byte(nil), b.Bytes()...)
+			b.Release()
+			return got, payload, nil
 		default:
-			return got, nil, fmt.Errorf("gossip: unexpected frame type %d", f.Type)
+			b.Release()
+			return got, nil, fmt.Errorf("gossip: unexpected frame type %d", t)
 		}
 	}
 }
@@ -252,18 +260,20 @@ func (e *Engine) Exchange(ctx context.Context, addr string, fileID uint64) (int,
 	defer conn.Close()
 	stop := e.armConn(ctx, conn)
 	defer stop()
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
 
-	if err := writeJSON(conn, typeOffer, offerMsg{FileID: fileID, K: k, PayloadLen: payloadLen, IDs: ids}); err != nil {
+	if err := writeJSON(fw, typeOffer, offerMsg{FileID: fileID, K: k, PayloadLen: payloadLen, IDs: ids}); err != nil {
 		return 0, err
 	}
 	var want wantMsg
-	if err := readJSON(conn, typeWant, &want); err != nil {
+	if err := readJSON(fr, typeWant, &want); err != nil {
 		return 0, err
 	}
 	if len(want.Want) > e.cfg.Budget {
 		want.Want = want.Want[:e.cfg.Budget]
 	}
-	sent, err := e.sendData(conn, fileID, want.Want)
+	sent, err := e.sendData(fw, fileID, want.Want)
 	if err != nil {
 		return sent, err
 	}
@@ -274,10 +284,10 @@ func (e *Engine) Exchange(ctx context.Context, addr string, fileID uint64) (int,
 		pull = missing(want.Offer, g.ids, e.cfg.Budget)
 	}
 	e.mu.Unlock()
-	if err := writeJSON(conn, typePull, pullMsg{Want: pull}); err != nil {
+	if err := writeJSON(fw, typePull, pullMsg{Want: pull}); err != nil {
 		return sent, err
 	}
-	got, _, err := e.readData(conn, fileID, k, payloadLen, typeDone)
+	got, _, err := e.readData(fr, fileID, k, payloadLen, typeDone)
 	return sent + got, err
 }
 
@@ -285,9 +295,11 @@ func (e *Engine) Exchange(ctx context.Context, addr string, fileID uint64) (int,
 func (e *Engine) serveExchange(conn net.Conn) error {
 	stop := e.armConn(e.ctx, conn)
 	defer stop()
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
 
 	var offer offerMsg
-	if err := readJSON(conn, typeOffer, &offer); err != nil {
+	if err := readJSON(fr, typeOffer, &offer); err != nil {
 		return err
 	}
 	if len(offer.IDs) == 0 {
@@ -299,10 +311,10 @@ func (e *Engine) serveExchange(conn net.Conn) error {
 	offerBack := surplus(g.ids, offer.IDs, e.cfg.Budget)
 	e.mu.Unlock()
 
-	if err := writeJSON(conn, typeWant, wantMsg{Want: wantIDs, Offer: offerBack}); err != nil {
+	if err := writeJSON(fw, typeWant, wantMsg{Want: wantIDs, Offer: offerBack}); err != nil {
 		return err
 	}
-	_, pullPayload, err := e.readData(conn, offer.FileID, offer.K, offer.PayloadLen, typePull)
+	_, pullPayload, err := e.readData(fr, offer.FileID, offer.K, offer.PayloadLen, typePull)
 	if err != nil {
 		return err
 	}
@@ -313,8 +325,8 @@ func (e *Engine) serveExchange(conn net.Conn) error {
 	if len(pull.Want) > e.cfg.Budget {
 		pull.Want = pull.Want[:e.cfg.Budget]
 	}
-	if _, err := e.sendData(conn, offer.FileID, pull.Want); err != nil {
+	if _, err := e.sendData(fw, offer.FileID, pull.Want); err != nil {
 		return err
 	}
-	return wire.WriteFrame(conn, typeDone, nil)
+	return fw.WriteFrame(typeDone, nil)
 }

@@ -1,10 +1,23 @@
 package peer
 
 // Per-connection protocol handling. After the mutual handshake the peer
-// processes PUT (initialization uploads), GET (download requests,
-// served by a shaped writer goroutine), STOP, FEEDBACK (owner only) and
-// BYE frames. DATA writes and control replies share the connection, so
-// all writes go through a per-connection mutex.
+// processes PUT (initialization uploads), GET / GET_MUX (download
+// requests, served by shaped writer goroutines), STOP, FEEDBACK (owner
+// only) and BYE frames. DATA writes and control replies share the
+// connection, so all writes go through a per-connection mutex wrapping
+// one batched FrameWriter.
+//
+// Frames are read through a pooled wire.FrameReader: each payload
+// arrives in a reference-counted buffer that the dispatch loop releases
+// after the handler returns (handlers copy what they keep). The serve
+// path frames stored messages with QueueSpan — 16 header bytes copied,
+// the payload handed to writev untouched — so a DATA frame reaches the
+// socket without marshaling and without steady-state allocation.
+//
+// GET_MUX requests differ from legacy GET only in failure scoping: a
+// refused or failed stream is answered with a STREAM_ERROR frame naming
+// the file-id and the connection (and every other stream on it) stays
+// usable, where the legacy path answers with a connection-level ERROR.
 
 import (
 	"context"
@@ -23,17 +36,56 @@ import (
 	"asymshare/internal/rlnc"
 )
 
-// lockedWriter serializes frame writes from the control loop and the
-// data-stream goroutines.
-type lockedWriter struct {
+// serveBatchBytes caps how many DATA bytes one stream queues under the
+// connection write lock before flushing, bounding both the lock hold
+// time and the latency it imposes on control replies.
+const serveBatchBytes = 256 << 10
+
+// connWriter serializes frame writes from the control loop and the
+// data-stream goroutines over one batched FrameWriter.
+type connWriter struct {
 	mu sync.Mutex
-	w  io.Writer
+	fw *wire.FrameWriter
 }
 
-func (lw *lockedWriter) writeFrame(t wire.Type, payload []byte) error {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	return wire.WriteFrame(lw.w, t, payload)
+func newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{fw: wire.NewFrameWriter(w)}
+}
+
+func (cw *connWriter) writeFrame(t wire.Type, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.fw.WriteFrame(t, payload)
+}
+
+// writeErrorFrame sends a connection-level error frame under the write
+// lock, following the wire.SendError contract: best-effort, the caller
+// must still treat the exchange as failed and close the connection.
+func (cw *connWriter) writeErrorFrame(code uint16, reason string) error {
+	msg := wire.ErrorMsg{Code: code, Reason: reason}
+	return cw.writeFrame(wire.TypeError, msg.Marshal())
+}
+
+// writeStreamError sends a stream-scoped error: the named stream is
+// dead, the connection is not.
+func (cw *connWriter) writeStreamError(fileID uint64, code uint16, reason string) error {
+	e := wire.StreamError{FileID: fileID, Code: code, Reason: reason}
+	return cw.writeFrame(wire.TypeStreamError, e.Marshal())
+}
+
+// connState bundles the per-connection resources the frame dispatcher
+// and its stream goroutines share.
+type connState struct {
+	n         *Node
+	conn      net.Conn
+	cw        *connWriter
+	client    fairshare.ID
+	clientKey ed25519.PublicKey
+	ctx       context.Context
+	wg        *sync.WaitGroup
+
+	mu     sync.Mutex
+	active map[uint64]*stream
 }
 
 func (n *Node) handleConn(conn net.Conn) {
@@ -46,7 +98,6 @@ func (n *Node) handleConn(conn net.Conn) {
 	client := auth.Fingerprint(clientKey)
 	n.log.Debug("session open", "client", client, "role", role)
 
-	lw := &lockedWriter{w: conn}
 	// Streams started by this connection, so they are torn down when
 	// the connection dies.
 	var streamWG sync.WaitGroup
@@ -55,8 +106,16 @@ func (n *Node) handleConn(conn net.Conn) {
 		connCancel()
 		streamWG.Wait()
 	}()
-	active := make(map[uint64]*stream)
-	var activeMu sync.Mutex
+	cs := &connState{
+		n:         n,
+		conn:      conn,
+		cw:        newConnWriter(conn),
+		client:    client,
+		clientKey: clientKey,
+		ctx:       connCtx,
+		wg:        &streamWG,
+		active:    make(map[uint64]*stream),
+	}
 
 	// Close the connection when the node shuts down so the read loop
 	// unblocks.
@@ -72,156 +131,179 @@ func (n *Node) handleConn(conn net.Conn) {
 		}
 	}()
 
+	fr := wire.NewFrameReader(conn)
 	for {
-		frame, err := wire.ReadFrame(conn)
+		t, buf, err := fr.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				n.log.Debug("read error", "client", client, "err", err)
 			}
 			return
 		}
-		switch frame.Type {
-		case wire.TypePut:
-			if err := n.handlePut(lw, client, frame.Payload); err != nil {
-				n.log.Debug("put failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypePatch:
-			if err := n.handlePatch(lw, client, frame.Payload); err != nil {
-				n.log.Debug("patch failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypeGet:
-			var get wire.Get
-			if err := get.Unmarshal(frame.Payload); err != nil {
-				wire.SendError(conn, wire.CodeBadRequest, "malformed get")
-				return
-			}
-			s, err := n.startStream(connCtx, lw, client, get, &streamWG, func(s *stream) {
-				activeMu.Lock()
-				delete(active, s.fileID)
-				activeMu.Unlock()
-			})
-			if err != nil {
-				var remote *wire.RemoteError
-				if !errors.As(err, &remote) {
-					n.log.Debug("get failed", "client", client, "err", err)
-				}
-				continue
-			}
-			activeMu.Lock()
-			active[get.FileID] = s
-			activeMu.Unlock()
-		case wire.TypeStop:
-			var stop wire.Stop
-			if err := stop.Unmarshal(frame.Payload); err != nil {
-				wire.SendError(conn, wire.CodeBadRequest, "malformed stop")
-				return
-			}
-			activeMu.Lock()
-			if s, ok := active[stop.FileID]; ok {
-				s.cancel()
-				delete(active, stop.FileID)
-			}
-			activeMu.Unlock()
-		case wire.TypeList:
-			list := wire.FileList{}
-			for _, fileID := range n.cfg.Store.Files() {
-				list.Files = append(list.Files, wire.FileEntry{
-					FileID:   fileID,
-					Messages: n.cfg.Store.Count(fileID),
-				})
-			}
-			blob, err := list.Marshal()
-			if err != nil {
-				return
-			}
-			if err := lw.writeFrame(wire.TypeFileList, blob); err != nil {
-				return
-			}
-		case wire.TypeAuditChallenge:
-			if err := n.handleAudit(lw, client, frame.Payload); err != nil {
-				n.log.Debug("audit failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypeContractPropose:
-			if err := n.handleContractPropose(lw, client, frame.Payload); err != nil {
-				n.log.Debug("contract propose failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypeContractRenew:
-			if err := n.handleContractRenew(lw, client, frame.Payload); err != nil {
-				n.log.Debug("contract renew failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypeContractRelease:
-			if err := n.handleContractRelease(lw, client, frame.Payload); err != nil {
-				n.log.Debug("contract release failed", "client", client, "err", err)
-				return
-			}
-		case wire.TypeContractList:
-			if err := n.handleContractList(lw, client); err != nil {
-				return
-			}
-		case wire.TypeFeedback:
-			n.handleFeedback(clientKey, client, frame.Payload)
-			// Acknowledge so the sender knows the credits landed before
-			// it disconnects.
-			if err := lw.writeFrame(wire.TypePutOK, nil); err != nil {
-				return
-			}
-		case wire.TypeBye:
-			return
-		default:
-			wire.SendError(conn, wire.CodeBadRequest, "unexpected frame "+frame.Type.String())
+		done := cs.dispatch(t, buf.Bytes())
+		buf.Release()
+		if done {
 			return
 		}
 	}
 }
 
+// dispatch handles one control frame. A true return closes the
+// connection. payload is only valid for the duration of the call;
+// handlers copy what they keep.
+func (cs *connState) dispatch(t wire.Type, payload []byte) bool {
+	n, client := cs.n, cs.client
+	switch t {
+	case wire.TypePut:
+		if err := n.handlePut(cs.cw, client, payload); err != nil {
+			n.log.Debug("put failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypePatch:
+		if err := n.handlePatch(cs.cw, client, payload); err != nil {
+			n.log.Debug("patch failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypeGet:
+		return cs.handleGet(payload, false)
+	case wire.TypeGetMux:
+		return cs.handleGet(payload, true)
+	case wire.TypeStop:
+		var stop wire.Stop
+		if err := stop.Unmarshal(payload); err != nil {
+			wire.SendError(cs.conn, wire.CodeBadRequest, "malformed stop")
+			return true
+		}
+		cs.mu.Lock()
+		if s, ok := cs.active[stop.FileID]; ok {
+			s.cancel()
+			delete(cs.active, stop.FileID)
+		}
+		cs.mu.Unlock()
+	case wire.TypeList:
+		list := wire.FileList{}
+		for _, fileID := range n.cfg.Store.Files() {
+			list.Files = append(list.Files, wire.FileEntry{
+				FileID:   fileID,
+				Messages: n.cfg.Store.Count(fileID),
+			})
+		}
+		blob, err := list.Marshal()
+		if err != nil {
+			return true
+		}
+		if err := cs.cw.writeFrame(wire.TypeFileList, blob); err != nil {
+			return true
+		}
+	case wire.TypeAuditChallenge:
+		if err := n.handleAudit(cs.cw, client, payload); err != nil {
+			n.log.Debug("audit failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypeContractPropose:
+		if err := n.handleContractPropose(cs.cw, client, payload); err != nil {
+			n.log.Debug("contract propose failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypeContractRenew:
+		if err := n.handleContractRenew(cs.cw, client, payload); err != nil {
+			n.log.Debug("contract renew failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypeContractRelease:
+		if err := n.handleContractRelease(cs.cw, client, payload); err != nil {
+			n.log.Debug("contract release failed", "client", client, "err", err)
+			return true
+		}
+	case wire.TypeContractList:
+		if err := n.handleContractList(cs.cw, client); err != nil {
+			return true
+		}
+	case wire.TypeFeedback:
+		n.handleFeedback(cs.clientKey, client, payload)
+		// Acknowledge so the sender knows the credits landed before
+		// it disconnects.
+		if err := cs.cw.writeFrame(wire.TypePutOK, nil); err != nil {
+			return true
+		}
+	case wire.TypeBye:
+		return true
+	default:
+		wire.SendError(cs.conn, wire.CodeBadRequest, "unexpected frame "+t.String())
+		return true
+	}
+	return false
+}
+
+// handleGet starts one download stream. mux selects the failure scope:
+// stream-scoped STREAM_ERROR frames that leave the connection (and its
+// other streams) running, versus the legacy connection-level ERROR. A
+// payload that does not even parse is a connection fault either way.
+func (cs *connState) handleGet(payload []byte, mux bool) bool {
+	var get wire.Get
+	if err := get.Unmarshal(payload); err != nil {
+		wire.SendError(cs.conn, wire.CodeBadRequest, "malformed get")
+		return true
+	}
+	s, err := cs.n.startStream(cs, get, mux)
+	if err != nil {
+		var remote *wire.RemoteError
+		if !errors.As(err, &remote) {
+			cs.n.log.Debug("get failed", "client", cs.client, "err", err)
+		}
+		// The refusal frame has been sent; the connection stays open for
+		// further requests in both modes.
+		return false
+	}
+	cs.mu.Lock()
+	cs.active[get.FileID] = s
+	cs.mu.Unlock()
+	return false
+}
+
 // handlePut stores one uploaded message. The first uploader of a
 // file-id becomes its owner; writes from anyone else are refused.
-func (n *Node) handlePut(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handlePut(cw *connWriter, client fairshare.ID, payload []byte) error {
 	var msg rlnc.Message
 	if err := msg.UnmarshalBinary(payload); err != nil {
 		return err
 	}
 	if !n.claimFile(msg.FileID, client) {
-		_ = lw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
+		_ = cw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
 		return fmt.Errorf("put for file %d owned by another user", msg.FileID)
 	}
 	if err := n.cfg.Store.Put(&msg); err != nil {
 		return err
 	}
 	n.recordStored(len(payload))
-	return lw.writeFrame(wire.TypePutOK, nil)
+	return cw.writeFrame(wire.TypePutOK, nil)
 }
 
 // handlePatch applies a delta message (Sec. VI-A data modification) to
 // the matching stored message. Only the file's owner may patch.
-func (n *Node) handlePatch(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handlePatch(cw *connWriter, client fairshare.ID, payload []byte) error {
 	var delta rlnc.Message
 	if err := delta.UnmarshalBinary(payload); err != nil {
 		return err
 	}
 	if !n.claimFile(delta.FileID, client) {
-		_ = lw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
+		_ = cw.writeErrorFrame(wire.CodeNotPermitted, "file owned by another user")
 		return fmt.Errorf("patch for file %d owned by another user", delta.FileID)
 	}
 	stored, err := n.cfg.Store.Get(delta.FileID, delta.MessageID)
 	if err != nil {
-		_ = lw.writeErrorFrame(wire.CodeUnknownFile,
+		_ = cw.writeErrorFrame(wire.CodeUnknownFile,
 			fmt.Sprintf("no stored message (%d,%d)", delta.FileID, delta.MessageID))
 		return err
 	}
 	if err := rlnc.ApplyDelta(stored, &delta); err != nil {
-		_ = lw.writeErrorFrame(wire.CodeBadRequest, "delta mismatch")
+		_ = cw.writeErrorFrame(wire.CodeBadRequest, "delta mismatch")
 		return err
 	}
 	if err := n.cfg.Store.Put(stored); err != nil {
 		return err
 	}
-	return lw.writeFrame(wire.TypePutOK, nil)
+	return cw.writeFrame(wire.TypePutOK, nil)
 }
 
 // handleFeedback folds the owner's receipt report into the ledger.
@@ -254,10 +336,10 @@ func (n *Node) handleFeedback(clientKey ed25519.PublicKey, client fairshare.ID, 
 // fail verification anyway, since the owner checks against the digests
 // recorded at dissemination time. A malformed challenge is answered
 // with a typed error frame and kills the connection.
-func (n *Node) handleAudit(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handleAudit(cw *connWriter, client fairshare.ID, payload []byte) error {
 	var ch wire.AuditChallenge
 	if err := ch.Unmarshal(payload); err != nil {
-		_ = lw.writeErrorFrame(wire.CodeBadRequest, "malformed audit challenge")
+		_ = cw.writeErrorFrame(wire.CodeBadRequest, "malformed audit challenge")
 		return err
 	}
 	resp := wire.AuditResponse{FileID: ch.FileID, Proofs: make([]wire.AuditProof, 0, len(ch.MessageIDs))}
@@ -275,15 +357,19 @@ func (n *Node) handleAudit(lw *lockedWriter, client fairshare.ID, payload []byte
 	n.recordAudit(proven, len(ch.MessageIDs))
 	n.log.Debug("audit answered", "client", client, "file", ch.FileID,
 		"sampled", len(ch.MessageIDs), "held", proven)
-	return lw.writeFrame(wire.TypeAuditResponse, resp.Marshal())
+	return cw.writeFrame(wire.TypeAuditResponse, resp.Marshal())
 }
 
 // startStream begins serving a GET request on its own goroutine.
-func (n *Node) startStream(ctx context.Context, lw *lockedWriter, client fairshare.ID,
-	get wire.Get, wg *sync.WaitGroup, onDone func(*stream)) (*stream, error) {
+func (n *Node) startStream(cs *connState, get wire.Get, mux bool) (*stream, error) {
 	msgs, err := n.cfg.Store.Messages(get.FileID)
 	if err != nil {
-		_ = lw.writeErrorFrame(wire.CodeUnknownFile, fmt.Sprintf("file %d", get.FileID))
+		reason := fmt.Sprintf("file %d", get.FileID)
+		if mux {
+			_ = cs.cw.writeStreamError(get.FileID, wire.CodeUnknownFile, reason)
+		} else {
+			_ = cs.cw.writeErrorFrame(wire.CodeUnknownFile, reason)
+		}
 		return nil, &wire.RemoteError{Code: wire.CodeUnknownFile}
 	}
 	if get.Limit > 0 && int(get.Limit) < len(msgs) {
@@ -300,46 +386,89 @@ func (n *Node) startStream(ctx context.Context, lw *lockedWriter, client fairsha
 			burst = need
 		}
 	}
-	streamCtx, cancel := context.WithCancel(ctx)
+	streamCtx, cancel := context.WithCancel(cs.ctx)
 	s := &stream{
-		client: client,
-		bucket: ratelimit.NewBucket(0, burst),
-		cancel: cancel,
-		fileID: get.FileID,
+		client:  cs.client,
+		bucket:  ratelimit.NewBucket(0, burst),
+		cancel:  cancel,
+		fileID:  get.FileID,
+		limited: n.cfg.UploadBytesPerSec > 0,
 	}
 	s.bucket.SetMetrics(n.m.waitSeconds, n.m.throttled)
-	if n.cfg.UploadBytesPerSec <= 0 {
-		// Unlimited: a generous fixed rate so WaitN never stalls.
-		s.bucket.SetRate(1 << 30)
-	}
 	n.registerStream(s)
-	wg.Add(1)
+	cs.wg.Add(1)
 	go func() {
-		defer wg.Done()
+		defer cs.wg.Done()
 		defer n.unregisterStream(s)
 		defer cancel()
-		defer onDone(s)
-		n.serveStream(streamCtx, lw, s, msgs)
+		defer func() {
+			cs.mu.Lock()
+			if cs.active[s.fileID] == s {
+				delete(cs.active, s.fileID)
+			}
+			cs.mu.Unlock()
+		}()
+		n.serveStream(streamCtx, cs.cw, s, msgs)
 	}()
 	return s, nil
 }
 
 // serveStream writes DATA frames at the allocator-assigned rate until
-// the messages are exhausted or the stream is cancelled.
-func (n *Node) serveStream(ctx context.Context, lw *lockedWriter, s *stream, msgs []*rlnc.Message) {
-	for _, msg := range msgs {
-		buf, err := msg.MarshalBinary()
+// the messages are exhausted or the stream is cancelled. Each message
+// is framed zero-copy — QueueSpan copies the 16-byte header into the
+// writer arena and hands the stored payload to the vectored write
+// untouched. After the rate limiter admits the first message, further
+// messages whose tokens are already in the bucket are batched into the
+// same flush (Available is checked before WaitN, so the limiter can
+// never block while the connection write lock is held). An unlimited
+// peer skips the bucket entirely — no token math, no timer sleeps —
+// and batches straight up to the flush watermark.
+func (n *Node) serveStream(ctx context.Context, cw *connWriter, s *stream, msgs []*rlnc.Message) {
+	var hdr [rlnc.MessageHeaderBytes]byte
+	for i := 0; i < len(msgs); {
+		msg := msgs[i]
+		need := rlnc.MessageHeaderBytes + len(msg.Payload)
+		if s.limited {
+			if err := s.bucket.WaitN(ctx, need); err != nil {
+				return // cancelled or burst misconfiguration
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		cw.mu.Lock()
+		msg.PutHeader(hdr[:])
+		if err := cw.fw.QueueSpan(wire.TypeData, hdr[:], msg.Payload); err != nil {
+			cw.mu.Unlock()
+			return
+		}
+		sent := need
+		i++
+		for i < len(msgs) && cw.fw.Queued() < serveBatchBytes {
+			next := msgs[i]
+			nn := rlnc.MessageHeaderBytes + len(next.Payload)
+			if s.limited {
+				if s.bucket.Available() < float64(nn) {
+					break
+				}
+				if err := s.bucket.WaitN(ctx, nn); err != nil {
+					cw.mu.Unlock()
+					return
+				}
+			}
+			next.PutHeader(hdr[:])
+			if err := cw.fw.QueueSpan(wire.TypeData, hdr[:], next.Payload); err != nil {
+				cw.mu.Unlock()
+				return
+			}
+			sent += nn
+			i++
+		}
+		err := cw.fw.Flush()
+		cw.mu.Unlock()
 		if err != nil {
-			n.log.Warn("marshal stored message", "err", err)
 			return
 		}
-		if err := s.bucket.WaitN(ctx, len(buf)); err != nil {
-			return // cancelled or burst misconfiguration
-		}
-		if err := lw.writeFrame(wire.TypeData, buf); err != nil {
-			return
-		}
-		n.recordServed(s.client, len(buf))
+		n.recordServed(s.client, sent)
 	}
 	// All stored messages sent: signal end-of-stream with a STOP frame
 	// so the downloader knows this peer is exhausted.
@@ -347,14 +476,6 @@ func (n *Node) serveStream(ctx context.Context, lw *lockedWriter, s *stream, msg
 	case <-ctx.Done():
 	default:
 		eos := wire.Stop{FileID: s.fileID}
-		_ = lw.writeFrame(wire.TypeStop, eos.Marshal())
+		_ = cw.writeFrame(wire.TypeStop, eos.Marshal())
 	}
-}
-
-// writeErrorFrame sends an error frame under the write lock, following
-// the wire.SendError contract: best-effort, the caller must still
-// treat the exchange as failed and close the connection.
-func (lw *lockedWriter) writeErrorFrame(code uint16, reason string) error {
-	msg := wire.ErrorMsg{Code: code, Reason: reason}
-	return lw.writeFrame(wire.TypeError, msg.Marshal())
 }

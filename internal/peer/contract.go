@@ -18,7 +18,7 @@ import (
 )
 
 // handleContractPropose admits (or refuses) one storage obligation.
-func (n *Node) handleContractPropose(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handleContractPropose(lw *connWriter, client fairshare.ID, payload []byte) error {
 	var p wire.ContractPropose
 	if err := p.Unmarshal(payload); err != nil {
 		_ = lw.writeErrorFrame(wire.CodeBadRequest, "malformed contract proposal")
@@ -56,7 +56,7 @@ func (n *Node) handleContractPropose(lw *lockedWriter, client fairshare.ID, payl
 }
 
 // handleContractRenew extends an accepted obligation's term.
-func (n *Node) handleContractRenew(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handleContractRenew(lw *connWriter, client fairshare.ID, payload []byte) error {
 	var r wire.ContractRenew
 	if err := r.Unmarshal(payload); err != nil {
 		_ = lw.writeErrorFrame(wire.CodeBadRequest, "malformed contract renewal")
@@ -73,7 +73,7 @@ func (n *Node) handleContractRenew(lw *lockedWriter, client fairshare.ID, payloa
 
 // handleContractRelease ends an obligation early, freeing capacity.
 // The grant answers with a zero expiry to mark the contract gone.
-func (n *Node) handleContractRelease(lw *lockedWriter, client fairshare.ID, payload []byte) error {
+func (n *Node) handleContractRelease(lw *connWriter, client fairshare.ID, payload []byte) error {
 	var r wire.ContractRelease
 	if err := r.Unmarshal(payload); err != nil {
 		_ = lw.writeErrorFrame(wire.CodeBadRequest, "malformed contract release")
@@ -90,7 +90,7 @@ func (n *Node) handleContractRelease(lw *lockedWriter, client fairshare.ID, payl
 // handleContractList reports the capacity line and the requesting
 // owner's contracts — only theirs; one tenant cannot enumerate
 // another's placements.
-func (n *Node) handleContractList(lw *lockedWriter, client fairshare.ID) error {
+func (n *Node) handleContractList(lw *connWriter, client fairshare.ID) error {
 	info := wire.ContractInfo{
 		CapacityBytes: uint64(n.book.Capacity()),
 		UsedBytes:     uint64(n.book.Used()),
@@ -114,7 +114,7 @@ func (n *Node) handleContractList(lw *lockedWriter, client fairshare.ID) error {
 // refuseContract maps a book error to its typed wire error frame,
 // following the SendError contract (best-effort; the caller still
 // treats the exchange as failed and closes the connection).
-func (n *Node) refuseContract(lw *lockedWriter, err error) {
+func (n *Node) refuseContract(lw *connWriter, err error) {
 	switch {
 	case errors.Is(err, contract.ErrUnknown):
 		_ = lw.writeErrorFrame(wire.CodeUnknownContract, "unknown contract")

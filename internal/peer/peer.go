@@ -164,10 +164,11 @@ type Node struct {
 
 // stream is one active download being served.
 type stream struct {
-	client fairshare.ID
-	bucket *ratelimit.Bucket
-	cancel context.CancelFunc
-	fileID uint64
+	client  fairshare.ID
+	bucket  *ratelimit.Bucket
+	cancel  context.CancelFunc
+	fileID  uint64
+	limited bool // false = no upload cap: skip the bucket entirely
 }
 
 // New validates the configuration and creates a node (not yet

@@ -1,0 +1,203 @@
+package rlnc
+
+// Differential coverage for the zero-copy ingest path: AddBytes must be
+// observationally identical to UnmarshalBinary + Add for every message
+// class (innovative, duplicate, redundant, corrupt, foreign, short),
+// and must hold the same steady-state zero-allocation guarantee.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"asymshare/internal/gf"
+)
+
+// marshal serializes msg or fails the test.
+func marshal(t testing.TB, msg *Message) []byte {
+	t.Helper()
+	buf, err := msg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestAddBytesMatchesAdd feeds the same scrambled stream — innovative,
+// duplicate, corrupt and redundant messages — to one pipeline via Add
+// and another via AddBytes, and requires identical accounting, identical
+// per-message verdicts, and identical decoded output.
+func TestAddBytesMatchesAdd(t *testing.T) {
+	k := 12
+	enc, digests, data := pipelineGen(t, gf.Bits8, k, 256, 41)
+	rng := rand.New(rand.NewSource(99))
+	msgs := scrambledStream(enc, rng, k)
+
+	byMsg, err := NewPipeline(enc.Params(), enc.FileID(), testSecret(), digests, PipelineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer byMsg.Close()
+	byBytes, err := NewPipeline(enc.Params(), enc.FileID(), testSecret(), digests, PipelineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer byBytes.Close()
+
+	for i, msg := range msgs {
+		okA, errA := byMsg.Add(msg.Clone())
+		okB, errB := byBytes.AddBytes(marshal(t, msg))
+		if okA != okB || (errA == nil) != (errB == nil) {
+			t.Fatalf("message %d: Add = (%v, %v), AddBytes = (%v, %v)", i, okA, errA, okB, errB)
+		}
+	}
+	if byMsg.Stats() != byBytes.Stats() {
+		t.Fatalf("stats diverge: Add %+v, AddBytes %+v", byMsg.Stats(), byBytes.Stats())
+	}
+	outA, err := byMsg.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := byBytes.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outA, outB) || !bytes.Equal(outA, data) {
+		t.Fatal("decoded outputs diverge")
+	}
+}
+
+// TestAddBytesRejects pins the early error classes: short buffers,
+// foreign files, wrong payload lengths and forged payloads must fail
+// with the same sentinel errors Add uses.
+func TestAddBytesRejects(t *testing.T) {
+	k := 8
+	enc, digests, _ := pipelineGen(t, gf.Bits8, k, 128, 7)
+	pipe, err := NewPipeline(enc.Params(), enc.FileID(), testSecret(), digests, PipelineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	if _, err := pipe.AddBytes(make([]byte, MessageHeaderBytes-1)); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("short buffer error = %v", err)
+	}
+	foreign := enc.Message(0).Clone()
+	foreign.FileID++
+	if _, err := pipe.AddBytes(marshal(t, foreign)); !errors.Is(err, ErrWrongFile) {
+		t.Errorf("foreign file error = %v", err)
+	}
+	short := enc.Message(0).Clone()
+	short.Payload = short.Payload[:8]
+	if _, err := pipe.AddBytes(marshal(t, short)); !errors.Is(err, ErrBadParams) {
+		t.Errorf("short payload error = %v", err)
+	}
+	forged := marshal(t, enc.Message(1))
+	forged[len(forged)-1] ^= 1
+	if _, err := pipe.AddBytes(forged); !errors.Is(err, ErrBadDigest) {
+		t.Errorf("forged payload error = %v", err)
+	}
+	// The short buffer is a parse failure — the legacy path would die
+	// in UnmarshalBinary before reaching the sink — so only the three
+	// well-formed rejects are accounted.
+	st := pipe.Stats()
+	if st.Received != 3 || st.Rejected != 3 {
+		t.Errorf("stats after rejects: %+v", st)
+	}
+}
+
+// TestAddBytesCallerOwnsBuffer verifies the documented contract that
+// the input may be recycled immediately: the same backing buffer is
+// reused (and clobbered) for every message, and the decode must still
+// produce the original data.
+func TestAddBytesCallerOwnsBuffer(t *testing.T) {
+	k := 8
+	enc, digests, data := pipelineGen(t, gf.Bits8, k, 128, 17)
+	pipe, err := NewPipeline(enc.Params(), enc.FileID(), testSecret(), digests, PipelineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	scratch := make([]byte, 0, MessageHeaderBytes+enc.Params().ChunkBytes())
+	for id := uint64(0); !pipe.Done(); id++ {
+		scratch = append(scratch[:0], marshal(t, enc.Message(id))...)
+		if _, err := pipe.AddBytes(scratch); err != nil {
+			t.Fatal(err)
+		}
+		// Clobber the buffer the way a frame reader recycling it would.
+		for i := range scratch {
+			scratch[i] = 0xAA
+		}
+	}
+	out, err := pipe.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("decode diverged after input buffer reuse")
+	}
+}
+
+// TestSyncSinkAddBytes covers the compatibility shim on the sequential
+// engine.
+func TestSyncSinkAddBytes(t *testing.T) {
+	k := 8
+	enc, digests, data := pipelineGen(t, gf.Bits8, k, 128, 23)
+	dec, err := NewDecoder(enc.Params(), enc.FileID(), testSecret(), digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSyncSink(dec)
+	for id := uint64(0); !sink.Done(); id++ {
+		if _, err := sink.AddBytes(marshal(t, enc.Message(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sink.AddBytes([]byte{1, 2}); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("short buffer error = %v", err)
+	}
+	out, err := sink.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("decode diverged")
+	}
+}
+
+// TestAddBytesSteadyStateAllocs is the receive-side half of the
+// zero-copy proof: a warmed pipeline ingests serialized frames and
+// completes a decode-reset cycle without a single heap allocation.
+func TestAddBytesSteadyStateAllocs(t *testing.T) {
+	k := 16
+	enc, digests, _ := pipelineGen(t, gf.Bits8, k, 512, 13)
+	pipe, err := NewPipeline(enc.Params(), enc.FileID(), testSecret(), digests,
+		PipelineConfig{Workers: 1, Verifiers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+
+	frames := make([][]byte, 0, 2*k)
+	for id := uint64(0); id < uint64(2*k); id++ {
+		frames = append(frames, marshal(t, enc.Message(id)))
+	}
+	out := make([]byte, enc.Params().DataLen)
+	cycle := func() {
+		for _, frame := range frames {
+			if _, err := pipe.AddBytes(frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pipe.DecodeInto(out); err != nil {
+			t.Fatal(err)
+		}
+		pipe.Reset()
+	}
+	cycle() // warm up lazy hash state and map buckets
+	if n := testing.AllocsPerRun(10, cycle); n != 0 {
+		t.Fatalf("steady-state byte ingest allocates %v times per cycle, want 0", n)
+	}
+}

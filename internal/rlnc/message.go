@@ -17,6 +17,11 @@ import (
 
 const headerBytes = 16
 
+// MessageHeaderBytes is the size of the serialized message header: an
+// 8-byte file-id followed by an 8-byte message-id (Fig. 3). Exported so
+// the wire layer can frame stored messages without marshaling.
+const MessageHeaderBytes = headerBytes
+
 // ErrShortMessage is returned when unmarshaling a buffer smaller than
 // the 16-byte message header.
 var ErrShortMessage = errors.New("rlnc: message shorter than header")
@@ -64,6 +69,15 @@ func (m *Message) digestInto(h hash.Hash, hdr *[headerBytes]byte, buf []byte) []
 	h.Write(hdr[:])
 	h.Write(m.Payload)
 	return h.Sum(buf[:0])
+}
+
+// PutHeader writes the 16-byte serialized header into dst, which must
+// be at least MessageHeaderBytes long. The zero-copy serve path frames
+// a stored message as PutHeader + Payload — byte-identical to
+// MarshalBinary without the copy of the payload.
+func (m *Message) PutHeader(dst []byte) {
+	binary.BigEndian.PutUint64(dst[0:], m.FileID)
+	binary.BigEndian.PutUint64(dst[8:], m.MessageID)
 }
 
 // MarshalBinary serializes the message per Fig. 3.

@@ -30,9 +30,24 @@ type Sink interface {
 	Stats() Stats
 }
 
+// ByteSink is the zero-copy extension of Sink: a decode engine that
+// ingests serialized messages (16-byte header + payload) straight from
+// wire frames. The Pipeline implements it natively — parse in place,
+// digest the frame bytes, one copy into its arena — and SyncSink via an
+// unmarshal shim, so callers can feed whichever engine they were given
+// without caring which path is the fast one.
+type ByteSink interface {
+	Sink
+	// AddBytes folds one serialized message in. The caller keeps
+	// ownership of data; it may be reused once the call returns.
+	AddBytes(data []byte) (bool, error)
+}
+
 var (
-	_ Sink = (*SyncSink)(nil)
-	_ Sink = (*Pipeline)(nil)
+	_ Sink     = (*SyncSink)(nil)
+	_ Sink     = (*Pipeline)(nil)
+	_ ByteSink = (*SyncSink)(nil)
+	_ ByteSink = (*Pipeline)(nil)
 )
 
 // SyncSink makes a sequential Decoder usable by concurrent producers by
@@ -52,6 +67,16 @@ func (s *SyncSink) Add(msg *Message) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dec.Add(msg)
+}
+
+// AddBytes implements ByteSink by unmarshaling (the sequential engine
+// keeps its own copy of the payload, so the copy is inherent here).
+func (s *SyncSink) AddBytes(data []byte) (bool, error) {
+	var msg Message
+	if err := msg.UnmarshalBinary(data); err != nil {
+		return false, err
+	}
+	return s.Add(&msg)
 }
 
 // Rank implements Sink.

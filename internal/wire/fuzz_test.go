@@ -110,3 +110,87 @@ func FuzzHandshakeInitiator(f *testing.F) {
 		checkWellFormedOutput(t, s.out.Bytes())
 	})
 }
+
+// frameErrClass buckets a read error into the taxonomy both readers
+// share: clean end-of-stream, torn frame, oversized length. Anything
+// else is its own class by message.
+func frameErrClass(err error) string {
+	switch {
+	case err == nil:
+		return "nil"
+	case err == io.EOF:
+		return "eof"
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return "torn"
+	case errors.Is(err, ErrFrameTooLarge):
+		return "oversize"
+	default:
+		return "other: " + err.Error()
+	}
+}
+
+// fuzzSeedMux builds an interleaved muxed DATA stream: frames for two
+// file IDs alternating, each payload led by its 8-byte big-endian
+// stream id — the exact shape a multiplexed connection carries.
+func fuzzSeedMux() []byte {
+	var buf bytes.Buffer
+	for i := 0; i < 4; i++ {
+		for _, fid := range []byte{0xAA, 0xBB} {
+			payload := append([]byte{0, 0, 0, 0, 0, 0, 0, fid}, bytes.Repeat([]byte{fid ^ byte(i)}, 24)...)
+			WriteFrame(&buf, TypeData, payload)
+		}
+	}
+	WriteFrame(&buf, TypeStop, []byte{0, 0, 0, 0, 0, 0, 0, 0xAA})
+	WriteFrame(&buf, TypeStreamError, (&StreamError{FileID: 0xBB, Code: CodeUnknownFile, Reason: "x"}).Marshal())
+	return buf.Bytes()
+}
+
+// FuzzFrameReader is the differential fuzzer of ISSUE 8: any byte
+// stream, parsed by the pooled FrameReader and the legacy ReadFrame,
+// must yield the identical (type, payload, error-class) sequence — and
+// the reader's pool must come out of every input, malformed or not,
+// with zero live buffers and zero double-releases.
+func FuzzFrameReader(f *testing.F) {
+	f.Add(fuzzSeedMux())
+	f.Add([]byte{})                                      // clean EOF
+	f.Add([]byte{byte(TypeData), 0, 0})                  // torn header
+	f.Add([]byte{byte(TypeData), 0, 0, 0, 8, 1})         // torn body
+	f.Add([]byte{byte(TypeGet), 0xFF, 0xFF, 0xFF, 0xFF}) // oversized length
+	torn := fuzzSeedMux()
+	f.Add(torn[:len(torn)-7]) // valid interleaving ending in a torn frame
+	var big bytes.Buffer
+	WriteFrame(&big, TypeData, make([]byte, 66<<10)) // larger than the fill window
+	WriteFrame(&big, TypeStop, nil)
+	f.Add(big.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pool := NewPool()
+		fr := NewFrameReaderPool(bytes.NewReader(data), pool)
+		legacy := bytes.NewReader(data)
+		for i := 0; ; i++ {
+			want, wantErr := ReadFrame(legacy)
+			ty, b, err := fr.Next()
+			if wc, gc := frameErrClass(wantErr), frameErrClass(err); wc != gc {
+				t.Fatalf("frame %d: legacy error class %q, pooled %q (legacy err %v, pooled err %v)",
+					i, wc, gc, wantErr, err)
+			}
+			if wantErr != nil {
+				break
+			}
+			if ty != want.Type {
+				t.Fatalf("frame %d: type %s vs legacy %s", i, ty, want.Type)
+			}
+			if !bytes.Equal(b.Bytes(), want.Payload) {
+				t.Fatalf("frame %d: payload diverges (%d vs %d bytes)", i, b.Len(), len(want.Payload))
+			}
+			b.Release()
+		}
+		st := pool.Stats()
+		if st.Live != 0 {
+			t.Fatalf("pool leak: %d live buffers after input %x", st.Live, data)
+		}
+		if st.DoubleReleases != 0 {
+			t.Fatalf("%d double-releases after input %x", st.DoubleReleases, data)
+		}
+	})
+}

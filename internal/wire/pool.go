@@ -1,0 +1,196 @@
+package wire
+
+// Pooled, reference-counted frame buffers — the allocation story of the
+// zero-copy hot path (DESIGN.md §13). A FrameReader hands every frame
+// payload out in a *Buf drawn from a Pool; ownership transfers with the
+// value, and whoever holds the last reference returns the memory to the
+// pool with Release. The pool keeps per-size-class free lists so a
+// steady-state connection reads and writes frames without touching the
+// allocator at all, and it counts every get/retain/release so tests can
+// assert two invariants at teardown: nothing leaked (Live == 0) and
+// nothing was released twice (DoubleReleases == 0).
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from minClassBytes up to
+// maxClassBytes; a request is served from the smallest class that fits.
+// maxClassBytes must cover a full coalesced frame (5-byte header +
+// MaxFrameSize payload).
+const (
+	minClassShift = 6  // 64 B
+	maxClassShift = 24 // 16 MiB > 5 + MaxFrameSize
+	numClasses    = maxClassShift - minClassShift + 1
+
+	// poolClassRetain bounds how many bytes each class keeps parked in
+	// its free list; beyond it, released buffers fall to the GC (and
+	// are counted as Discards, not leaks).
+	poolClassRetain = 4 << 20
+)
+
+// Buf is one pooled frame buffer. The bytes are valid until the last
+// reference is released; Release must be called exactly once per
+// reference (the initial get counts as one). Buf values must not be
+// copied.
+type Buf struct {
+	pool *Pool
+	data []byte // class-sized backing array
+	n    int    // logical length
+	refs atomic.Int32
+}
+
+// Bytes returns the buffer's logical contents. The slice aliases pooled
+// memory: it is valid only until the final Release.
+func (b *Buf) Bytes() []byte { return b.data[:b.n] }
+
+// Len returns the logical length.
+func (b *Buf) Len() int { return b.n }
+
+// Retain adds a reference, so the buffer survives until a matching
+// extra Release.
+func (b *Buf) Retain() {
+	b.refs.Add(1)
+	b.pool.retains.Add(1)
+}
+
+// Release drops one reference; the last one returns the buffer to its
+// pool. Releasing more times than retained is accounted as a
+// double-release (and the buffer is not recycled again, so the pool
+// never hands the same memory out twice).
+func (b *Buf) Release() {
+	switch left := b.refs.Add(-1); {
+	case left > 0:
+		b.pool.releases.Add(1)
+	case left == 0:
+		b.pool.releases.Add(1)
+		b.pool.live.Add(-1)
+		b.pool.put(b)
+	default:
+		b.pool.doubleReleases.Add(1)
+	}
+}
+
+// PoolStats is a point-in-time snapshot of a pool's accounting.
+type PoolStats struct {
+	Gets           uint64 // buffers handed out
+	Hits           uint64 // gets served from a free list
+	Misses         uint64 // gets that had to allocate
+	Retains        uint64 // extra references taken
+	Releases       uint64 // references dropped (excluding double-releases)
+	Discards       uint64 // final releases dropped to the GC (full free list or oversized)
+	DoubleReleases uint64 // releases past the last reference — always a bug
+	Live           int64  // buffers currently outstanding (gets minus final releases)
+}
+
+// Pool is a size-classed free list of frame buffers with leak and
+// double-release accounting. The zero value is not usable; construct
+// with NewPool. DefaultPool serves the package-level framing helpers.
+type Pool struct {
+	classes [numClasses]chan *Buf
+
+	gets           atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	retains        atomic.Uint64
+	releases       atomic.Uint64
+	discards       atomic.Uint64
+	doubleReleases atomic.Uint64
+	live           atomic.Int64
+}
+
+// DefaultPool backs the package-level FrameReader/FrameWriter
+// constructors and the legacy WriteFrame wrapper.
+var DefaultPool = NewPool()
+
+// NewPool returns an empty pool. Pools are cheap: memory is only held
+// after buffers flow through them.
+func NewPool() *Pool {
+	p := &Pool{}
+	for i := range p.classes {
+		size := 1 << (minClassShift + i)
+		slots := poolClassRetain / size
+		if slots < 4 {
+			slots = 4
+		}
+		if slots > 1024 {
+			slots = 1024
+		}
+		p.classes[i] = make(chan *Buf, slots)
+	}
+	return p
+}
+
+// classFor returns the free-list index for a request of n bytes, or -1
+// when n exceeds the largest class (served unpooled).
+func classFor(n int) int {
+	for i := 0; i < numClasses; i++ {
+		if n <= 1<<(minClassShift+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer with Len() == n and a single reference. n may be
+// zero. Requests beyond the largest size class are served from the heap
+// and dropped to the GC on release (counted, never pooled).
+func (p *Pool) Get(n int) *Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("wire: negative buffer size %d", n))
+	}
+	p.gets.Add(1)
+	p.live.Add(1)
+	class := classFor(n)
+	if class >= 0 {
+		select {
+		case b := <-p.classes[class]:
+			p.hits.Add(1)
+			b.n = n
+			b.refs.Store(1)
+			return b
+		default:
+		}
+	}
+	p.misses.Add(1)
+	size := n
+	if class >= 0 {
+		size = 1 << (minClassShift + class)
+	}
+	b := &Buf{pool: p, data: make([]byte, size), n: n}
+	b.refs.Store(1)
+	return b
+}
+
+// put parks a fully-released buffer for reuse, or lets it fall to the
+// GC when its class list is full (or it was oversized).
+func (p *Pool) put(b *Buf) {
+	class := classFor(len(b.data))
+	if class < 0 || len(b.data) != 1<<(minClassShift+class) {
+		p.discards.Add(1)
+		return
+	}
+	select {
+	case p.classes[class] <- b:
+	default:
+		p.discards.Add(1)
+	}
+}
+
+// Stats snapshots the pool's accounting counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:           p.gets.Load(),
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Retains:        p.retains.Load(),
+		Releases:       p.releases.Load(),
+		Discards:       p.discards.Load(),
+		DoubleReleases: p.doubleReleases.Load(),
+		Live:           p.live.Load(),
+	}
+}
+
+// Live returns the number of buffers currently outstanding.
+func (p *Pool) Live() int64 { return p.live.Load() }

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolGetRelease(t *testing.T) {
+	p := NewPool()
+	sizes := []int{0, 1, 63, 64, 65, 4096, 64 << 10, MaxFrameSize}
+	for _, n := range sizes {
+		b := p.Get(n)
+		if b.Len() != n || len(b.Bytes()) != n {
+			t.Fatalf("Get(%d): Len = %d, Bytes = %d", n, b.Len(), len(b.Bytes()))
+		}
+		b.Release()
+	}
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Errorf("Live = %d after all releases", st.Live)
+	}
+	if st.Gets != uint64(len(sizes)) || st.Releases != uint64(len(sizes)) {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DoubleReleases != 0 {
+		t.Errorf("DoubleReleases = %d", st.DoubleReleases)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	b := p.Get(1024)
+	b.Bytes()[0] = 7
+	b.Release()
+	c := p.Get(900) // same class (1024)
+	st := p.Stats()
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1 (buffer not recycled)", st.Hits)
+	}
+	if c.Len() != 900 {
+		t.Errorf("recycled Len = %d", c.Len())
+	}
+	c.Release()
+}
+
+func TestPoolRetain(t *testing.T) {
+	p := NewPool()
+	b := p.Get(128)
+	b.Retain()
+	b.Release()
+	if p.Live() != 1 {
+		t.Fatalf("Live = %d with one reference outstanding", p.Live())
+	}
+	b.Release()
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d after final release", p.Live())
+	}
+	st := p.Stats()
+	if st.Retains != 1 || st.Releases != 2 || st.DoubleReleases != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPoolDoubleRelease(t *testing.T) {
+	p := NewPool()
+	b := p.Get(128)
+	b.Release()
+	b.Release() // bug: must be counted, never recycle the buffer twice
+	st := p.Stats()
+	if st.DoubleReleases != 1 {
+		t.Errorf("DoubleReleases = %d, want 1", st.DoubleReleases)
+	}
+	if st.Live != 0 {
+		t.Errorf("Live = %d, want 0", st.Live)
+	}
+	// The double-released buffer must not appear in the free list a
+	// second time: two gets must yield two distinct buffers.
+	x, y := p.Get(128), p.Get(128)
+	if x == y {
+		t.Fatal("pool handed out the same buffer twice")
+	}
+	x.Release()
+	y.Release()
+}
+
+func TestPoolLeakAccounting(t *testing.T) {
+	p := NewPool()
+	bufs := make([]*Buf, 5)
+	for i := range bufs {
+		bufs[i] = p.Get(256)
+	}
+	for _, b := range bufs[:4] {
+		b.Release()
+	}
+	if p.Live() != 1 {
+		t.Fatalf("Live = %d, want 1 (the leaked buffer)", p.Live())
+	}
+	bufs[4].Release()
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d after plugging the leak", p.Live())
+	}
+}
+
+func TestPoolOversized(t *testing.T) {
+	p := NewPool()
+	n := (16 << 20) + 1 // past the largest class: heap-served
+	b := p.Get(n)
+	if b.Len() != n {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Release()
+	st := p.Stats()
+	if st.Discards != 1 {
+		t.Errorf("Discards = %d, want 1 (oversized never pooled)", st.Discards)
+	}
+	if st.Live != 0 {
+		t.Errorf("Live = %d", st.Live)
+	}
+}
+
+func TestPoolClassBoundaries(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{16 << 20, numClasses - 1}, {(16 << 20) + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+// TestPooledWriteFrameByteIdentity pins that the pooled package-level
+// WriteFrame produces exactly the historical wire bytes.
+func TestPooledWriteFrameByteIdentity(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var got bytes.Buffer
+	if err := WriteFrame(&got, TypeData, payload); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{byte(TypeData), 0, 0, 0, byte(len(payload))}, payload...)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("wire bytes = %x, want %x", got.Bytes(), want)
+	}
+}

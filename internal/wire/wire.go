@@ -41,6 +41,8 @@ const (
 	TypeContractRelease                 // owner releases an obligation early
 	TypeContractList                    // request the peer's obligation book
 	TypeContractInfo                    // obligation book response
+	TypeGetMux                          // multiplexed get: failures scoped to the stream, not the conn
+	TypeStreamError                     // terminal error for one multiplexed stream
 )
 
 func (t Type) String() string {
@@ -91,6 +93,10 @@ func (t Type) String() string {
 		return "CONTRACT_LIST"
 	case TypeContractInfo:
 		return "CONTRACT_INFO"
+	case TypeGetMux:
+		return "GET_MUX"
+	case TypeStreamError:
+		return "STREAM_ERROR"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -119,22 +125,32 @@ type Frame struct {
 }
 
 // WriteFrame writes a frame: 1-byte type, 4-byte big-endian payload
-// length, payload.
+// length, payload. It is the legacy single-frame compatibility wrapper
+// around the batched FrameWriter path: one contiguous Write per frame,
+// byte-identical on the wire, with the staging buffer drawn from
+// DefaultPool so even legacy call sites stopped allocating per frame.
 func WriteFrame(w io.Writer, t Type, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	hdr := make([]byte, 5, 5+len(payload))
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(append(hdr, payload...)); err != nil {
+	b := DefaultPool.Get(5 + len(payload))
+	buf := b.Bytes()
+	buf[0] = byte(t)
+	binary.BigEndian.PutUint32(buf[1:], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	b.Release()
+	if err != nil {
 		return fmt.Errorf("wire: write %s: %w", t, err)
 	}
 	recordFrameSent(t, len(payload))
 	return nil
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r. It is the legacy compatibility
+// path: the payload is freshly allocated and owned by the caller
+// forever, so it cannot be pooled. Hot paths use FrameReader, which
+// returns pooled reference-counted buffers instead.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -402,6 +418,43 @@ func (e *ErrorMsg) Unmarshal(b []byte) error {
 	e.Code = binary.BigEndian.Uint16(b)
 	e.Reason = string(b[2:])
 	return nil
+}
+
+// StreamError is a terminal error for one multiplexed stream. Unlike
+// ErrorMsg — which by contract kills the whole connection — a
+// StreamError ends only the stream it names: the other generation
+// streams sharing the connection keep flowing. Peers answer a failed
+// GET_MUX with it, and a serving error mid-stream is reported the same
+// way.
+type StreamError struct {
+	FileID uint64
+	Code   uint16
+	Reason string
+}
+
+// Marshal serializes the stream error.
+func (e *StreamError) Marshal() []byte {
+	out := make([]byte, 10+len(e.Reason))
+	binary.BigEndian.PutUint64(out, e.FileID)
+	binary.BigEndian.PutUint16(out[8:], e.Code)
+	copy(out[10:], e.Reason)
+	return out
+}
+
+// Unmarshal parses a stream error.
+func (e *StreamError) Unmarshal(b []byte) error {
+	if len(b) < 10 {
+		return fmt.Errorf("%w: stream error frame of %d bytes", ErrBadFrame, len(b))
+	}
+	e.FileID = binary.BigEndian.Uint64(b)
+	e.Code = binary.BigEndian.Uint16(b[8:])
+	e.Reason = string(b[10:])
+	return nil
+}
+
+// Error makes a StreamError usable as a Go error directly.
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("wire: stream %d error %d: %s", e.FileID, e.Code, e.Reason)
 }
 
 // RemoteError is an error frame surfaced as a Go error.
