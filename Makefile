@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire vet bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke bench-wire bench-wire-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare vet bench-alloc bench-alloc-smoke bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke bench-wire bench-wire-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,16 @@ race-store: vet
 # and the rumor-gossip engine's exchange/round machinery.
 race-dht: vet
 	$(GO) test -race ./internal/dht/... ./internal/discovery/... ./internal/gossip/...
+
+# race-fairshare exercises the adaptive-allocation stack under the
+# race detector: the policy seam and its property/fuzz-seed suites,
+# the sharded decaying ledger, the capacity estimators, and the peer
+# realloc loop that consumes all three — plus the scratch-reuse alloc
+# gate, which only counts allocations without -race, so the fairshare
+# package runs plain too.
+race-fairshare: vet
+	$(GO) test -race ./internal/fairshare/... ./internal/estimate/... ./internal/peer/...
+	$(GO) test -run 'TestScratchReuseNoAlloc' -count=1 ./internal/fairshare/
 
 # race-contract exercises the storage-contract subsystem under the
 # race detector: the journaled book/set, the wire frames, the peer
@@ -132,6 +142,20 @@ bench-swarm:
 bench-swarm-smoke:
 	$(GO) run ./cmd/benchswarm -sizes 64 -samples 8 -json /tmp/BENCH_swarm_smoke.json
 
+# bench-alloc measures the allocation subsystem — the policy grid
+# (fairness, free-rider payoff, convergence, bounded-ledger fidelity)
+# and the bounded-ledger realloc tick against 10^5 distinct requesters
+# — leaving the machine-readable report in BENCH_alloc.json (see
+# EXPERIMENTS.md; sharded entries must stay at the bound and the tick
+# must scale with the active set, not the distinct population).
+bench-alloc:
+	$(GO) run ./cmd/benchalloc -slots 600 -json BENCH_alloc.json
+
+# bench-alloc-smoke is the quick CI variant: a short run, throwaway
+# report — it proves the grid and tick bench run, not the numbers.
+bench-alloc-smoke:
+	$(GO) run ./cmd/benchalloc -slots 120 -json /tmp/BENCH_alloc_smoke.json
+
 # chaos runs the deterministic fault-injection suite — the netsim
 # fabric's own tests plus the end-to-end harness (tracker + peers +
 # clients over simulated partitions, blackholes and drops) — twice,
@@ -151,6 +175,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract race-wire swarm-smoke churn-smoke chaos
+ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke chaos
 
-check: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire swarm-smoke churn-smoke chaos
+check: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke chaos

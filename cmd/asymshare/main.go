@@ -6,6 +6,7 @@
 //
 //	asymshare keygen  -out user.key
 //	asymshare serve   -key peer.key -listen :7070 -store ./data -upload 262144
+//	asymshare serve   -key peer.key -store ./data -policy eq2 -estimate ewma -ledger-bound 4096   # adaptive allocation
 //	asymshare share   -key user.key -file video.mpg -peers a:7070,b:7070 -out video.handle
 //	asymshare fetch   -key user.key -handle video.handle -secret <hex> -out video.mpg
 //
@@ -44,6 +45,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +54,7 @@ import (
 	"asymshare/internal/client"
 	"asymshare/internal/core"
 	"asymshare/internal/dht"
+	"asymshare/internal/estimate"
 	"asymshare/internal/fairshare"
 	"asymshare/internal/fsx"
 	"asymshare/internal/gossip"
@@ -140,12 +143,84 @@ func cmdKeygen(args []string, out io.Writer) error {
 	return nil
 }
 
+// parsePolicy maps the -policy flag to an allocator. weights is the
+// -class-weights spec ("1:2,2:4"), meaningful only for classes.
+func parsePolicy(name, weights string) (fairshare.Allocator, error) {
+	if weights != "" && name != "classes" {
+		return nil, fmt.Errorf("-class-weights requires -policy classes (got %q)", name)
+	}
+	switch name {
+	case "eq2":
+		return fairshare.PairwiseProportional{}, nil
+	case "eq3":
+		// The CLI carries no declaration channel yet, so every requester
+		// declares zero and the policy equal-splits; the flag exists so
+		// the baseline is runnable end to end.
+		return fairshare.GlobalProportional{}, nil
+	case "equal":
+		return fairshare.EqualSplit{}, nil
+	case "bci":
+		return fairshare.BiasedContribution{}, nil
+	case "classes":
+		w, err := parseClassWeights(weights)
+		if err != nil {
+			return nil, err
+		}
+		return fairshare.Classes{Weights: w}, nil
+	default:
+		return nil, fmt.Errorf("unknown -policy %q (want eq2, eq3, equal, bci, or classes)", name)
+	}
+}
+
+// parseClassWeights parses "class:weight,class:weight" pairs.
+func parseClassWeights(spec string) (map[fairshare.ServiceClass]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[fairshare.ServiceClass]float64)
+	for _, pair := range strings.Split(spec, ",") {
+		c, w, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed -class-weights entry %q (want class:weight)", pair)
+		}
+		class, err := strconv.ParseUint(strings.TrimSpace(c), 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("class in %q: %w", pair, err)
+		}
+		weight, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
+		if err != nil {
+			return nil, fmt.Errorf("weight in %q: %w", pair, err)
+		}
+		out[fairshare.ServiceClass(class)] = weight
+	}
+	return out, nil
+}
+
+// parseEstimator maps the -estimate flag to a capacity estimator (nil
+// for off: the node divides the configured -upload constant).
+func parseEstimator(name string) (estimate.Estimator, error) {
+	switch name {
+	case "off", "":
+		return nil, nil
+	case "ewma":
+		return estimate.NewHistory(0, 0), nil
+	case "probe":
+		return estimate.NewProbe(0, 0), nil
+	default:
+		return nil, fmt.Errorf("unknown -estimate %q (want off, ewma, or probe)", name)
+	}
+}
+
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	keyPath := fs.String("key", "", "peer key file (required)")
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
 	storeDir := fs.String("store", "", "message store directory (required)")
-	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped)")
+	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped; with -estimate, a ceiling on the estimate)")
+	policyName := fs.String("policy", "eq2", "allocation policy: eq2 (pairwise proportional), eq3 (declared upload; degrades to equal without declarations), bci (biased contribution index), classes (class-weighted), equal")
+	classWeights := fs.String("class-weights", "", "service-class weights for -policy classes, e.g. 1:2,2:4 (unlisted classes weigh 1)")
+	estName := fs.String("estimate", "off", "online upload-capacity estimation: off, ewma (percentile-of-history), probe (packet-train max)")
+	ledgerBound := fs.Int("ledger-bound", 0, "track at most this many counterpart standings exactly, folding the rest into an aggregate tail (0 = exact pairwise ledger)")
 	ownerHex := fs.String("owner", "", "owner public key (hex) allowed to send feedback")
 	ledgerPath := fs.String("ledger", "", "receipt-ledger checkpoint file persisted across restarts (and crashes)")
 	ckptEvery := fs.Duration("checkpoint", fairshare.DefaultCheckpointInterval, "ledger checkpoint interval")
@@ -174,10 +249,24 @@ func cmdServe(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "store recovery: %d torn tails truncated, %d files quarantined, %d legacy files migrated\n",
 			rec.TruncatedTails, rec.QuarantinedFiles, rec.MigratedLegacy)
 	}
+	policy, err := parsePolicy(*policyName, *classWeights)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	est, err := parseEstimator(*estName)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if *ledgerBound < 0 {
+		return errors.New("serve: -ledger-bound must be >= 0")
+	}
 	cfg := peer.Config{
 		Identity:           id,
 		Store:              st,
 		UploadBytesPerSec:  *upload,
+		Allocator:          policy,
+		Estimator:          est,
+		LedgerBound:        *ledgerBound,
 		LedgerPath:         *ledgerPath,
 		CheckpointInterval: *ckptEvery,
 		CapacityBytes:      *capacity,
@@ -236,6 +325,11 @@ func cmdServe(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "peer %s serving on %s (store %s)\n", id.Fingerprint(), node.Addr(), *storeDir)
+	ledgerKind := "exact pairwise ledger"
+	if *ledgerBound > 0 {
+		ledgerKind = fmt.Sprintf("bounded ledger (%d tracked)", *ledgerBound)
+	}
+	fmt.Fprintf(out, "allocation: policy %s, estimator %s, %s\n", *policyName, *estName, ledgerKind)
 	if msrv != nil {
 		fmt.Fprintf(out, "metrics on http://%s/metrics (expvar at /debug/vars)\n", msrv.Addr())
 	}

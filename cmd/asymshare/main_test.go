@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"asymshare/internal/auth"
+	"asymshare/internal/fairshare"
 	"asymshare/internal/peer"
 	"asymshare/internal/store"
 )
@@ -189,5 +190,57 @@ func TestFetchBadSecretOrHandle(t *testing.T) {
 	}, &discard)
 	if err == nil {
 		t.Error("non-hex secret accepted")
+	}
+}
+
+func TestParsePolicyAndEstimator(t *testing.T) {
+	for name, want := range map[string]fairshare.Allocator{
+		"eq2":     fairshare.PairwiseProportional{},
+		"eq3":     fairshare.GlobalProportional{},
+		"equal":   fairshare.EqualSplit{},
+		"bci":     fairshare.BiasedContribution{},
+		"classes": fairshare.Classes{},
+	} {
+		got, err := parsePolicy(name, "")
+		if err != nil {
+			t.Errorf("parsePolicy(%q) error: %v", name, err)
+			continue
+		}
+		if fairshare.PolicyName(got) != fairshare.PolicyName(want) {
+			t.Errorf("parsePolicy(%q) = %T, want %T", name, got, want)
+		}
+	}
+	if _, err := parsePolicy("nope", ""); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := parsePolicy("eq2", "1:2"); err == nil {
+		t.Error("-class-weights accepted without -policy classes")
+	}
+
+	p, err := parsePolicy("classes", "1:2, 3:0.5")
+	if err != nil {
+		t.Fatalf("class weights: %v", err)
+	}
+	cl := p.(fairshare.Classes)
+	if cl.Weights[1] != 2 || cl.Weights[3] != 0.5 {
+		t.Errorf("weights = %v", cl.Weights)
+	}
+	for _, bad := range []string{"1", "x:2", "1:y", "999:2"} {
+		if _, err := parsePolicy("classes", bad); err == nil {
+			t.Errorf("malformed -class-weights %q accepted", bad)
+		}
+	}
+
+	if est, err := parseEstimator("off"); err != nil || est != nil {
+		t.Errorf("off = (%v, %v), want nil estimator", est, err)
+	}
+	if est, err := parseEstimator("ewma"); err != nil || est == nil {
+		t.Errorf("ewma = (%v, %v)", est, err)
+	}
+	if est, err := parseEstimator("probe"); err != nil || est == nil {
+		t.Errorf("probe = (%v, %v)", est, err)
+	}
+	if _, err := parseEstimator("nope"); err == nil {
+		t.Error("unknown estimator accepted")
 	}
 }

@@ -203,14 +203,14 @@ func cmdAuditDemo(args []string, out io.Writer) error {
 	for i, fp := range fps {
 		requesters[i] = fp
 	}
-	shares := fairshare.PairwiseProportional{}.Allocate(100, requesters, home.Ledger())
+	shares := fairshare.PairwiseProportional{}.Allocate(fairshare.NewRequest(100, requesters, home.Ledger()))
 	fmt.Fprintln(out, "allocation of the owner's peer upload after audits:")
 	for i, fp := range fps {
 		role := "honest"
 		if i == dropperIdx {
 			role = "DROPPER"
 		}
-		fmt.Fprintf(out, "  %s (%s): %.1f%%\n", fp, role, shares[fp])
+		fmt.Fprintf(out, "  %s (%s): %.1f%%\n", fp, role, shares[i].Rate)
 	}
 	return nil
 }

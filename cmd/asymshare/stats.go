@@ -191,11 +191,25 @@ var statsSections = map[string]string{
 	"repair":    "proactive repair (owner daemon)",
 }
 
+// statsSubSections splits large subsystems on a two-segment prefix —
+// longest prefix wins, so fairshare_estimate_* gets its own heading
+// while the remaining fairshare_* families stay together.
+var statsSubSections = map[string]string{
+	"fairshare_estimate": "capacity estimation",
+	"fairshare_policy":   "allocation policy",
+	"fairshare_ledger":   "bounded ledger",
+}
+
 // statsSection maps a family name to its section heading.
 func statsSection(name string) string {
 	prefix := name
 	if i := strings.IndexByte(name, '_'); i > 0 {
 		prefix = name[:i]
+		if j := strings.IndexByte(name[i+1:], '_'); j > 0 {
+			if title, ok := statsSubSections[name[:i+1+j]]; ok {
+				return title
+			}
+		}
 	}
 	if title, ok := statsSections[prefix]; ok {
 		return title

@@ -97,3 +97,20 @@ func TestParseSampleLine(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsSection(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"peer_served_bytes_total", "peer node"},
+		{"fairshare_credit_events_total", "fairness ledger & allocator"},
+		{"fairshare_estimate_bytes_per_second", "capacity estimation"},
+		{"fairshare_policy_eq2_allocs_total", "allocation policy"},
+		{"fairshare_ledger_entries", "bounded ledger"},
+		{"mystery_thing_total", "mystery"},
+		{"bare", "bare"},
+	}
+	for _, c := range cases {
+		if got := statsSection(c.name); got != c.want {
+			t.Errorf("statsSection(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -165,7 +165,7 @@ func e2eAllocate(home *peer.Node, peers []*e2ePeer) map[fairshare.ID]float64 {
 	for i, p := range peers {
 		requesters[i] = p.fp
 	}
-	return fairshare.PairwiseProportional{}.Allocate(90, requesters, home.Ledger())
+	return fairshare.PairwiseProportional{}.Allocate(fairshare.NewRequest(90, requesters, home.Ledger())).Map()
 }
 
 func TestE2EDroppingPeerFailsAuditsAndLosesAllocation(t *testing.T) {

@@ -1,0 +1,234 @@
+// Package estimate infers a peer's real upload capacity online from
+// observed transfers, so the allocation rule (fairshare, Eq. 2) can
+// divide measured bandwidth instead of a statically configured number
+// (following Andreica & Tapus, "Efficient Upload Bandwidth Estimation
+// and Communication Resource Allocation" — see PAPERS.md).
+//
+// The wire layer feeds each estimator Samples: how many bytes one
+// socket flush moved and how long the flush took. Crucially these
+// time the *drain rate of the link*, not the token-bucket-shaped
+// application rate — a stream granted 10 KB/s by the allocator still
+// drains its batches at full link speed, so the samples see capacity
+// even while the policy is withholding it. Small flushes ride buffers
+// and overestimate wildly; callers aggregate writes into trains of at
+// least MinTrainBytes before emitting a sample (see peer.Node).
+//
+// Two estimators are provided: History, an EWMA-smoothed percentile
+// over a sliding window (robust to cross-traffic dips), and Probe, a
+// packet-train analogue that takes the window maximum (converges
+// fastest, trusts the single cleanest train). Both are safe for
+// concurrent use and answer 0 until they have enough samples.
+package estimate
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// MinTrainBytes is the smallest transfer callers should aggregate
+// before emitting one Sample. Below this, socket and shaper burst
+// buffers (64 KiB order) dominate the timing and the rate reads high.
+const MinTrainBytes = 1 << 20
+
+// Sample is one observed transfer: Bytes moved in Duration.
+type Sample struct {
+	Bytes    int64
+	Duration time.Duration
+}
+
+// rate returns the sample's bytes/second, or 0 if it is unusable.
+func (s Sample) rate() float64 {
+	if s.Bytes <= 0 || s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / s.Duration.Seconds()
+}
+
+// Estimator consumes transfer samples and answers the current upload
+// capacity estimate in bytes/second, 0 while still warming up.
+type Estimator interface {
+	Observe(s Sample)
+	Estimate() float64
+}
+
+// DefaultWindow is the sliding-window length (samples) used when a
+// constructor is given a non-positive window.
+const DefaultWindow = 32
+
+// DefaultPercentile is History's default window percentile.
+const DefaultPercentile = 0.9
+
+// DefaultAlpha is History's default EWMA smoothing weight for a new
+// window percentile.
+const DefaultAlpha = 0.25
+
+// minSamples is how many samples an estimator wants before answering;
+// a single flush timing is too noisy to steer allocation.
+const minSamples = 3
+
+// window is a fixed-size ring of sample rates.
+type window struct {
+	rates []float64
+	next  int
+	full  bool
+}
+
+func newWindow(n int) window {
+	if n <= 0 {
+		n = DefaultWindow
+	}
+	return window{rates: make([]float64, n)}
+}
+
+func (w *window) push(r float64) {
+	w.rates[w.next] = r
+	w.next++
+	if w.next == len(w.rates) {
+		w.next, w.full = 0, true
+	}
+}
+
+func (w *window) len() int {
+	if w.full {
+		return len(w.rates)
+	}
+	return w.next
+}
+
+// snapshot appends the live rates to buf.
+func (w *window) snapshot(buf []float64) []float64 {
+	return append(buf, w.rates[:w.len()]...)
+}
+
+// History estimates capacity as an EWMA-smoothed percentile of the
+// sample-rate window: the percentile discards the slow tail (flushes
+// that lost the link to cross-traffic) without chasing the single
+// fastest outlier, and the EWMA keeps the answer from jumping when one
+// sample rotates out of the window. Create with NewHistory.
+type History struct {
+	mu   sync.Mutex
+	win  window
+	pct  float64
+	a    float64
+	ewma float64
+	seen int
+	buf  []float64
+}
+
+var _ Estimator = (*History)(nil)
+
+// NewHistory returns a History over the last `win` samples (DefaultWindow
+// if <= 0) answering the pct percentile (DefaultPercentile if outside
+// (0, 1]).
+func NewHistory(win int, pct float64) *History {
+	if pct <= 0 || pct > 1 {
+		pct = DefaultPercentile
+	}
+	return &History{win: newWindow(win), pct: pct, a: DefaultAlpha}
+}
+
+// Observe implements Estimator.
+func (h *History) Observe(s Sample) {
+	r := s.rate()
+	if r <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.win.push(r)
+	h.seen++
+	h.buf = h.win.snapshot(h.buf[:0])
+	sort.Float64s(h.buf)
+	idx := int(h.pct*float64(len(h.buf))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	p := h.buf[idx]
+	if h.ewma == 0 {
+		h.ewma = p
+		return
+	}
+	h.ewma += h.a * (p - h.ewma)
+}
+
+// Estimate implements Estimator.
+func (h *History) Estimate() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seen < minSamples {
+		return 0
+	}
+	return h.ewma
+}
+
+// Probe is the packet-train estimator: capacity is the fastest train
+// in the window. A train that was timed cleanly (no scheduling stall,
+// no competing flush) drains at exactly the link rate, and every form
+// of interference only makes trains *slower* — so the maximum is the
+// best single observation of capacity. Create with NewProbe.
+type Probe struct {
+	mu   sync.Mutex
+	win  window
+	min  int64
+	seen int
+}
+
+var _ Estimator = (*Probe)(nil)
+
+// NewProbe returns a Probe over the last `win` qualifying samples
+// (DefaultWindow if <= 0). Samples smaller than minBytes are ignored
+// as too short to time (MinTrainBytes if <= 0).
+func NewProbe(win int, minBytes int64) *Probe {
+	if minBytes <= 0 {
+		minBytes = MinTrainBytes
+	}
+	return &Probe{win: newWindow(win), min: minBytes}
+}
+
+// Observe implements Estimator.
+func (p *Probe) Observe(s Sample) {
+	if s.Bytes < p.min {
+		return
+	}
+	r := s.rate()
+	if r <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.win.push(r)
+	p.seen++
+	p.mu.Unlock()
+}
+
+// Estimate implements Estimator.
+func (p *Probe) Estimate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen < minSamples {
+		return 0
+	}
+	var max float64
+	for _, r := range p.win.rates[:p.win.len()] {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Clamp bounds an estimate to [min, max]; non-positive bounds are
+// ignored, and a zero (warming-up) estimate passes through unchanged
+// so callers can distinguish "unknown" from "slow".
+func Clamp(est, min, max float64) float64 {
+	if est <= 0 {
+		return 0
+	}
+	if min > 0 && est < min {
+		est = min
+	}
+	if max > 0 && est > max {
+		est = max
+	}
+	return est
+}

@@ -1,0 +1,46 @@
+package estimate
+
+import "asymshare/internal/metrics"
+
+// Estimator metric names (see DESIGN.md §7). Named under the
+// fairshare_ prefix because the estimate exists to feed the fairshare
+// allocator's capacity input.
+const (
+	MetricEstimateRate       = "fairshare_estimate_bytes_per_second"
+	MetricEstimateSamples    = "fairshare_estimate_samples_total"
+	MetricEstimateSampleRate = "fairshare_estimate_sample_rate"
+)
+
+// instrumented wraps an Estimator with sample/estimate metrics.
+type instrumented struct {
+	inner   Estimator
+	rate    *metrics.Gauge
+	samples *metrics.Counter
+	last    *metrics.Gauge
+}
+
+// Instrument returns an Estimator that publishes its sample count,
+// last raw sample rate, and current estimate into reg. With a nil
+// registry or nil inner estimator the input is returned unchanged.
+func Instrument(inner Estimator, reg *metrics.Registry) Estimator {
+	if inner == nil || reg == nil {
+		return inner
+	}
+	return &instrumented{
+		inner:   inner,
+		rate:    reg.Gauge(MetricEstimateRate, "Current upload capacity estimate."),
+		samples: reg.Counter(MetricEstimateSamples, "Transfer samples fed to the capacity estimator."),
+		last:    reg.Gauge(MetricEstimateSampleRate, "Rate of the last transfer sample observed."),
+	}
+}
+
+// Observe implements Estimator.
+func (i *instrumented) Observe(s Sample) {
+	i.inner.Observe(s)
+	i.samples.Inc()
+	i.last.Set(s.rate())
+	i.rate.Set(i.inner.Estimate())
+}
+
+// Estimate implements Estimator.
+func (i *instrumented) Estimate() float64 { return i.inner.Estimate() }

@@ -4,19 +4,235 @@ package fairshare
 // peer at a single time slot: given my upload capacity and the set of
 // users currently requesting, how much do I give each of them?
 //
-// Honest peers run PairwiseProportional (Eq. 2). The other policies are
-// the paper's baselines and the adversarial strategies evaluated in
-// Sec. V: Theorem 1 guarantees an honest user's payoff no matter which
-// of these the other peers run.
+// The seam is request/response: the caller builds an AllocRequest
+// carrying the (possibly estimated) capacity, the requesters with
+// per-requester context (service class, demand cap, bandwidth already
+// taken), and a read-only LedgerView; the policy returns Grants — one
+// typed Grant per requester, in request order. Policies never see a
+// mutable ledger and callers never alias a policy-owned map: the
+// Grants slice is the caller's (req.Scratch is reused when provided),
+// so a realloc tick on the peer hot path runs without allocating.
+//
+// Honest peers run PairwiseProportional (Eq. 2). The other policies
+// are the paper's baselines, the adversarial strategies of Sec. V, and
+// two post-paper rules: the Biased Contribution Index (Awasthi &
+// Singh) and class-weighted differentiated service (Zhang et al.).
+// Theorem 1 guarantees an honest user's payoff no matter which of
+// these the other peers run.
+
+// LedgerView is the read-only standing a policy may consult: the
+// cumulative bandwidth this peer has received from a counterpart.
+// Both the exact pairwise Ledger and the bounded ShardedLedger
+// implement it; policies must not assume either concrete type.
+type LedgerView interface {
+	// Received returns the cumulative amount received from a
+	// counterpart (or the ledger's initial credit for strangers).
+	Received(from ID) float64
+}
+
+// ServiceClass labels a requester's differentiated-service tier. Zero
+// is the default (weight 1) class; higher classes carry whatever
+// weight the Classes policy assigns them.
+type ServiceClass uint8
+
+// Requester is one requesting user plus the per-requester context a
+// policy may weigh.
+type Requester struct {
+	// ID identifies the requester.
+	ID ID
+
+	// Class is the requester's service tier (used by Classes).
+	Class ServiceClass
+
+	// Demand caps the useful rate for this requester this tick, in
+	// capacity units; 0 means unbounded. Capacity freed by a demand
+	// cap is re-divided among the remaining requesters (water-fill).
+	Demand float64
+
+	// Taken is the cumulative bandwidth this peer has already granted
+	// the requester (used by BiasedContribution). Callers that do not
+	// track it leave it zero.
+	Taken float64
+}
+
+// AllocRequest carries one allocation decision's inputs.
+type AllocRequest struct {
+	// Capacity is the upload capacity to divide — configured, or
+	// replaced each tick by an online estimate (internal/estimate).
+	Capacity float64
+
+	// Requesters are the users requesting this tick.
+	Requesters []Requester
+
+	// Ledger is the read-only receipt standing. May be nil for
+	// policies that do not consult it.
+	Ledger LedgerView
+
+	// Scratch, when non-nil, is reused as the backing array of the
+	// returned Grants, so steady-state reallocation allocates nothing.
+	Scratch Grants
+}
+
+// NewRequest builds an AllocRequest from bare requester IDs — the
+// convenience constructor for tests and tools that carry no
+// per-requester context.
+func NewRequest(capacity float64, ids []ID, view LedgerView) AllocRequest {
+	rs := make([]Requester, len(ids))
+	for i, id := range ids {
+		rs[i] = Requester{ID: id}
+	}
+	return AllocRequest{Capacity: capacity, Requesters: rs, Ledger: view}
+}
+
+// grants returns the output buffer for this request: the caller's
+// scratch when provided, a fresh slice otherwise.
+func (r AllocRequest) grants() Grants {
+	if r.Scratch != nil {
+		return r.Scratch[:0]
+	}
+	return make(Grants, 0, len(r.Requesters))
+}
+
+// zeroView is the LedgerView used when the request carries none.
+type zeroView struct{}
+
+func (zeroView) Received(ID) float64 { return 0 }
+
+// view returns the request's ledger, or an all-zero view.
+func (r AllocRequest) view() LedgerView {
+	if r.Ledger == nil {
+		return zeroView{}
+	}
+	return r.Ledger
+}
+
+// Grant is the bandwidth granted to one requester.
+type Grant struct {
+	ID   ID
+	Rate float64
+}
+
+// Grants is an allocation: exactly one Grant per requester of the
+// originating request, in request order (zero-rate entries included,
+// so callers can range-align grants with requesters).
+type Grants []Grant
+
+// Total returns the total bandwidth granted — the successor of the
+// old map-based Sum.
+func (g Grants) Total() float64 {
+	var s float64
+	for _, e := range g {
+		s += e.Rate
+	}
+	return s
+}
+
+// Rate returns the bandwidth granted to id (0 when absent). Linear
+// scan: grant sets are small on any one peer's tick.
+func (g Grants) Rate(id ID) float64 {
+	for _, e := range g {
+		if e.ID == id {
+			return e.Rate
+		}
+	}
+	return 0
+}
+
+// Map renders the grants as a fresh map — a convenience for tests and
+// legacy call shapes, never an alias of policy-internal state.
+func (g Grants) Map() map[ID]float64 {
+	out := make(map[ID]float64, len(g))
+	for _, e := range g {
+		out[e.ID] = e.Rate
+	}
+	return out
+}
 
 // Allocator divides a peer's upload capacity among requesting users.
-// Implementations must return non-negative shares summing to at most
-// capacity (exactly capacity when requesters is non-empty, unless the
-// policy deliberately withholds bandwidth).
+// Implementations must return one non-negative Grant per requester in
+// request order, summing to at most req.Capacity — and to exactly
+// req.Capacity when requesters are present and no Demand cap binds,
+// unless the policy deliberately withholds bandwidth.
 type Allocator interface {
-	// Allocate returns the bandwidth granted to each requester. ledger
-	// is the allocating peer's local receipt ledger.
-	Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64
+	Allocate(req AllocRequest) Grants
+}
+
+// distributeWeights rescales out — whose Rate fields hold non-negative
+// weights on entry, parallel to rs — into rates proportional to weight
+// summing to capacity. Per-requester Demand caps are honored by
+// water-filling: a requester whose proportional share exceeds its
+// demand is frozen at the demand and the freed capacity re-divides
+// among the rest. A non-positive total weight grants nothing (callers
+// wanting an equal-split fallback preload equal weights). The
+// no-demand fast path does not allocate.
+func distributeWeights(capacity float64, rs []Requester, out Grants) Grants {
+	var totalW float64
+	demand := false
+	for i := range out {
+		if out[i].Rate < 0 {
+			out[i].Rate = 0
+		}
+		totalW += out[i].Rate
+		if rs[i].Demand > 0 {
+			demand = true
+		}
+	}
+	if capacity <= 0 || totalW <= 0 {
+		for i := range out {
+			out[i].Rate = 0
+		}
+		return out
+	}
+	if !demand {
+		// Divide before multiplying: the ratio is <= 1, so the product
+		// cannot overflow even at extreme capacities or weights.
+		for i := range out {
+			out[i].Rate = capacity * (out[i].Rate / totalW)
+		}
+		return out
+	}
+	// Water-fill. frozen[i] marks entries pinned at their demand cap.
+	frozen := make([]bool, len(out))
+	remaining, activeW := capacity, totalW
+	for froze := true; froze; {
+		froze = false
+		for i := range out {
+			if frozen[i] || out[i].Rate <= 0 {
+				continue
+			}
+			d := rs[i].Demand
+			if d <= 0 {
+				continue
+			}
+			if share := remaining * (out[i].Rate / activeW); share >= d {
+				frozen[i] = true
+				remaining -= d
+				activeW -= out[i].Rate
+				froze = true
+			}
+		}
+		if activeW <= 0 || remaining <= 0 {
+			break
+		}
+	}
+	for i := range out {
+		switch {
+		case frozen[i]:
+			out[i].Rate = rs[i].Demand
+		case activeW > 0 && remaining > 0:
+			// activeW is maintained by subtraction, so rounding can push
+			// a ratio epsilon past 1; clamp so the share never exceeds
+			// the remaining capacity (or overflows).
+			ratio := out[i].Rate / activeW
+			if ratio > 1 {
+				ratio = 1
+			}
+			out[i].Rate = remaining * ratio
+		default:
+			out[i].Rate = 0
+		}
+	}
+	return out
 }
 
 // PairwiseProportional is the paper's proposed rule (Eq. 2): shares
@@ -27,30 +243,23 @@ type PairwiseProportional struct{}
 var _ Allocator = PairwiseProportional{}
 
 // Allocate implements Allocator.
-func (PairwiseProportional) Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64 {
-	out := make(map[ID]float64, len(requesters))
-	if capacity <= 0 || len(requesters) == 0 {
-		return out
-	}
-	weights := make([]float64, len(requesters))
+func (PairwiseProportional) Allocate(req AllocRequest) Grants {
+	out := req.grants()
+	view := req.view()
 	var total float64
-	for i, r := range requesters {
-		weights[i] = ledger.Received(r)
-		total += weights[i]
+	for _, r := range req.Requesters {
+		total += view.Received(r.ID)
 	}
-	if total <= 0 {
-		// No requester has ever contributed and the initial credit is
-		// zero: an even split bootstraps the system.
-		share := capacity / float64(len(requesters))
-		for _, r := range requesters {
-			out[r] = share
+	for _, r := range req.Requesters {
+		w := 1.0
+		if total > 0 {
+			w = view.Received(r.ID)
 		}
-		return out
+		// No requester has ever contributed and the initial credit is
+		// zero: equal weights bootstrap the system.
+		out = append(out, Grant{ID: r.ID, Rate: w})
 	}
-	for i, r := range requesters {
-		out[r] = capacity * weights[i] / total
-	}
-	return out
+	return distributeWeights(req.Capacity, req.Requesters, out)
 }
 
 // GlobalProportional is the motivating rule of Sec. IV-B (Eq. 3,
@@ -67,26 +276,20 @@ type GlobalProportional struct {
 var _ Allocator = GlobalProportional{}
 
 // Allocate implements Allocator.
-func (g GlobalProportional) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
-	out := make(map[ID]float64, len(requesters))
-	if capacity <= 0 || len(requesters) == 0 {
-		return out
-	}
+func (g GlobalProportional) Allocate(req AllocRequest) Grants {
+	out := req.grants()
 	var total float64
-	for _, r := range requesters {
-		total += g.DeclaredUpload[r]
+	for _, r := range req.Requesters {
+		total += g.DeclaredUpload[r.ID]
 	}
-	if total <= 0 {
-		share := capacity / float64(len(requesters))
-		for _, r := range requesters {
-			out[r] = share
+	for _, r := range req.Requesters {
+		w := 1.0
+		if total > 0 {
+			w = g.DeclaredUpload[r.ID]
 		}
-		return out
+		out = append(out, Grant{ID: r.ID, Rate: w})
 	}
-	for _, r := range requesters {
-		out[r] = capacity * g.DeclaredUpload[r] / total
-	}
-	return out
+	return distributeWeights(req.Capacity, req.Requesters, out)
 }
 
 // EqualSplit divides capacity evenly among requesters regardless of
@@ -96,16 +299,12 @@ type EqualSplit struct{}
 var _ Allocator = EqualSplit{}
 
 // Allocate implements Allocator.
-func (EqualSplit) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
-	out := make(map[ID]float64, len(requesters))
-	if capacity <= 0 || len(requesters) == 0 {
-		return out
+func (EqualSplit) Allocate(req AllocRequest) Grants {
+	out := req.grants()
+	for _, r := range req.Requesters {
+		out = append(out, Grant{ID: r.ID, Rate: 1})
 	}
-	share := capacity / float64(len(requesters))
-	for _, r := range requesters {
-		out[r] = share
-	}
-	return out
+	return distributeWeights(req.Capacity, req.Requesters, out)
 }
 
 // Withhold contributes nothing — the freeloading strategy. (A peer can
@@ -116,8 +315,12 @@ type Withhold struct{}
 var _ Allocator = Withhold{}
 
 // Allocate implements Allocator.
-func (Withhold) Allocate(float64, []ID, *Ledger) map[ID]float64 {
-	return map[ID]float64{}
+func (Withhold) Allocate(req AllocRequest) Grants {
+	out := req.grants()
+	for _, r := range req.Requesters {
+		out = append(out, Grant{ID: r.ID})
+	}
+	return out
 }
 
 // Favor serves only a fixed coalition, splitting capacity evenly among
@@ -130,32 +333,14 @@ type Favor struct {
 var _ Allocator = Favor{}
 
 // Allocate implements Allocator.
-func (f Favor) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
-	out := make(map[ID]float64, len(requesters))
-	if capacity <= 0 {
-		return out
-	}
-	var members []ID
-	for _, r := range requesters {
-		if f.Members[r] {
-			members = append(members, r)
+func (f Favor) Allocate(req AllocRequest) Grants {
+	out := req.grants()
+	for _, r := range req.Requesters {
+		w := 0.0
+		if f.Members[r.ID] {
+			w = 1
 		}
+		out = append(out, Grant{ID: r.ID, Rate: w})
 	}
-	if len(members) == 0 {
-		return out
-	}
-	share := capacity / float64(len(members))
-	for _, r := range members {
-		out[r] = share
-	}
-	return out
-}
-
-// Sum returns the total bandwidth granted by an allocation.
-func Sum(alloc map[ID]float64) float64 {
-	var s float64
-	for _, v := range alloc {
-		s += v
-	}
-	return s
+	return distributeWeights(req.Capacity, req.Requesters, out)
 }

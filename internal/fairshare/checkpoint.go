@@ -37,8 +37,8 @@ const (
 
 // CheckpointConfig configures a Checkpointer.
 type CheckpointConfig struct {
-	// Ledger is the ledger to persist. Required.
-	Ledger *Ledger
+	// Ledger is the book to persist — either ledger kind. Required.
+	Ledger Book
 
 	// Path is the primary slot; the secondary is Path + ".1".
 	Path string
@@ -61,7 +61,7 @@ type CheckpointConfig struct {
 // Checkpointer periodically saves a ledger with alternating dual-slot
 // writes. Create with NewCheckpointer; drive with Run and/or Checkpoint.
 type Checkpointer struct {
-	ledger   *Ledger
+	ledger   Book
 	path     string
 	interval time.Duration
 	fsys     fsx.FS
@@ -175,16 +175,39 @@ type LedgerRecovery struct {
 	CorruptSlots int
 }
 
-// RecoverLedger loads the newest valid checkpoint from the dual slots
-// of path. Damage is absorbed: if both slots are corrupt the node
-// restarts with a fresh ledger (initial credit only) rather than
-// refusing to boot, and the damage is reported in LedgerRecovery.
+// RecoverLedger loads the newest valid exact-pairwise checkpoint from
+// the dual slots of path. Damage is absorbed: if both slots are
+// corrupt the node restarts with a fresh ledger (initial credit only)
+// rather than refusing to boot, and the damage is reported in
+// LedgerRecovery.
 func RecoverLedger(fsys fsx.FS, path string, initial float64) (*Ledger, LedgerRecovery, error) {
+	b, rec, err := RecoverBook(fsys, path, initial, 0)
+	if err != nil {
+		return nil, rec, err
+	}
+	l, ok := b.(*Ledger)
+	if !ok {
+		// A bounded (version-2) checkpoint on disk: counted as corrupt
+		// for this legacy entry point, fresh ledger wins.
+		rec = LedgerRecovery{CorruptSlots: rec.CorruptSlots + 1}
+		return NewLedger(initial), rec, nil
+	}
+	return l, rec, nil
+}
+
+// RecoverBook loads the newest valid checkpoint from the dual slots of
+// path, rebuilding whichever ledger kind the document (or the bound
+// argument) calls for. A positive bound requests the bounded kind: a
+// fresh ShardedLedger on first boot, and migration of any legacy
+// pairwise checkpoint found on disk. bound <= 0 preserves the
+// checkpoint's own kind, defaulting to the exact pairwise ledger on
+// first boot. Damage is absorbed as in RecoverLedger.
+func RecoverBook(fsys fsx.FS, path string, initial float64, bound int) (Book, LedgerRecovery, error) {
 	if fsys == nil {
 		fsys = fsx.OS
 	}
 	var (
-		best    *Ledger
+		best    Book
 		rec     LedgerRecovery
 		bestGen uint64
 	)
@@ -204,16 +227,19 @@ func RecoverLedger(fsys fsx.FS, path string, initial float64) (*Ledger, LedgerRe
 			rec.CorruptSlots++
 			continue
 		}
-		l, err := ledgerFromDoc(doc)
+		b, err := bookFromDoc(doc, bound)
 		if err != nil {
 			rec.CorruptSlots++
 			continue
 		}
 		if best == nil || doc.Gen > bestGen {
-			best, bestGen = l, doc.Gen
+			best, bestGen = b, doc.Gen
 		}
 	}
 	if best == nil {
+		if bound > 0 {
+			return NewShardedLedger(initial, bound), rec, nil
+		}
 		return NewLedger(initial), rec, nil
 	}
 	rec.Gen = bestGen

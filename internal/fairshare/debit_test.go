@@ -53,14 +53,14 @@ func TestLedgerDebitShrinksAllocation(t *testing.T) {
 	l := NewLedger(0)
 	l.Credit("honest", 100)
 	l.Credit("cheat", 100)
-	before := PairwiseProportional{}.Allocate(1000, []ID{"honest", "cheat"}, l)
-	if before["cheat"] != before["honest"] {
+	before := PairwiseProportional{}.Allocate(NewRequest(1000, []ID{"honest", "cheat"}, l))
+	if before.Rate("cheat") != before.Rate("honest") {
 		t.Fatalf("equal standings allocated unequally: %v", before)
 	}
 	l.Debit("cheat", 90)
-	after := PairwiseProportional{}.Allocate(1000, []ID{"honest", "cheat"}, l)
-	if after["cheat"] >= after["honest"]/5 {
-		t.Errorf("debited peer still gets %v of honest %v", after["cheat"], after["honest"])
+	after := PairwiseProportional{}.Allocate(NewRequest(1000, []ID{"honest", "cheat"}, l))
+	if after.Rate("cheat") >= after.Rate("honest")/5 {
+		t.Errorf("debited peer still gets %v of honest %v", after.Rate("cheat"), after.Rate("honest"))
 	}
 }
 

@@ -14,12 +14,12 @@ func Example() {
 	ledger.Credit("alice", 300) // alice has served this peer 300 units
 	ledger.Credit("bob", 100)
 
-	alloc := fairshare.PairwiseProportional{}.Allocate(
+	alloc := fairshare.PairwiseProportional{}.Allocate(fairshare.NewRequest(
 		1000,                           // this peer's upload capacity
 		[]fairshare.ID{"alice", "bob"}, // who is requesting right now
 		ledger,
-	)
-	fmt.Printf("alice: %.0f\nbob: %.0f\n", alloc["alice"], alloc["bob"])
+	))
+	fmt.Printf("alice: %.0f\nbob: %.0f\n", alloc.Rate("alice"), alloc.Rate("bob"))
 	// Output:
 	// alice: 750
 	// bob: 250
@@ -36,8 +36,8 @@ func ExampleGlobalProportional() {
 		DeclaredUpload: map[fairshare.ID]float64{"alice": 500, "bob": 500000},
 	}
 	requesters := []fairshare.ID{"alice", "bob"}
-	fmt.Printf("honest bob: %.0f\n", honest.Allocate(1000, requesters, nil)["bob"])
-	fmt.Printf("lying bob:  %.0f\n", liar.Allocate(1000, requesters, nil)["bob"])
+	fmt.Printf("honest bob: %.0f\n", honest.Allocate(fairshare.NewRequest(1000, requesters, nil)).Rate("bob"))
+	fmt.Printf("lying bob:  %.0f\n", liar.Allocate(fairshare.NewRequest(1000, requesters, nil)).Rate("bob"))
 	// Output:
 	// honest bob: 500
 	// lying bob:  999

@@ -24,6 +24,37 @@ import (
 // names; in the real node they are public-key fingerprints.
 type ID = string
 
+// Book is the mutable receipt-ledger seam: everything a node needs to
+// keep standing with its counterparts. Two implementations exist — the
+// exact pairwise Ledger (O(peers ever seen) state, the paper's R_i),
+// and the bounded ShardedLedger (top-K heavy hitters plus a decayed
+// aggregate tail). The interface is sealed to this package via the
+// unexported marshal/instrument methods, because checkpointing needs a
+// stable serialized form per implementation.
+type Book interface {
+	LedgerView
+	Credit(from ID, amount float64)
+	Debit(from ID, amount float64)
+	Decay(factor float64)
+	Rev() uint64
+	Snapshot() map[ID]float64
+	Total() float64
+
+	// marshal renders the book with an explicit checkpoint generation.
+	marshal(gen uint64) ([]byte, error)
+	// instrument attaches credit/debit metrics.
+	instrument(reg *metrics.Registry)
+}
+
+// InstrumentBook attaches credit/debit metrics to either ledger kind.
+// Safe with a nil registry or nil book; returns the book for chaining.
+func InstrumentBook(b Book, reg *metrics.Registry) Book {
+	if b != nil {
+		b.instrument(reg)
+	}
+	return b
+}
+
 // DefaultInitialCredit is the "arbitrary small positive initial value"
 // of Eq. (2) seeding every pairwise ledger entry so the system can
 // bootstrap.
@@ -62,6 +93,11 @@ func (l *Ledger) Instrument(reg *metrics.Registry) *Ledger {
 	l.debitedUnits = reg.Gauge(MetricDebitedUnits, "Cumulative ledger units debited (audit penalties).")
 	return l
 }
+
+// instrument implements Book.
+func (l *Ledger) instrument(reg *metrics.Registry) { l.Instrument(reg) }
+
+var _ Book = (*Ledger)(nil)
 
 // NewLedger returns a ledger whose unseen counterparts start with the
 // given initial credit (use DefaultInitialCredit unless testing

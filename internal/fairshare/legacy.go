@@ -1,0 +1,64 @@
+package fairshare
+
+// Deprecated map-based allocation API, kept so out-of-tree callers of
+// the pre-redesign seam keep compiling. New code builds an
+// AllocRequest and consumes Grants directly.
+
+// LegacyAllocator is the pre-redesign allocation interface.
+//
+// Deprecated: implement Allocator (AllocRequest/Grants) instead.
+type LegacyAllocator interface {
+	Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64
+}
+
+// legacyAdapter bridges a LegacyAllocator onto the new seam.
+type legacyAdapter struct{ inner LegacyAllocator }
+
+// WrapLegacy adapts an old map-returning allocator to the Allocator
+// interface. Per-requester context (Class, Demand, Taken) is invisible
+// to the wrapped policy, and the request's LedgerView must be a
+// *Ledger (any other view is presented to the legacy policy as an
+// empty ledger).
+//
+// Deprecated: migrate the policy to Allocate(AllocRequest) Grants.
+func WrapLegacy(inner LegacyAllocator) Allocator {
+	return legacyAdapter{inner: inner}
+}
+
+// Allocate implements Allocator.
+func (a legacyAdapter) Allocate(req AllocRequest) Grants {
+	ledger, ok := req.Ledger.(*Ledger)
+	if !ok || ledger == nil {
+		ledger = NewLedger(0)
+	}
+	ids := make([]ID, len(req.Requesters))
+	for i, r := range req.Requesters {
+		ids[i] = r.ID
+	}
+	m := a.inner.Allocate(req.Capacity, ids, ledger)
+	out := req.grants()
+	for _, id := range ids {
+		out = append(out, Grant{ID: id, Rate: m[id]})
+	}
+	return out
+}
+
+// AllocateMap runs a new-style policy through the old call shape and
+// returns a fresh map — the one-line migration for call sites that
+// still index shares by ID.
+//
+// Deprecated: build an AllocRequest and use Grants.
+func AllocateMap(a Allocator, capacity float64, requesters []ID, view LedgerView) map[ID]float64 {
+	return a.Allocate(NewRequest(capacity, requesters, view)).Map()
+}
+
+// Sum totals a map-shaped allocation.
+//
+// Deprecated: use Grants.Total.
+func Sum(alloc map[ID]float64) float64 {
+	var s float64
+	for _, v := range alloc {
+		s += v
+	}
+	return s
+}

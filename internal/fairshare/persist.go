@@ -18,12 +18,37 @@ import (
 	"asymshare/internal/fsx"
 )
 
+// Ledger document versions. Version 0 (the field omitted) is the
+// original exact pairwise form; version 2 adds the bounded ledger's
+// bound and aggregate tail. Both remain readable forever.
+const ledgerDocBounded = 2
+
 // ledgerDoc is the serialized form. Gen is the checkpoint generation
-// (see Checkpointer); plain SaveFile writes leave it zero.
+// (see Checkpointer); plain SaveFile writes leave it zero. Bound,
+// TailSum and TailN are meaningful only for version-2 (bounded)
+// documents.
 type ledgerDoc struct {
+	V        int            `json:"v,omitempty"`
 	Initial  float64        `json:"initial"`
 	Received map[ID]float64 `json:"received"`
 	Gen      uint64         `json:"gen,omitempty"`
+	Bound    int            `json:"bound,omitempty"`
+	TailSum  float64        `json:"tail_sum,omitempty"`
+	TailN    uint64         `json:"tail_n,omitempty"`
+}
+
+// bookFromDoc rebuilds whichever ledger kind the document describes. A
+// positive bound forces the bounded kind even for legacy pairwise
+// documents (a node reconfigured with -ledger-bound migrates its
+// checkpoint on first load).
+func bookFromDoc(doc ledgerDoc, bound int) (Book, error) {
+	if doc.V == ledgerDocBounded || bound > 0 {
+		return shardedFromDoc(doc, bound)
+	}
+	if doc.V != 0 {
+		return nil, fmt.Errorf("fairshare: load ledger: unknown version %d", doc.V)
+	}
+	return ledgerFromDoc(doc)
 }
 
 // doc snapshots the ledger into its serialized form.
@@ -37,8 +62,11 @@ func (l *Ledger) doc(gen uint64) ledgerDoc {
 	return doc
 }
 
-// ledgerFromDoc validates and rebuilds a ledger.
+// ledgerFromDoc validates and rebuilds an exact pairwise ledger.
 func ledgerFromDoc(doc ledgerDoc) (*Ledger, error) {
+	if doc.V != 0 {
+		return nil, fmt.Errorf("fairshare: load ledger: version %d document needs a bounded ledger", doc.V)
+	}
 	l := NewLedger(doc.Initial)
 	for id, v := range doc.Received {
 		if v < 0 {

@@ -1,0 +1,354 @@
+package fairshare
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// allPolicies returns every built-in policy over the given IDs, split
+// into those that serve full capacity whenever requesters are present
+// and those that may deliberately withhold.
+func allPolicies(ids []ID) (serving, withholding []Allocator) {
+	serving = []Allocator{
+		PairwiseProportional{},
+		GlobalProportional{DeclaredUpload: map[ID]float64{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}},
+		EqualSplit{},
+		TitForTat{N: 2},
+		BiasedContribution{},
+		BiasedContribution{Beta: 0.5},
+		Classes{Weights: map[ServiceClass]float64{0: 1, 1: 4}},
+	}
+	withholding = []Allocator{
+		Withhold{},
+		Favor{Members: map[ID]bool{"a": true, "c": true}},
+	}
+	return serving, withholding
+}
+
+// checkGrants asserts the Allocator contract for one allocation:
+// one grant per requester in request order, every rate non-negative
+// and finite, total at most capacity — and exactly capacity for
+// serving policies with requesters and capacity present.
+func checkGrants(t *testing.T, req AllocRequest, g Grants, serves bool) bool {
+	t.Helper()
+	if len(g) != len(req.Requesters) {
+		t.Errorf("got %d grants for %d requesters", len(g), len(req.Requesters))
+		return false
+	}
+	var sum float64
+	for i, e := range g {
+		if e.ID != req.Requesters[i].ID {
+			t.Errorf("grant %d is for %q, requester is %q", i, e.ID, req.Requesters[i].ID)
+			return false
+		}
+		if e.Rate < 0 || math.IsNaN(e.Rate) || math.IsInf(e.Rate, 0) {
+			t.Errorf("grant %d rate %v", i, e.Rate)
+			return false
+		}
+		sum += e.Rate
+	}
+	if sum > req.Capacity+1e-6*math.Max(1, req.Capacity) {
+		t.Errorf("granted %v of capacity %v", sum, req.Capacity)
+		return false
+	}
+	if serves && req.Capacity > 0 && len(req.Requesters) > 0 {
+		if math.Abs(sum-req.Capacity) > 1e-6*math.Max(1, req.Capacity) {
+			t.Errorf("serving policy granted %v of capacity %v", sum, req.Capacity)
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllocationConservationProperty drives every policy through
+// randomized capacities, requester subsets, ledger states and
+// per-requester context, asserting the Grants contract each time.
+func TestAllocationConservationProperty(t *testing.T) {
+	ids := []ID{"a", "b", "c", "d", "e"}
+	exact := NewLedger(DefaultInitialCredit)
+	exact.Credit("a", 5)
+	exact.Credit("c", 11)
+	bounded := NewShardedLedger(DefaultInitialCredit, 2)
+	for _, id := range ids {
+		bounded.Credit(id, 3) // overflows the bound: tail in play
+	}
+	serving, withholding := allPolicies(ids)
+
+	prop := func(capRaw uint16, mask, classBits uint8, takenRaw uint16, useBounded bool) bool {
+		capacity := float64(capRaw)
+		var reqs []Requester
+		for i, id := range ids {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			reqs = append(reqs, Requester{
+				ID:    id,
+				Class: ServiceClass(classBits >> (uint(i) % 4) & 1),
+				Taken: float64(takenRaw) * float64(i),
+			})
+		}
+		var view LedgerView = exact
+		if useBounded {
+			view = bounded
+		}
+		req := AllocRequest{Capacity: capacity, Requesters: reqs, Ledger: view}
+		for _, p := range serving {
+			if !checkGrants(t, req, p.Allocate(req), true) {
+				return false
+			}
+		}
+		for _, p := range withholding {
+			if !checkGrants(t, req, p.Allocate(req), false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDemandWaterFill asserts the water-filling contract: a requester
+// never receives more than its demand, freed capacity re-divides, and
+// conservation holds when total demand exceeds capacity.
+func TestDemandWaterFill(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("a", 100)
+	l.Credit("b", 100)
+	l.Credit("c", 200)
+	// Proportional shares of 400 would be 100/100/200; a's demand cap
+	// of 10 frees 90, re-divided 1:2 between b and c.
+	req := AllocRequest{
+		Capacity: 400,
+		Requesters: []Requester{
+			{ID: "a", Demand: 10},
+			{ID: "b"},
+			{ID: "c"},
+		},
+		Ledger: l,
+	}
+	g := PairwiseProportional{}.Allocate(req)
+	if !almostEqual(g.Rate("a"), 10) {
+		t.Errorf("capped requester got %v, want its demand 10", g.Rate("a"))
+	}
+	if !almostEqual(g.Rate("b"), 130) || !almostEqual(g.Rate("c"), 260) {
+		t.Errorf("freed capacity not re-divided 1:2: %v", g)
+	}
+	if !almostEqual(g.Total(), 400) {
+		t.Errorf("Total = %v", g.Total())
+	}
+
+	// Every requester capped below its share: the surplus goes unused
+	// (total < capacity is allowed when demand binds).
+	req2 := AllocRequest{
+		Capacity:   1000,
+		Requesters: []Requester{{ID: "a", Demand: 5}, {ID: "b", Demand: 7}},
+		Ledger:     nil,
+	}
+	g2 := EqualSplit{}.Allocate(req2)
+	if !almostEqual(g2.Rate("a"), 5) || !almostEqual(g2.Rate("b"), 7) {
+		t.Errorf("demand caps not honored: %v", g2)
+	}
+}
+
+// TestDemandWaterFillProperty randomizes demands and asserts the caps
+// and the conservation bound hold for the proportional policies.
+func TestDemandWaterFillProperty(t *testing.T) {
+	ids := []ID{"a", "b", "c", "d"}
+	l := NewLedger(DefaultInitialCredit)
+	l.Credit("a", 2)
+	l.Credit("b", 9)
+	l.Credit("d", 1)
+	prop := func(capRaw uint16, d0, d1, d2, d3 uint8) bool {
+		capacity := float64(capRaw)
+		demands := []float64{float64(d0), float64(d1), float64(d2), float64(d3)}
+		reqs := make([]Requester, len(ids))
+		var total float64
+		for i, id := range ids {
+			reqs[i] = Requester{ID: id, Demand: demands[i]}
+			total += demands[i]
+		}
+		req := AllocRequest{Capacity: capacity, Requesters: reqs, Ledger: l}
+		for _, p := range []Allocator{PairwiseProportional{}, EqualSplit{}, BiasedContribution{}} {
+			g := p.Allocate(req)
+			var sum float64
+			for i, e := range g {
+				if demands[i] > 0 && e.Rate > demands[i]+1e-9 {
+					t.Errorf("grant %v exceeds demand %v", e.Rate, demands[i])
+					return false
+				}
+				if e.Rate < 0 {
+					return false
+				}
+				sum += e.Rate
+			}
+			if sum > capacity+1e-6*math.Max(1, capacity) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScratchReuseNoAlloc is the hot-path gate: with a warm Scratch
+// buffer, PairwiseProportional (and the other proportional policies)
+// allocate nothing per realloc tick.
+func TestScratchReuseNoAlloc(t *testing.T) {
+	l := NewLedger(DefaultInitialCredit)
+	reqs := make([]Requester, 8)
+	for i := range reqs {
+		reqs[i] = Requester{ID: string(rune('a' + i))}
+		l.Credit(reqs[i].ID, float64(i+1))
+	}
+	for _, tc := range []struct {
+		name string
+		p    Allocator
+	}{
+		{"eq2", PairwiseProportional{}},
+		{"equal", EqualSplit{}},
+		{"bci", BiasedContribution{}},
+		{"classes", Classes{}},
+		{"withhold", Withhold{}},
+	} {
+		scratch := make(Grants, 0, len(reqs))
+		req := AllocRequest{Capacity: 1000, Requesters: reqs, Ledger: l, Scratch: scratch}
+		if avg := testing.AllocsPerRun(200, func() {
+			req.Scratch = req.Scratch[:0]
+			req.Scratch = tc.p.Allocate(req)
+		}); avg != 0 {
+			t.Errorf("%s: %v allocs per tick with warm scratch, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestBiasedContributionIndex pins the BCI shape: pure contributors
+// outrank pure consumers, and β biases giving over taking.
+func TestBiasedContributionIndex(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("giver", 100)
+	// "leech" gave nothing and took plenty.
+	req := AllocRequest{
+		Capacity: 100,
+		Requesters: []Requester{
+			{ID: "giver", Taken: 0},
+			{ID: "leech", Taken: 1000},
+		},
+		Ledger: l,
+	}
+	g := BiasedContribution{}.Allocate(req)
+	if g.Rate("giver") < 99 {
+		t.Errorf("pure contributor got %v of 100", g.Rate("giver"))
+	}
+	if g.Rate("leech") > 1 {
+		t.Errorf("pure consumer got %v of 100", g.Rate("leech"))
+	}
+	// A balanced peer (gave as much as it took) scores near 1 with any
+	// β and splits roughly evenly with the pure giver.
+	req.Requesters[1] = Requester{ID: "even", Taken: 80}
+	l.Credit("even", 80)
+	g = BiasedContribution{Beta: DefaultBCIBeta}.Allocate(req)
+	ratio := g.Rate("even") / g.Rate("giver")
+	if ratio < 0.5 || ratio > 1.01 {
+		t.Errorf("balanced/giver ratio = %v, want within [0.5, 1]", ratio)
+	}
+}
+
+// TestClassesWeighting pins differentiated service: same standing,
+// premium class gets proportionally more; free riders starve in every
+// class.
+func TestClassesWeighting(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("basic", 100)
+	l.Credit("premium", 100)
+	cl := Classes{Weights: map[ServiceClass]float64{1: 3}}
+	g := cl.Allocate(AllocRequest{
+		Capacity: 400,
+		Requesters: []Requester{
+			{ID: "basic", Class: 0},
+			{ID: "premium", Class: 1},
+			{ID: "freerider", Class: 1},
+		},
+		Ledger: l,
+	})
+	if !almostEqual(g.Rate("basic"), 100) || !almostEqual(g.Rate("premium"), 300) {
+		t.Errorf("class weighting off: %v", g)
+	}
+	if g.Rate("freerider") != 0 {
+		t.Errorf("free rider got %v despite zero standing", g.Rate("freerider"))
+	}
+	// Bootstrap: nobody has standing — class weights alone divide.
+	g = cl.Allocate(AllocRequest{
+		Capacity:   400,
+		Requesters: []Requester{{ID: "x", Class: 0}, {ID: "y", Class: 1}},
+	})
+	if !almostEqual(g.Rate("x"), 100) || !almostEqual(g.Rate("y"), 300) {
+		t.Errorf("bootstrap class split: %v", g)
+	}
+}
+
+// TestLegacyShim exercises the deprecated adapters both ways.
+func TestLegacyShim(t *testing.T) {
+	l := NewLedger(0)
+	l.Credit("a", 300)
+	l.Credit("b", 100)
+	// New-style policy through the old map call shape.
+	m := AllocateMap(PairwiseProportional{}, 1000, []ID{"a", "b"}, l)
+	if !almostEqual(m["a"], 750) || !almostEqual(m["b"], 250) {
+		t.Errorf("AllocateMap = %v", m)
+	}
+	if !almostEqual(Sum(m), 1000) {
+		t.Errorf("Sum = %v", Sum(m))
+	}
+	// Old-style policy through the new seam.
+	old := legacyEqualSplit{}
+	g := WrapLegacy(old).Allocate(NewRequest(100, []ID{"a", "b"}, l))
+	if !almostEqual(g.Rate("a"), 50) || !almostEqual(g.Rate("b"), 50) {
+		t.Errorf("WrapLegacy = %v", g)
+	}
+	// Non-*Ledger views degrade to an empty ledger rather than panic.
+	g = WrapLegacy(old).Allocate(NewRequest(100, []ID{"a"}, NewShardedLedger(0, 8)))
+	if !almostEqual(g.Total(), 100) {
+		t.Errorf("WrapLegacy with bounded view = %v", g)
+	}
+}
+
+// legacyEqualSplit is an old-signature allocator for shim tests.
+type legacyEqualSplit struct{}
+
+func (legacyEqualSplit) Allocate(capacity float64, requesters []ID, _ *Ledger) map[ID]float64 {
+	out := make(map[ID]float64, len(requesters))
+	if len(requesters) == 0 {
+		return out
+	}
+	for _, id := range requesters {
+		out[id] = capacity / float64(len(requesters))
+	}
+	return out
+}
+
+var _ LegacyAllocator = legacyEqualSplit{}
+
+// TestPolicyName pins the CLI/metrics names.
+func TestPolicyName(t *testing.T) {
+	cases := map[string]Allocator{
+		"eq2":       PairwiseProportional{},
+		"eq3":       GlobalProportional{},
+		"equal":     EqualSplit{},
+		"withhold":  Withhold{},
+		"favor":     Favor{},
+		"titfortat": TitForTat{},
+		"bci":       BiasedContribution{},
+		"classes":   Classes{},
+		"custom":    WrapLegacy(legacyEqualSplit{}),
+	}
+	for want, p := range cases {
+		if got := PolicyName(p); got != want {
+			t.Errorf("PolicyName(%T) = %q, want %q", p, got, want)
+		}
+	}
+}

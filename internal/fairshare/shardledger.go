@@ -1,0 +1,357 @@
+package fairshare
+
+// ShardedLedger is the bounded-memory receipt ledger. The exact
+// pairwise Ledger is O(all peers ever seen) — fatal for a
+// million-requester peer — so this implementation keeps only the top-K
+// standings exactly (hash-sharded maps with a per-shard entry cap) and
+// folds everything it evicts into a decayed aggregate tail, in the
+// spirit of the space-saving heavy-hitter sketches.
+//
+// Eviction picks the shard's minimum entry — the counterpart with the
+// least standing, i.e. the one whose exact value matters least to a
+// proportional allocator — and folds it into the tail. The tail is a
+// conservation reservoir, not a standing oracle: an untracked
+// counterpart always reads the initial credit, exactly like a stranger
+// to the exact Ledger, so a free rider can never inherit evicted
+// standing (tail-mean fallbacks whitewash: anyone not worth tracking
+// would read as an average contributor). The approximation therefore
+// only costs the low end of the distribution: heavy contributors keep
+// exact standing, an evicted light contributor forfeits its remainder
+// to the aggregate and restarts from the initial credit, and total
+// standing (Total = tracked + tail) is conserved exactly across
+// evictions.
+//
+// Memory is bounded by Bound entries regardless of how many distinct
+// requesters appear, and a realloc tick costs O(active requesters):
+// each Received is one shard map lookup.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"asymshare/internal/metrics"
+)
+
+// DefaultLedgerBound is the tracked-entry cap used when a caller asks
+// for a bounded ledger without choosing a bound.
+const DefaultLedgerBound = 4096
+
+// ledgerShardCount is the number of hash shards. Power of two so the
+// shard index is a mask.
+const ledgerShardCount = 16
+
+// Bounded-ledger metric names (see DESIGN.md §7).
+const (
+	MetricLedgerEvictions = "fairshare_ledger_evictions_total"
+	MetricLedgerEntries   = "fairshare_ledger_entries"
+	MetricLedgerTailSum   = "fairshare_ledger_tail_sum"
+)
+
+// ledgerShard is one lock-striped slice of the tracked entries.
+type ledgerShard struct {
+	mu       sync.RWMutex
+	received map[ID]float64
+}
+
+// ShardedLedger implements Book with bounded memory. Safe for
+// concurrent use.
+type ShardedLedger struct {
+	initial  float64
+	bound    int
+	perShard int
+	shards   [ledgerShardCount]ledgerShard
+	rev      atomic.Uint64
+
+	tailMu  sync.Mutex
+	tailSum float64 // total evicted standing (decays with Decay)
+	tailN   uint64  // counterparts ever evicted
+
+	creditEvents  *metrics.Counter
+	debitEvents   *metrics.Counter
+	creditedUnits *metrics.Gauge
+	debitedUnits  *metrics.Gauge
+	evictions     *metrics.Counter
+	entries       *metrics.Gauge
+	tailGauge     *metrics.Gauge
+}
+
+var _ Book = (*ShardedLedger)(nil)
+
+// NewShardedLedger returns a bounded ledger tracking at most `bound`
+// counterparts exactly (DefaultLedgerBound when bound <= 0), with the
+// given initial credit for strangers.
+func NewShardedLedger(initial float64, bound int) *ShardedLedger {
+	if initial < 0 {
+		initial = 0
+	}
+	if bound <= 0 {
+		bound = DefaultLedgerBound
+	}
+	perShard := (bound + ledgerShardCount - 1) / ledgerShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	l := &ShardedLedger{initial: initial, bound: perShard * ledgerShardCount, perShard: perShard}
+	for i := range l.shards {
+		l.shards[i].received = make(map[ID]float64)
+	}
+	return l
+}
+
+// Bound returns the maximum number of exactly-tracked counterparts.
+func (l *ShardedLedger) Bound() int { return l.bound }
+
+// shardFor hashes an ID onto its shard (FNV-1a).
+func (l *ShardedLedger) shardFor(id ID) *ledgerShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &l.shards[h&(ledgerShardCount-1)]
+}
+
+// evictMinLocked folds the shard's minimum entry into the tail. The
+// shard lock must be held. O(perShard), but runs only when an
+// insertion overfills a shard — steady-state ticks over tracked
+// requesters never evict.
+func (l *ShardedLedger) evictMinLocked(s *ledgerShard) {
+	var (
+		minID ID
+		minV  float64
+		first = true
+	)
+	for id, v := range s.received {
+		if first || v < minV || (v == minV && id < minID) {
+			minID, minV, first = id, v, false
+		}
+	}
+	if first {
+		return
+	}
+	delete(s.received, minID)
+	l.tailMu.Lock()
+	l.tailSum += minV
+	l.tailN++
+	l.tailGauge.Set(l.tailSum)
+	l.tailMu.Unlock()
+	l.evictions.Inc()
+	l.entries.Add(-1)
+}
+
+// upsertLocked inserts or replaces an entry, then evicts the shard
+// minimum if the insertion overfilled it — the new entry competes with
+// the incumbents, so a heavy contributor is never displaced by a
+// light newcomer. The shard lock must be held.
+func (l *ShardedLedger) upsertLocked(s *ledgerShard, id ID, v float64) {
+	if _, ok := s.received[id]; !ok {
+		l.entries.Add(1)
+	}
+	s.received[id] = v
+	if len(s.received) > l.perShard {
+		l.evictMinLocked(s)
+	}
+}
+
+// Credit records that `amount` bandwidth was received from a
+// counterpart. Negative amounts are ignored. A previously evicted (or
+// never seen) counterpart re-enters at the initial credit plus the
+// amount — its evicted remainder stays in the tail, forfeited.
+func (l *ShardedLedger) Credit(from ID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	s := l.shardFor(from)
+	s.mu.Lock()
+	v, ok := s.received[from]
+	if !ok {
+		v = l.initial
+	}
+	l.upsertLocked(s, from, v+amount)
+	s.mu.Unlock()
+	l.rev.Add(1)
+	l.creditEvents.Inc()
+	l.creditedUnits.Add(amount)
+}
+
+// Debit removes `amount` standing from a counterpart, clamping at zero
+// (see Ledger.Debit for the slashing rationale). Debiting an untracked
+// counterpart pins a zero-or-positive entry so the penalty sticks.
+func (l *ShardedLedger) Debit(from ID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	s := l.shardFor(from)
+	s.mu.Lock()
+	v, ok := s.received[from]
+	if !ok {
+		v = l.initial
+	}
+	v -= amount
+	if v < 0 {
+		v = 0
+	}
+	l.upsertLocked(s, from, v)
+	s.mu.Unlock()
+	l.rev.Add(1)
+	l.debitEvents.Inc()
+	l.debitedUnits.Add(amount)
+}
+
+// Received returns the standing of a counterpart: exact for tracked
+// entries, the initial credit for everyone else — never the tail, so
+// untracked requesters carry no inherited standing.
+func (l *ShardedLedger) Received(from ID) float64 {
+	s := l.shardFor(from)
+	s.mu.RLock()
+	v, ok := s.received[from]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	return l.initial
+}
+
+// Decay multiplies every tracked entry and the aggregate tail by
+// factor in (0, 1] — same semantics as Ledger.Decay, extended to the
+// evicted mass so untracked standing fades at the same rate.
+func (l *ShardedLedger) Decay(factor float64) {
+	if factor >= 1 || factor < 0 {
+		return
+	}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for id := range s.received {
+			s.received[id] *= factor
+		}
+		s.mu.Unlock()
+	}
+	l.tailMu.Lock()
+	l.tailSum *= factor
+	l.tailGauge.Set(l.tailSum)
+	l.tailMu.Unlock()
+	l.rev.Add(1)
+}
+
+// Rev implements Book.
+func (l *ShardedLedger) Rev() uint64 { return l.rev.Load() }
+
+// Snapshot returns a copy of the exactly-tracked entries. The tail is
+// not expanded (its members are unknown by design); use Tail for the
+// aggregate.
+func (l *ShardedLedger) Snapshot() map[ID]float64 {
+	out := make(map[ID]float64)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		for id, v := range s.received {
+			out[id] = v
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Tail returns the aggregate standing and population of evicted
+// counterparts.
+func (l *ShardedLedger) Tail() (sum float64, n uint64) {
+	l.tailMu.Lock()
+	defer l.tailMu.Unlock()
+	return l.tailSum, l.tailN
+}
+
+// Entries returns how many counterparts are tracked exactly.
+func (l *ShardedLedger) Entries() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		n += len(s.received)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Total returns tracked plus evicted standing — conserved exactly
+// across evictions.
+func (l *ShardedLedger) Total() float64 {
+	var sum float64
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.RLock()
+		for _, v := range s.received {
+			sum += v
+		}
+		s.mu.RUnlock()
+	}
+	l.tailMu.Lock()
+	sum += l.tailSum
+	l.tailMu.Unlock()
+	return sum
+}
+
+// Instrument attaches credit/debit/eviction metrics. Safe with a nil
+// registry; returns the ledger for chaining.
+func (l *ShardedLedger) Instrument(reg *metrics.Registry) *ShardedLedger {
+	l.creditEvents = reg.Counter(MetricCreditEvents, "Ledger credit operations applied.")
+	l.debitEvents = reg.Counter(MetricDebitEvents, "Ledger debit operations applied (audit penalties).")
+	l.creditedUnits = reg.Gauge(MetricCreditedUnits, "Cumulative ledger units credited (bytes received).")
+	l.debitedUnits = reg.Gauge(MetricDebitedUnits, "Cumulative ledger units debited (audit penalties).")
+	l.evictions = reg.Counter(MetricLedgerEvictions, "Ledger entries evicted into the aggregate tail.")
+	l.entries = reg.Gauge(MetricLedgerEntries, "Counterparts tracked exactly by the bounded ledger.")
+	l.tailGauge = reg.Gauge(MetricLedgerTailSum, "Aggregate standing of evicted counterparts.")
+	l.entries.Set(float64(l.Entries()))
+	return l
+}
+
+// instrument implements Book.
+func (l *ShardedLedger) instrument(reg *metrics.Registry) { l.Instrument(reg) }
+
+// doc snapshots the ledger into its serialized form.
+func (l *ShardedLedger) doc(gen uint64) ledgerDoc {
+	d := ledgerDoc{
+		V:        ledgerDocBounded,
+		Initial:  l.initial,
+		Received: l.Snapshot(),
+		Gen:      gen,
+		Bound:    l.bound,
+	}
+	l.tailMu.Lock()
+	d.TailSum, d.TailN = l.tailSum, l.tailN
+	l.tailMu.Unlock()
+	return d
+}
+
+// marshal implements Book.
+func (l *ShardedLedger) marshal(gen uint64) ([]byte, error) {
+	data, err := json.Marshal(l.doc(gen))
+	if err != nil {
+		return nil, fmt.Errorf("fairshare: save ledger: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// shardedFromDoc validates and rebuilds a bounded ledger. The stored
+// bound wins; `bound` is the caller's fallback for docs without one
+// (legacy pairwise checkpoints migrated into a bounded ledger).
+func shardedFromDoc(doc ledgerDoc, bound int) (*ShardedLedger, error) {
+	if doc.Bound > 0 {
+		bound = doc.Bound
+	}
+	if doc.TailSum < 0 {
+		return nil, fmt.Errorf("fairshare: load ledger: negative tail sum")
+	}
+	l := NewShardedLedger(doc.Initial, bound)
+	l.tailSum, l.tailN = doc.TailSum, doc.TailN
+	for id, v := range doc.Received {
+		if v < 0 {
+			return nil, fmt.Errorf("fairshare: load ledger: negative entry for %q", id)
+		}
+		s := l.shardFor(id)
+		l.upsertLocked(s, id, v)
+	}
+	return l, nil
+}

@@ -1,0 +1,350 @@
+package fairshare
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"asymshare/internal/fsx"
+	"asymshare/internal/metrics"
+)
+
+func TestShardedLedgerBasics(t *testing.T) {
+	l := NewShardedLedger(0.5, 64)
+	if l.Bound() < 64 {
+		t.Fatalf("Bound = %d, want >= 64", l.Bound())
+	}
+	if got := l.Received("stranger"); got != 0.5 {
+		t.Errorf("stranger Received = %v, want initial 0.5", got)
+	}
+	l.Credit("a", 10)
+	l.Credit("a", 5)
+	if got := l.Received("a"); !almostEqual(got, 15.5) {
+		t.Errorf("a Received = %v, want initial+15", got)
+	}
+	l.Debit("a", 100) // clamps at zero
+	if got := l.Received("a"); got != 0 {
+		t.Errorf("after over-debit Received = %v", got)
+	}
+	l.Credit("a", -3) // ignored
+	l.Debit("a", -3)  // ignored
+	if got := l.Received("a"); got != 0 {
+		t.Errorf("negative amounts changed standing: %v", got)
+	}
+	// Debiting a stranger pins an entry so the penalty sticks.
+	l.Debit("cheat", 0.2)
+	if got := l.Received("cheat"); !almostEqual(got, 0.3) {
+		t.Errorf("debited stranger Received = %v, want 0.3", got)
+	}
+}
+
+func TestShardedLedgerRev(t *testing.T) {
+	l := NewShardedLedger(0, 16)
+	r0 := l.Rev()
+	l.Credit("a", 1)
+	if l.Rev() == r0 {
+		t.Error("Credit did not bump revision")
+	}
+	r1 := l.Rev()
+	l.Credit("a", -1)
+	if l.Rev() != r1 {
+		t.Error("ignored credit bumped revision")
+	}
+	l.Debit("a", 0.5)
+	if l.Rev() == r1 {
+		t.Error("Debit did not bump revision")
+	}
+	r2 := l.Rev()
+	l.Decay(0.9)
+	if l.Rev() == r2 {
+		t.Error("Decay did not bump revision")
+	}
+}
+
+// TestShardedLedgerBoundAndEviction floods the ledger with far more
+// counterparts than its bound and checks memory stays capped, evicted
+// mass lands in the tail, and Total is conserved exactly.
+func TestShardedLedgerBoundAndEviction(t *testing.T) {
+	const bound = 64
+	l := NewShardedLedger(0, bound)
+	var want float64
+	for i := 0; i < 10*bound; i++ {
+		amt := float64(i%7 + 1)
+		l.Credit(ID(fmt.Sprintf("peer-%04d", i)), amt)
+		want += amt
+	}
+	if n := l.Entries(); n > l.Bound() {
+		t.Errorf("Entries = %d exceeds bound %d", n, l.Bound())
+	}
+	sum, n := l.Tail()
+	if n == 0 || sum <= 0 {
+		t.Errorf("no eviction after 10x-bound inserts: tail (%v, %d)", sum, n)
+	}
+	// Conservation is exact (pure additions commute), not approximate.
+	if got := l.Total(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Total = %v, want %v conserved across evictions", got, want)
+	}
+	// Untracked counterparts answer the initial credit — the tail is a
+	// conservation reservoir, never an inheritable standing.
+	if got := l.Received("never-seen"); got != 0 {
+		t.Errorf("untracked Received = %v, want initial 0", got)
+	}
+	evicted := ID("peer-0000")
+	if _, tracked := l.Snapshot()[evicted]; tracked {
+		t.Skip("peer-0000 unexpectedly survived eviction")
+	}
+	if got := l.Received(evicted); got != 0 {
+		t.Errorf("evicted Received = %v, want initial 0 (standing forfeited)", got)
+	}
+}
+
+// TestShardedLedgerEvictsMinimum checks eviction picks the lowest
+// standing: heavy contributors keep exact entries.
+func TestShardedLedgerEvictsMinimum(t *testing.T) {
+	// Bound 16 = one entry per shard; every same-shard insertion evicts.
+	l := NewShardedLedger(0, 16)
+	l.Credit("heavy", 1000)
+	s := l.shardFor("heavy")
+	// Find another ID in the same shard and credit less.
+	var light ID
+	for i := 0; ; i++ {
+		id := ID(fmt.Sprintf("light-%d", i))
+		if l.shardFor(id) == s && id != "heavy" {
+			light = id
+			break
+		}
+	}
+	l.Credit(light, 1)
+	if got := l.Received("heavy"); !almostEqual(got, 1000) {
+		t.Errorf("heavy contributor evicted: Received = %v", got)
+	}
+	sum, n := l.Tail()
+	if n != 1 || !almostEqual(sum, 1) {
+		t.Errorf("tail = (%v, %d), want the light entry (1, 1)", sum, n)
+	}
+}
+
+func TestShardedLedgerDecay(t *testing.T) {
+	l := NewShardedLedger(0, 16)
+	l.Credit("a", 100)
+	// Force an eviction so the tail has mass.
+	s := l.shardFor("a")
+	for i := 0; ; i++ {
+		id := ID(fmt.Sprintf("b-%d", i))
+		if l.shardFor(id) == s {
+			l.Credit(id, 10)
+			break
+		}
+	}
+	before := l.Total()
+	l.Decay(0.5)
+	if got := l.Total(); !almostEqual(got, before/2) {
+		t.Errorf("Total after Decay(0.5) = %v, want %v", got, before/2)
+	}
+	if got := l.Received("a"); !almostEqual(got, 50) {
+		t.Errorf("tracked entry after decay = %v, want 50", got)
+	}
+	l.Decay(1.5) // out of range: ignored
+	l.Decay(-1)
+	if got := l.Total(); !almostEqual(got, before/2) {
+		t.Errorf("out-of-range Decay changed Total: %v", got)
+	}
+}
+
+func TestShardedLedgerConcurrency(t *testing.T) {
+	l := NewShardedLedger(DefaultInitialCredit, 128).Instrument(metrics.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ID(fmt.Sprintf("w%d-p%d", w, i%50))
+				l.Credit(id, 1)
+				_ = l.Received(id)
+				if i%100 == 0 {
+					l.Debit(id, 0.5)
+					l.Decay(0.99)
+					_ = l.Total()
+					_ = l.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Entries() > l.Bound() {
+		t.Errorf("Entries %d exceeds bound %d after concurrent use", l.Entries(), l.Bound())
+	}
+}
+
+// TestShardedCheckpointRoundtrip saves a bounded ledger through the
+// Checkpointer and recovers it via RecoverBook: version-2 document,
+// bound, entries and tail all survive.
+func TestShardedCheckpointRoundtrip(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l := NewShardedLedger(0.25, 16)
+	l.Credit("alice", 100)
+	l.Credit("bob", 40)
+	// Evict something so the tail is non-trivial.
+	s := l.shardFor("alice")
+	for i := 0; ; i++ {
+		id := ID(fmt.Sprintf("x-%d", i))
+		if l.shardFor(id) == s {
+			l.Credit(id, 1)
+			break
+		}
+	}
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs})
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rec, err := RecoverBook(efs, "/d/ledger", 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Loaded || rec.Gen != 1 || rec.CorruptSlots != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	sl, ok := got.(*ShardedLedger)
+	if !ok {
+		t.Fatalf("recovered %T, want *ShardedLedger (kind preserved with bound=0)", got)
+	}
+	if sl.Bound() != l.Bound() {
+		t.Errorf("recovered bound %d, want %d", sl.Bound(), l.Bound())
+	}
+	if !almostEqual(sl.Received("alice"), l.Received("alice")) {
+		t.Errorf("alice = %v, want %v", sl.Received("alice"), l.Received("alice"))
+	}
+	wantSum, wantN := l.Tail()
+	gotSum, gotN := sl.Tail()
+	if !almostEqual(gotSum, wantSum) || gotN != wantN {
+		t.Errorf("tail = (%v, %d), want (%v, %d)", gotSum, gotN, wantSum, wantN)
+	}
+	if !almostEqual(sl.Total(), l.Total()) {
+		t.Errorf("Total = %v, want %v", sl.Total(), l.Total())
+	}
+}
+
+// TestRecoverBookMigratesLegacyCheckpoint: a node reconfigured with a
+// ledger bound loads its old exact-pairwise checkpoint into a bounded
+// ledger without losing standing.
+func TestRecoverBookMigratesLegacyCheckpoint(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := NewLedger(DefaultInitialCredit)
+	old.Credit("alice", 100)
+	old.Credit("bob", 40)
+	c := NewCheckpointer(CheckpointConfig{Ledger: old, Path: "/d/ledger", FS: efs})
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rec, err := RecoverBook(efs, "/d/ledger", DefaultInitialCredit, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Loaded {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	sl, ok := got.(*ShardedLedger)
+	if !ok {
+		t.Fatalf("recovered %T, want migration to *ShardedLedger", got)
+	}
+	if !almostEqual(sl.Received("alice"), old.Received("alice")) ||
+		!almostEqual(sl.Received("bob"), old.Received("bob")) {
+		t.Errorf("standing lost in migration: alice %v bob %v", sl.Received("alice"), sl.Received("bob"))
+	}
+}
+
+// TestRecoverLedgerRejectsBoundedCheckpoint: the legacy entry point
+// cannot silently downgrade a bounded checkpoint (its tail would be
+// dropped); it restarts fresh and flags the slot.
+func TestRecoverLedgerRejectsBoundedCheckpoint(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	if err := efs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l := NewShardedLedger(0, 16)
+	l.Credit("alice", 100)
+	c := NewCheckpointer(CheckpointConfig{Ledger: l, Path: "/d/ledger", FS: efs})
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err := RecoverLedger(efs, "/d/ledger", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loaded || rec.CorruptSlots == 0 {
+		t.Errorf("recovery = %+v, want fresh + flagged slot", rec)
+	}
+	if got.Received("alice") != 0.5 {
+		t.Errorf("fresh ledger Received = %v, want initial", got.Received("alice"))
+	}
+}
+
+// TestRecoverBookFirstBootKinds: no checkpoint on disk yields the kind
+// the bound argument requests.
+func TestRecoverBookFirstBootKinds(t *testing.T) {
+	efs := fsx.NewErrFS(1)
+	b, rec, err := RecoverBook(efs, "/none/ledger", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loaded || rec.CorruptSlots != 0 {
+		t.Errorf("first boot recovery = %+v", rec)
+	}
+	if _, ok := b.(*Ledger); !ok {
+		t.Errorf("bound 0 first boot = %T, want *Ledger", b)
+	}
+	b, _, err = RecoverBook(efs, "/none/ledger", 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*ShardedLedger); !ok {
+		t.Errorf("bounded first boot = %T, want *ShardedLedger", b)
+	}
+}
+
+// BenchmarkLedgerRealloc proves the bounded-ledger acceptance claim: a
+// 100k-distinct-requester workload holds memory at the bound and keeps
+// a realloc tick O(active requesters) — compare the sharded ledger
+// against the unbounded exact map at the same tick size.
+func BenchmarkLedgerRealloc(b *testing.B) {
+	const distinct = 100_000
+	const active = 256 // requesters in one realloc tick
+	ids := make([]ID, distinct)
+	for i := range ids {
+		ids[i] = ID(fmt.Sprintf("peer-%06d", i))
+	}
+	reqs := make([]Requester, active)
+	for i := range reqs {
+		reqs[i] = Requester{ID: ids[i*(distinct/active)]}
+	}
+	run := func(b *testing.B, book Book) {
+		for _, id := range ids {
+			book.Credit(id, 1)
+		}
+		p := PairwiseProportional{}
+		req := AllocRequest{Capacity: 1e6, Requesters: reqs, Ledger: book, Scratch: make(Grants, 0, active)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req.Scratch = p.Allocate(req)[:0]
+		}
+	}
+	b.Run("exact", func(b *testing.B) { run(b, NewLedger(DefaultInitialCredit)) })
+	b.Run("sharded", func(b *testing.B) {
+		l := NewShardedLedger(DefaultInitialCredit, DefaultLedgerBound)
+		run(b, l)
+		if l.Entries() > l.Bound() {
+			b.Fatalf("Entries %d exceeds bound %d", l.Entries(), l.Bound())
+		}
+	})
+}

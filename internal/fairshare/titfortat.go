@@ -18,28 +18,41 @@ type TitForTat struct {
 var _ Allocator = TitForTat{}
 
 // Allocate implements Allocator.
-func (tt TitForTat) Allocate(capacity float64, requesters []ID, ledger *Ledger) map[ID]float64 {
-	out := make(map[ID]float64, len(requesters))
-	if capacity <= 0 || len(requesters) == 0 {
+func (tt TitForTat) Allocate(req AllocRequest) Grants {
+	out := req.grants()
+	for _, r := range req.Requesters {
+		out = append(out, Grant{ID: r.ID})
+	}
+	if req.Capacity <= 0 || len(out) == 0 {
 		return out
 	}
 	n := tt.N
 	if n < 1 {
 		n = 1
 	}
-	ranked := sortedIDs(requesters) // deterministic tie-break
-	sort.SliceStable(ranked, func(i, j int) bool {
-		return ledger.Received(ranked[i]) > ledger.Received(ranked[j])
+	if n > len(out) {
+		n = len(out)
+	}
+	view := req.view()
+	ranked := make([]int, len(out))
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		ra, rb := ranked[a], ranked[b]
+		va, vb := view.Received(out[ra].ID), view.Received(out[rb].ID)
+		if va != vb {
+			return va > vb
+		}
+		return out[ra].ID < out[rb].ID // deterministic tie-break
 	})
-	if n > len(ranked) {
-		n = len(ranked)
-	}
 	// Unchoking the top n even at zero standing doubles as the
-	// optimistic-unchoke bootstrap.
-	unchoked := ranked[:n]
-	share := capacity / float64(len(unchoked))
-	for _, id := range unchoked {
-		out[id] = share
+	// optimistic-unchoke bootstrap. distributeWeights splits capacity
+	// evenly over the unchoked (weight 1) and water-fills any Demand
+	// caps among them.
+	for _, i := range ranked[:n] {
+		out[i].Rate = 1
 	}
+	distributeWeights(req.Capacity, req.Requesters, out)
 	return out
 }

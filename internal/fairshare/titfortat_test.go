@@ -7,30 +7,30 @@ func TestTitForTatUnchokesTopContributors(t *testing.T) {
 	l.Credit("big", 1000)
 	l.Credit("mid", 100)
 	l.Credit("small", 1)
-	alloc := TitForTat{N: 2}.Allocate(600, []ID{"small", "mid", "big"}, l)
-	if !almostEqual(alloc["big"], 300) || !almostEqual(alloc["mid"], 300) {
+	alloc := TitForTat{N: 2}.Allocate(NewRequest(600, []ID{"small", "mid", "big"}, l))
+	if !almostEqual(alloc.Rate("big"), 300) || !almostEqual(alloc.Rate("mid"), 300) {
 		t.Errorf("alloc = %v", alloc)
 	}
-	if alloc["small"] != 0 {
-		t.Errorf("choked peer got %v", alloc["small"])
+	if alloc.Rate("small") != 0 {
+		t.Errorf("choked peer got %v", alloc.Rate("small"))
 	}
-	if !almostEqual(Sum(alloc), 600) {
-		t.Errorf("Sum = %v", Sum(alloc))
+	if !almostEqual(alloc.Total(), 600) {
+		t.Errorf("Total = %v", alloc.Total())
 	}
 }
 
 func TestTitForTatBootstrapAndClamping(t *testing.T) {
 	l := NewLedger(0)
 	// No standings at all: still unchokes deterministically.
-	alloc := TitForTat{N: 1}.Allocate(100, []ID{"b", "a"}, l)
-	if !almostEqual(Sum(alloc), 100) {
-		t.Errorf("bootstrap Sum = %v", Sum(alloc))
+	alloc := TitForTat{N: 1}.Allocate(NewRequest(100, []ID{"b", "a"}, l))
+	if !almostEqual(alloc.Total(), 100) {
+		t.Errorf("bootstrap Total = %v", alloc.Total())
 	}
 	// N < 1 behaves as 1.
-	alloc = TitForTat{N: 0}.Allocate(100, []ID{"a", "b"}, l)
+	alloc = TitForTat{N: 0}.Allocate(NewRequest(100, []ID{"a", "b"}, l))
 	count := 0
-	for _, v := range alloc {
-		if v > 0 {
+	for _, g := range alloc {
+		if g.Rate > 0 {
 			count++
 		}
 	}
@@ -38,15 +38,15 @@ func TestTitForTatBootstrapAndClamping(t *testing.T) {
 		t.Errorf("N=0 unchoked %d peers", count)
 	}
 	// N larger than the requester set serves everyone.
-	alloc = TitForTat{N: 10}.Allocate(100, []ID{"a", "b"}, l)
-	if !almostEqual(alloc["a"], 50) || !almostEqual(alloc["b"], 50) {
+	alloc = TitForTat{N: 10}.Allocate(NewRequest(100, []ID{"a", "b"}, l))
+	if !almostEqual(alloc.Rate("a"), 50) || !almostEqual(alloc.Rate("b"), 50) {
 		t.Errorf("N>len alloc = %v", alloc)
 	}
-	// Edge cases.
-	if got := (TitForTat{N: 2}).Allocate(0, []ID{"a"}, l); len(got) != 0 {
+	// Edge cases: a grant per requester, all zero-rate.
+	if got := (TitForTat{N: 2}).Allocate(NewRequest(0, []ID{"a"}, l)); len(got) != 1 || got.Total() != 0 {
 		t.Errorf("zero capacity = %v", got)
 	}
-	if got := (TitForTat{N: 2}).Allocate(100, nil, l); len(got) != 0 {
+	if got := (TitForTat{N: 2}).Allocate(NewRequest(100, nil, l)); len(got) != 0 {
 		t.Errorf("no requesters = %v", got)
 	}
 }
@@ -55,10 +55,10 @@ func TestTitForTatDeterministicTieBreak(t *testing.T) {
 	l := NewLedger(0)
 	l.Credit("x", 10)
 	l.Credit("y", 10)
-	a := TitForTat{N: 1}.Allocate(100, []ID{"y", "x"}, l)
-	b := TitForTat{N: 1}.Allocate(100, []ID{"x", "y"}, l)
-	for id := range a {
-		if b[id] != a[id] {
+	a := TitForTat{N: 1}.Allocate(NewRequest(100, []ID{"y", "x"}, l))
+	b := TitForTat{N: 1}.Allocate(NewRequest(100, []ID{"x", "y"}, l))
+	for _, g := range a {
+		if b.Rate(g.ID) != g.Rate {
 			t.Errorf("tie-break not deterministic: %v vs %v", a, b)
 		}
 	}

@@ -272,7 +272,7 @@ func TestGrantsReconvergeAfterPartitionHeals(t *testing.T) {
 	requesters := []fairshare.ID{fp0, fp1}
 	ledger := c.Home.Ledger()
 	shares := func() map[fairshare.ID]float64 {
-		return fairshare.PairwiseProportional{}.Allocate(cap, requesters, ledger)
+		return fairshare.PairwiseProportional{}.Allocate(fairshare.NewRequest(cap, requesters, ledger)).Map()
 	}
 	cl := c.UserClient(client.Options{RetryBackoff: 20 * time.Millisecond})
 	// fetchAndCredit fetches from the given peers and reports a fixed

@@ -27,6 +27,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"asymshare/internal/auth"
 	"asymshare/internal/fairshare"
@@ -392,7 +393,7 @@ func (n *Node) startStream(cs *connState, get wire.Get, mux bool) (*stream, erro
 		bucket:  ratelimit.NewBucket(0, burst),
 		cancel:  cancel,
 		fileID:  get.FileID,
-		limited: n.cfg.UploadBytesPerSec > 0,
+		limited: n.shaping(),
 	}
 	s.bucket.SetMetrics(n.m.waitSeconds, n.m.throttled)
 	n.registerStream(s)
@@ -436,6 +437,7 @@ func (n *Node) serveStream(ctx context.Context, cw *connWriter, s *stream, msgs 
 			return
 		}
 		cw.mu.Lock()
+		flushStart := time.Now()
 		msg.PutHeader(hdr[:])
 		if err := cw.fw.QueueSpan(wire.TypeData, hdr[:], msg.Payload); err != nil {
 			cw.mu.Unlock()
@@ -463,11 +465,20 @@ func (n *Node) serveStream(ctx context.Context, cw *connWriter, s *stream, msgs 
 			sent += nn
 			i++
 		}
+		// The batch drains through the raw socket, not the token
+		// bucket, so its timing sees the real link rate even while the
+		// allocator is granting this stream far less — that is what
+		// makes it a usable capacity sample. The timer starts at the
+		// first QueueSpan because the frame writer auto-flushes once
+		// enough is queued: the socket writes may happen inside the
+		// Queue calls, not in the final Flush.
 		err := cw.fw.Flush()
+		flushDur := time.Since(flushStart)
 		cw.mu.Unlock()
 		if err != nil {
 			return
 		}
+		n.recordFlush(sent, flushDur)
 		n.recordServed(s.client, sent)
 	}
 	// All stored messages sent: signal end-of-stream with a STOP frame

@@ -16,6 +16,7 @@ const (
 	MetricConnsShed      = "peer_connections_shed_total"
 	MetricAcceptErrors   = "peer_accept_errors_total"
 	MetricStreamsActive  = "peer_streams_active"
+	MetricCapacity       = "peer_capacity_bytes_per_second"
 	MetricGrantedRate    = "peer_granted_rate_bytes_per_second"
 	MetricReallocDur     = "peer_realloc_duration_seconds"
 	MetricServedBytes    = "peer_served_bytes_total"
@@ -43,6 +44,7 @@ type nodeMetrics struct {
 	acceptErrors *metrics.Counter
 
 	streamsActive *metrics.Gauge
+	capacity      *metrics.Gauge
 	reallocDur    *metrics.Histogram
 	grants        map[fairshare.ID]*metrics.Gauge
 
@@ -67,6 +69,7 @@ func newNodeMetrics(reg *metrics.Registry) nodeMetrics {
 		connsShed:      reg.Counter(MetricConnsShed, "Connections closed immediately because MaxConns was reached."),
 		acceptErrors:   reg.Counter(MetricAcceptErrors, "Transient listener accept failures (retried with backoff)."),
 		streamsActive:  reg.Gauge(MetricStreamsActive, "Download streams currently being served."),
+		capacity:       reg.Gauge(MetricCapacity, "Upload capacity divided by the last realloc tick (configured or estimated)."),
 		reallocDur:     reg.Histogram(MetricReallocDur, "Time to recompute all stream rates (Eq. 2 allocation).", metrics.UnitSeconds),
 		grants:         make(map[fairshare.ID]*metrics.Gauge),
 		servedBytes:    reg.Counter(MetricServedBytes, "Message bytes served to downloaders."),

@@ -20,6 +20,7 @@ import (
 
 	"asymshare/internal/auth"
 	"asymshare/internal/contract"
+	"asymshare/internal/estimate"
 	"asymshare/internal/fairshare"
 	"asymshare/internal/fsx"
 	"asymshare/internal/metrics"
@@ -57,16 +58,34 @@ type Config struct {
 
 	// UploadBytesPerSec is the peer's upload capacity mu_i in
 	// bytes/second. Zero or negative means unlimited (no shaping).
+	// With an Estimator it is the operator override: a ceiling the
+	// online estimate is clamped to, and the capacity used while the
+	// estimator warms up.
 	UploadBytesPerSec float64
+
+	// Estimator, when set, measures the real upload capacity online
+	// from flush timings (see internal/estimate) and the realloc loop
+	// divides the estimate instead of the configured constant.
+	Estimator estimate.Estimator
 
 	// Allocator divides capacity among concurrent downloaders; nil
 	// means the paper's pairwise-proportional rule.
 	Allocator fairshare.Allocator
 
-	// Ledger is the peer's receipt ledger; nil creates a fresh one with
-	// the default initial credit, or recovers one from LedgerPath when
+	// Ledger is the peer's receipt ledger — either the exact pairwise
+	// fairshare.Ledger or the bounded fairshare.ShardedLedger; nil
+	// creates a fresh one (bounded iff LedgerBound > 0, with the
+	// default initial credit), or recovers one from LedgerPath when
 	// that is set.
-	Ledger *fairshare.Ledger
+	Ledger fairshare.Book
+
+	// LedgerBound, when positive, bounds ledger memory: the node keeps
+	// the top-LedgerBound counterpart standings exactly and folds the
+	// rest into a decayed aggregate tail (fairshare.ShardedLedger). A
+	// legacy pairwise checkpoint at LedgerPath is migrated on load.
+	// Zero keeps the exact pairwise ledger. Ignored when Ledger is
+	// injected directly.
+	LedgerBound int
 
 	// LedgerPath, when set, makes the ledger durable: New recovers the
 	// newest valid checkpoint from the dual slots at this path (see
@@ -132,8 +151,9 @@ type Config struct {
 // Node is a running peer.
 type Node struct {
 	cfg       Config
-	ledger    *fairshare.Ledger
+	ledger    fairshare.Book
 	alloc     fairshare.Allocator
+	est       estimate.Estimator
 	log       *slog.Logger
 	interval  time.Duration
 	m         nodeMetrics
@@ -150,6 +170,22 @@ type Node struct {
 	mu      sync.Mutex
 	streams map[*stream]struct{}
 	closed  bool
+
+	// Realloc scratch, touched only under mu: requester build-up,
+	// per-requester stream counts (parallel to reqBuf), requester
+	// index by ID, and the grants buffer handed to the allocator —
+	// so a steady-state tick reuses every buffer.
+	reqBuf    []fairshare.Requester
+	cntBuf    []int
+	posBuf    map[fairshare.ID]int
+	grantsBuf fairshare.Grants
+
+	// Estimator sample train: flush timings aggregate here until
+	// estimate.MinTrainBytes have been observed, then emit one Sample
+	// (small flushes ride socket buffers and would read fast).
+	trainMu    sync.Mutex
+	trainBytes int64
+	trainDur   time.Duration
 
 	statsMu       sync.Mutex
 	bytesOut      map[fairshare.ID]int64 // per-downloader served bytes
@@ -184,14 +220,16 @@ func New(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		ledger:   cfg.Ledger,
 		alloc:    cfg.Allocator,
+		est:      cfg.Estimator,
 		log:      cfg.Logger,
 		interval: cfg.ReallocInterval,
 		streams:  make(map[*stream]struct{}),
+		posBuf:   make(map[fairshare.ID]int),
 		bytesOut: make(map[fairshare.ID]int64),
 		owners:   make(map[uint64]fairshare.ID),
 	}
 	if cfg.LedgerPath != "" {
-		led, rec, err := fairshare.RecoverLedger(cfg.FS, cfg.LedgerPath, fairshare.DefaultInitialCredit)
+		led, rec, err := fairshare.RecoverBook(cfg.FS, cfg.LedgerPath, fairshare.DefaultInitialCredit, cfg.LedgerBound)
 		if err != nil {
 			return nil, fmt.Errorf("peer: recover ledger: %w", err)
 		}
@@ -204,7 +242,11 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	if n.ledger == nil {
-		n.ledger = fairshare.NewLedger(fairshare.DefaultInitialCredit)
+		if cfg.LedgerBound > 0 {
+			n.ledger = fairshare.NewShardedLedger(fairshare.DefaultInitialCredit, cfg.LedgerBound)
+		} else {
+			n.ledger = fairshare.NewLedger(fairshare.DefaultInitialCredit)
+		}
 	}
 	book, bookRec, err := contract.OpenBook(contract.BookConfig{
 		Capacity: cfg.CapacityBytes,
@@ -229,8 +271,9 @@ func New(cfg Config) (*Node, error) {
 	n.m = newNodeMetrics(cfg.Metrics)
 	if cfg.Metrics != nil {
 		n.cfg.Store = store.Instrument(n.cfg.Store, cfg.Metrics)
-		n.ledger.Instrument(cfg.Metrics)
+		fairshare.InstrumentBook(n.ledger, cfg.Metrics)
 		n.alloc = fairshare.InstrumentAllocator(n.alloc, cfg.Metrics)
+		n.est = estimate.Instrument(n.est, cfg.Metrics)
 	}
 	if cfg.LedgerPath != "" {
 		n.ckpt = fairshare.NewCheckpointer(fairshare.CheckpointConfig{
@@ -295,7 +338,7 @@ func (n *Node) Addr() net.Addr {
 }
 
 // Ledger exposes the node's receipt ledger (shared, concurrent-safe).
-func (n *Node) Ledger() *fairshare.Ledger { return n.ledger }
+func (n *Node) Ledger() fairshare.Book { return n.ledger }
 
 // Contracts exposes the node's obligation book (concurrent-safe).
 func (n *Node) Contracts() *contract.Book { return n.book }
@@ -454,8 +497,35 @@ func (n *Node) reallocLoop() {
 	}
 }
 
+// shaping reports whether this node limits upload streams at all — a
+// configured capacity, or an estimator that will discover one.
+func (n *Node) shaping() bool {
+	return n.cfg.UploadBytesPerSec > 0 || n.est != nil
+}
+
+// warmupRate is the effectively-unshaped bucket rate used while an
+// estimator warms up on a node with no configured capacity: streams
+// must run through their buckets (so they can be shaped once the
+// estimate lands) but nothing real is known to limit them yet.
+const warmupRate = 1e12
+
+// currentCapacity resolves the capacity to divide this tick: the
+// online estimate clamped to the configured override when both exist,
+// the configured constant while the estimate warms up, and 0 for
+// "still unknown" (estimator only, not yet converged).
+func (n *Node) currentCapacity() float64 {
+	configured := n.cfg.UploadBytesPerSec
+	if n.est == nil {
+		return configured
+	}
+	if e := estimate.Clamp(n.est.Estimate(), 0, configured); e > 0 {
+		return e
+	}
+	return configured
+}
+
 func (n *Node) reallocate() {
-	if n.cfg.UploadBytesPerSec <= 0 {
+	if !n.shaping() {
 		return
 	}
 	n.mu.Lock()
@@ -464,16 +534,26 @@ func (n *Node) reallocate() {
 }
 
 func (n *Node) reallocateLocked() {
-	if n.cfg.UploadBytesPerSec <= 0 {
+	if !n.shaping() {
 		return
 	}
 	start := time.Now()
-	// Distinct requesting clients (a client may run several streams).
-	clients := make(map[fairshare.ID][]*stream, len(n.streams))
+	// Distinct requesting clients (a client may run several streams),
+	// built into reused scratch: reqBuf holds one Requester per
+	// distinct client, cntBuf its stream count, posBuf its index.
+	n.reqBuf = n.reqBuf[:0]
+	n.cntBuf = n.cntBuf[:0]
+	clear(n.posBuf)
 	for s := range n.streams {
-		clients[s.client] = append(clients[s.client], s)
+		if i, ok := n.posBuf[s.client]; ok {
+			n.cntBuf[i]++
+			continue
+		}
+		n.posBuf[s.client] = len(n.reqBuf)
+		n.reqBuf = append(n.reqBuf, fairshare.Requester{ID: s.client})
+		n.cntBuf = append(n.cntBuf, 1)
 	}
-	if len(clients) == 0 {
+	if len(n.reqBuf) == 0 {
 		// Zero the gauges of requesters that left so a scrape does not
 		// show bandwidth granted to nobody.
 		for _, g := range n.m.grants {
@@ -481,26 +561,64 @@ func (n *Node) reallocateLocked() {
 		}
 		return
 	}
-	ids := make([]fairshare.ID, 0, len(clients))
-	for id := range clients {
-		ids = append(ids, id)
+	// Taken feeds contribution-index policies (BiasedContribution).
+	n.statsMu.Lock()
+	for i := range n.reqBuf {
+		n.reqBuf[i].Taken = float64(n.bytesOut[n.reqBuf[i].ID])
 	}
-	alloc := n.alloc.Allocate(n.cfg.UploadBytesPerSec, ids, n.ledger)
-	for id, ss := range clients {
-		perStream := alloc[id] / float64(len(ss))
-		for _, s := range ss {
-			s.bucket.SetRate(perStream)
+	n.statsMu.Unlock()
+	capacity := n.currentCapacity()
+	n.m.capacity.Set(capacity)
+	if capacity <= 0 {
+		// Estimator-only node, estimate not yet converged: run the
+		// streams effectively unshaped until it is.
+		for s := range n.streams {
+			s.bucket.SetRate(warmupRate)
 		}
+		return
+	}
+	grants := n.alloc.Allocate(fairshare.AllocRequest{
+		Capacity:   capacity,
+		Requesters: n.reqBuf,
+		Ledger:     n.ledger,
+		Scratch:    n.grantsBuf,
+	})
+	n.grantsBuf = grants
+	for s := range n.streams {
+		i := n.posBuf[s.client]
+		s.bucket.SetRate(grants[i].Rate / float64(n.cntBuf[i]))
 	}
 	for id, g := range n.m.grants {
-		if _, requesting := clients[id]; !requesting {
+		if _, requesting := n.posBuf[id]; !requesting {
 			g.Set(0)
 		}
 	}
-	for id := range clients {
-		n.m.grantGauge(id).Set(alloc[id])
+	for i := range grants {
+		n.m.grantGauge(grants[i].ID).Set(grants[i].Rate)
 	}
 	n.m.reallocDur.ObserveSince(start)
+}
+
+// recordFlush aggregates one flush timing into the estimator sample
+// train (no-op without an estimator). Individual flushes are too small
+// to time — socket and shaper burst buffers absorb them — so bytes and
+// active-drain durations accumulate until a full train has passed,
+// then emit one Sample.
+func (n *Node) recordFlush(bytes int, dur time.Duration) {
+	if n.est == nil || bytes <= 0 || dur <= 0 {
+		return
+	}
+	n.trainMu.Lock()
+	n.trainBytes += int64(bytes)
+	n.trainDur += dur
+	if n.trainBytes < estimate.MinTrainBytes {
+		n.trainMu.Unlock()
+		return
+	}
+	s := estimate.Sample{Bytes: n.trainBytes, Duration: n.trainDur}
+	n.trainBytes, n.trainDur = 0, 0
+	n.trainMu.Unlock()
+	n.est.Observe(s)
 }
 
 func (n *Node) registerStream(s *stream) {

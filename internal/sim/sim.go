@@ -32,6 +32,10 @@ type PeerConfig struct {
 	// Policy is the peer's allocation rule; nil means the paper's
 	// Eq. (2) pairwise-proportional rule.
 	Policy fairshare.Allocator
+
+	// Class is the user's differentiated-service tier, seen by peers
+	// running the fairshare.Classes policy. Zero is the default class.
+	Class fairshare.ServiceClass
 }
 
 // Config describes a simulation run.
@@ -50,6 +54,11 @@ type Config struct {
 	// factor each slot — the paper's future-work suggestion for faster
 	// adaptation. 0 or >= 1 disables decay.
 	LedgerDecay float64
+
+	// LedgerBound, when positive, gives every peer a bounded
+	// fairshare.ShardedLedger tracking at most this many counterparts
+	// exactly; zero keeps exact pairwise ledgers.
+	LedgerBound int
 }
 
 // Result holds per-slot series for every peer.
@@ -72,8 +81,9 @@ type Result struct {
 	// checked directly.
 	Exchanged [][]float64
 
-	// Ledgers are the final receipt ledgers, indexed like Names.
-	Ledgers []*fairshare.Ledger
+	// Ledgers are the final receipt ledgers, indexed like Names —
+	// exact pairwise ledgers, or bounded ones under Config.LedgerBound.
+	Ledgers []fairshare.Book
 }
 
 // Run executes the simulation.
@@ -113,7 +123,7 @@ func Run(cfg Config) (*Result, error) {
 		Upload:     make([][]float64, n),
 		Requesting: make([][]bool, n),
 		Exchanged:  make([][]float64, n),
-		Ledgers:    make([]*fairshare.Ledger, n),
+		Ledgers:    make([]fairshare.Book, n),
 	}
 	policies := make([]fairshare.Allocator, n)
 	for i, p := range cfg.Peers {
@@ -122,7 +132,11 @@ func Run(cfg Config) (*Result, error) {
 		res.Upload[i] = make([]float64, cfg.Slots)
 		res.Requesting[i] = make([]bool, cfg.Slots)
 		res.Exchanged[i] = make([]float64, n)
-		res.Ledgers[i] = fairshare.NewLedger(initial)
+		if cfg.LedgerBound > 0 {
+			res.Ledgers[i] = fairshare.NewShardedLedger(initial, cfg.LedgerBound)
+		} else {
+			res.Ledgers[i] = fairshare.NewLedger(initial)
+		}
 		policies[i] = p.Policy
 		if policies[i] == nil {
 			policies[i] = fairshare.PairwiseProportional{}
@@ -133,32 +147,47 @@ func Run(cfg Config) (*Result, error) {
 		index[name] = i
 	}
 
-	requesters := make([]fairshare.ID, 0, n)
+	requesters := make([]fairshare.Requester, 0, n)
+	reqIdx := make([]int, 0, n) // peer index of each requester
+	allocs := make([]fairshare.Grants, n)
 	for t := 0; t < cfg.Slots; t++ {
 		requesters = requesters[:0]
+		reqIdx = reqIdx[:0]
 		for i, p := range cfg.Peers {
 			if p.Demand.Requests(t) {
 				res.Requesting[i][t] = true
-				requesters = append(requesters, p.Name)
+				requesters = append(requesters, fairshare.Requester{ID: p.Name, Class: p.Class})
+				reqIdx = append(reqIdx, i)
 			}
 		}
 		// Phase 1: every peer decides simultaneously from the ledgers as
 		// they stood at the start of the slot.
-		allocs := make([]map[fairshare.ID]float64, n)
 		for i, p := range cfg.Peers {
+			allocs[i] = allocs[i][:0]
 			capacity := p.Upload.Rate(t)
 			if capacity <= 0 || len(requesters) == 0 {
 				continue
 			}
-			allocs[i] = policies[i].Allocate(capacity, requesters, res.Ledgers[i])
+			// Taken is what this peer has already granted each
+			// requester, feeding contribution-index policies.
+			for r := range requesters {
+				requesters[r].Taken = res.Exchanged[i][reqIdx[r]]
+			}
+			allocs[i] = policies[i].Allocate(fairshare.AllocRequest{
+				Capacity:   capacity,
+				Requesters: requesters,
+				Ledger:     res.Ledgers[i],
+				Scratch:    allocs[i],
+			})
 		}
 		// Phase 2: apply transfers and credit receipts.
 		for i, p := range cfg.Peers {
-			for name, amt := range allocs[i] {
+			for g, grant := range allocs[i] {
+				amt := grant.Rate
 				if amt <= 0 {
 					continue
 				}
-				j := index[name]
+				j := reqIdx[g]
 				res.Download[j][t] += amt
 				res.Upload[i][t] += amt
 				res.Exchanged[i][j] += amt
