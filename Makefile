@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare vet bench-alloc bench-alloc-smoke bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke bench-wire bench-wire-smoke chaos churn-smoke crash-smoke fuzz-smoke swarm-smoke ci check
+.PHONY: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare race-overload vet bench-alloc bench-alloc-smoke bench-metrics bench-rlnc bench-rlnc-smoke bench-swarm bench-swarm-smoke bench-wire bench-wire-smoke chaos churn-smoke crash-smoke fuzz-smoke overload-smoke swarm-smoke ci check
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,33 @@ churn-smoke:
 # discovery — plus the failover-direction tests — under -race.
 swarm-smoke:
 	$(GO) test -race -run 'TestSwarmSmoke|TestDiscoveryFailoverNetsim' ./internal/netsim/harness/
+
+# overload-smoke is the overload-resilience acceptance slice: a 4x
+# flash crowd against one admission-capped peer (goodput holds, sheds
+# hit free riders in standing order and never the top quartile, shed
+# clients honor the RETRY_AFTER hint), a blackholed peer survived
+# within 2x the no-fault baseline via hedged fetches with breaker
+# quarantine and half-open recovery, and a stalled chunk re-issued on
+# the next-healthiest peer — plus the deterministic peer-side
+# admission, preemption, brownout and deadline-expiry unit suite and
+# the client-side breaker/session regressions.
+overload-smoke:
+	$(GO) test -run 'TestFlashCrowdShedsFreeRidersAndKeepsGoodput|TestHedgedFetchSurvivesBlackholedPeerWithinTwiceBaseline|TestHedgeReissuesStalledChunkOnNextPeer' \
+		./internal/netsim/harness/
+	$(GO) test -run 'Admission|Shed|Brownout|Expired|Breaker|Hedge|Busy|Deadline|DuplicateStreamError' \
+		./internal/peer/ ./internal/client/ ./internal/wire/
+
+# race-overload is the same acceptance slice under the race detector:
+# the shared-sink hedge path (per-chunk progress counters vs the demux
+# goroutine), the breaker state machine, and the peer's admission
+# bookkeeping are all cross-goroutine by construction. The admission
+# alloc gates (TestAdmission*Allocs) only count without -race, so the
+# peer package runs those plain too.
+race-overload: vet
+	$(GO) test -race -run 'TestFlashCrowdShedsFreeRidersAndKeepsGoodput|TestHedgedFetchSurvivesBlackholedPeerWithinTwiceBaseline|TestHedgeReissuesStalledChunkOnNextPeer' \
+		./internal/netsim/harness/
+	$(GO) test -race ./internal/peer/ ./internal/client/
+	$(GO) test -run 'TestAdmissionSteadyStateAllocs|TestAdmissionRefusalScanAllocs' -count=1 ./internal/peer/
 
 # crash-smoke is the crash-recovery acceptance slice on its own: every
 # power-cut and I/O-fault sweep over the journaled store, the
@@ -175,6 +202,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHandshakeInitiator -fuzztime 10s -run '^$$' ./internal/wire/
 
 # ci is what the GitHub workflow runs.
-ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke chaos
+ci: vet build test race-metrics race-audit race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke overload-smoke race-overload chaos
 
-check: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke chaos
+check: build test race-audit race-metrics race-codec race-store race-dht race-contract race-wire race-fairshare swarm-smoke churn-smoke overload-smoke race-overload chaos

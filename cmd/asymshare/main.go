@@ -217,6 +217,7 @@ func cmdServe(args []string, out io.Writer) error {
 	listen := fs.String("listen", "127.0.0.1:7070", "listen address")
 	storeDir := fs.String("store", "", "message store directory (required)")
 	upload := fs.Float64("upload", 0, "upload capacity in bytes/s (0 = unshaped; with -estimate, a ceiling on the estimate)")
+	maxStreams := fs.Int("max-streams", 0, "admission cap on concurrently served download streams; excess requests are shed BUSY with a retry-after hint (0 = unlimited)")
 	policyName := fs.String("policy", "eq2", "allocation policy: eq2 (pairwise proportional), eq3 (declared upload; degrades to equal without declarations), bci (biased contribution index), classes (class-weighted), equal")
 	classWeights := fs.String("class-weights", "", "service-class weights for -policy classes, e.g. 1:2,2:4 (unlisted classes weigh 1)")
 	estName := fs.String("estimate", "off", "online upload-capacity estimation: off, ewma (percentile-of-history), probe (packet-train max)")
@@ -260,10 +261,14 @@ func cmdServe(args []string, out io.Writer) error {
 	if *ledgerBound < 0 {
 		return errors.New("serve: -ledger-bound must be >= 0")
 	}
+	if *maxStreams < 0 {
+		return errors.New("serve: -max-streams must be >= 0")
+	}
 	cfg := peer.Config{
 		Identity:           id,
 		Store:              st,
 		UploadBytesPerSec:  *upload,
+		MaxStreams:         *maxStreams,
 		Allocator:          policy,
 		Estimator:          est,
 		LedgerBound:        *ledgerBound,
@@ -622,6 +627,8 @@ func cmdFetch(args []string, out io.Writer) error {
 	feedback := fs.String("feedback", "", "own peer address to report receipts to")
 	trackerAddr := fs.String("tracker", "", "resolve peers through this tracker instead of the handle's list")
 	dhtAddr := fs.String("dht", "", "resolve peers through the DHT via this bootstrap node")
+	hedge := fs.Bool("hedge", false, "resilient chunk scheduling: start each chunk on the healthiest peer, re-issue stalled streams on the next, quarantine repeat offenders behind circuit breakers")
+	deadline := fs.Duration("deadline", 0, "abandon the fetch after this long; propagated to peers so they drop work that can no longer arrive in time (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -640,11 +647,16 @@ func cmdFetch(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(id, nil)
+	sys, err := core.NewSystem(id, nil, core.WithClientOptions(client.Options{Hedge: *hedge}))
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	var (
 		data  []byte
 		stats client.FetchStats

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -82,6 +83,31 @@ type Options struct {
 	// decoder with AddBytes — zero allocations per frame in steady
 	// state. Differential tests run both and require identical output.
 	LegacyWire bool
+
+	// Hedge enables the resilient chunk scheduler in FetchFile: each
+	// chunk starts on the single healthiest session and a stream that
+	// stalls for a hedge delay is re-issued on the next-healthiest
+	// peer, with per-peer circuit breakers quarantining peers that
+	// repeatedly fail. Off by default — the classic path streams every
+	// chunk from all sessions at once, which maximizes instantaneous
+	// goodput at the price of redundant upload bandwidth and no
+	// isolation from a stalled peer.
+	Hedge bool
+
+	// HedgeDelay pins the no-progress interval before a hedge stream
+	// is launched. Zero selects the adaptive estimate: p95 of recent
+	// stream latencies with headroom (DefaultHedgeDelay until enough
+	// samples exist).
+	HedgeDelay time.Duration
+
+	// BreakerThreshold is how many consecutive failures quarantine a
+	// peer's circuit breaker. Zero means DefaultBreakerThreshold.
+	BreakerThreshold int
+
+	// BreakerCooldown is the initial quarantine after a breaker opens,
+	// doubling on each failed half-open probe up to a cap. Zero means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -100,6 +126,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = DefaultRetryBackoff
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return o
 }
 
@@ -108,7 +140,8 @@ type Client struct {
 	id      *auth.Identity
 	trusted *auth.TrustSet // acceptable peer keys; nil trusts any
 	opt     Options
-	m       clientMetrics // zero value records nothing; see Instrument
+	m       clientMetrics   // zero value records nothing; see Instrument
+	health  *healthRegistry // per-peer scores + circuit breakers
 }
 
 // New returns a client with default Options. trusted, if non-nil, pins
@@ -123,7 +156,9 @@ func NewWith(id *auth.Identity, trusted *auth.TrustSet, opts Options) (*Client, 
 	if id == nil {
 		return nil, errors.New("client: identity required")
 	}
-	return &Client{id: id, trusted: trusted, opt: opts.withDefaults()}, nil
+	c := &Client{id: id, trusted: trusted, opt: opts.withDefaults()}
+	c.health = newHealthRegistry(&c.m, c.opt)
+	return c, nil
 }
 
 // Fingerprint returns the client's key fingerprint.
@@ -313,6 +348,12 @@ type FetchRequest struct {
 	// messages serialized through a mutex) — mainly for comparison
 	// runs and differential tests.
 	DecodeWorkers int
+
+	// Priority is propagated with each GET on the wire: higher values
+	// win admission ties at an overloaded peer. Zero is normal. The
+	// fetch context's deadline is propagated alongside it, letting the
+	// peer drop work whose deadline has already passed.
+	Priority uint8
 }
 
 // decodeSink is what the fetch path needs from a decode engine: the
@@ -394,7 +435,7 @@ func (c *Client) Fetch(ctx context.Context, req FetchRequest) ([]byte, FetchStat
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = c.fetchPeerWithRetry(fetchCtx, addr, req.FileID, sink, &mu, &stats, finish)
+			errs[i] = c.fetchPeerWithRetry(fetchCtx, addr, req.FileID, req.Priority, sink, &mu, &stats, finish)
 		}(i, addr)
 	}
 	// Wait for either completion or all workers returning.
@@ -446,10 +487,14 @@ func (c *Client) Fetch(ctx context.Context, req FetchRequest) ([]byte, FetchStat
 // (*wire.RemoteError, e.g. unknown file) are terminal — the peer
 // answered, and asking again will not change the answer — but
 // transport failures (refused dials, resets, aborts without STOP) are
-// retried up to PeerRetries times with doubling backoff. The shared
-// sink keeps whatever messages earlier attempts delivered, so a
-// retry resumes rather than restarts the peer's contribution.
-func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uint64,
+// retried up to PeerRetries times with doubling backoff. BUSY sheds
+// are their own class: the peer is alive and said when to come back,
+// so the client re-requests after honoring RETRY_AFTER as a floor,
+// without burning the transport-retry budget — only the context (and
+// PeerFetchTimeout) bounds how long it keeps trying. The shared sink
+// keeps whatever messages earlier attempts delivered, so a retry
+// resumes rather than restarts the peer's contribution.
+func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uint64, priority uint8,
 	sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	if c.opt.PeerFetchTimeout > 0 {
 		var cancel context.CancelFunc
@@ -458,12 +503,39 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 	}
 	backoff := c.opt.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := c.fetchFromPeer(ctx, addr, fileID, sink, mu, stats, finish)
-		if err == nil || ctx.Err() != nil || attempt >= c.opt.PeerRetries {
+		err := c.fetchFromPeer(ctx, addr, fileID, priority, sink, mu, stats, finish)
+		if err == nil {
+			c.health.recordSuccess(addr, 0)
+			return nil
+		}
+		if ctx.Err() != nil {
 			return err
+		}
+		var busy *wire.Busy
+		if errors.As(err, &busy) {
+			if busy.Code == wire.CodeExpired {
+				return err // our deadline passed; asking again cannot help
+			}
+			c.health.recordShed(addr)
+			c.m.shedsObserved.Inc()
+			wait := c.opt.RetryBackoff
+			if ra := time.Duration(busy.RetryAfterMillis) * time.Millisecond; ra > wait {
+				wait = ra
+			}
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(wait):
+			}
+			attempt-- // sheds are not transport failures
+			continue
 		}
 		var remote *wire.RemoteError
 		if errors.As(err, &remote) {
+			return err
+		}
+		c.health.recordFailure(addr)
+		if attempt >= c.opt.PeerRetries {
 			return err
 		}
 		select {
@@ -473,6 +545,26 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 		}
 		backoff *= 2
 	}
+}
+
+// deadlineMillis converts a context deadline into the wire's relative
+// deadline-remaining field: milliseconds left, clamped to uint32, 0
+// when the context has no deadline. An already-expired deadline maps
+// to 1 ms so the peer still sees (and immediately drops) the request
+// as expired work instead of treating it as unbounded.
+func deadlineMillis(ctx context.Context) uint32 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		return 1
+	}
+	if ms > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
 }
 
 // fetchFromPeer streams messages from one peer into the shared sink
@@ -486,7 +578,7 @@ func (c *Client) fetchPeerWithRetry(ctx context.Context, addr string, fileID uin
 // bytes go straight to sink.AddBytes — no per-frame allocation and no
 // intermediate Message. Options.LegacyWire selects the historical
 // allocate-and-unmarshal loop, kept for differential testing.
-func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
+func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64, priority uint8,
 	sink rlnc.ByteSink, mu *sync.Mutex, stats *FetchStats, finish func()) error {
 	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
 	if err != nil {
@@ -506,7 +598,7 @@ func (c *Client) fetchFromPeer(ctx context.Context, addr string, fileID uint64,
 		}
 	}()
 
-	get := wire.Get{FileID: fileID}
+	get := wire.Get{FileID: fileID, DeadlineMillis: deadlineMillis(ctx), Priority: priority}
 	if err := wire.WriteFrame(conn, wire.TypeGet, get.Marshal()); err != nil {
 		return err
 	}
@@ -562,6 +654,17 @@ func (c *Client) recvLoop(ctx context.Context, conn net.Conn, addr, fingerprint 
 			// Peer exhausted its stored messages.
 			b.Release()
 			return nil
+		case wire.TypeBusy:
+			// Shed under overload (admission refusal, preemption, or
+			// expired deadline). The typed error carries the peer's
+			// RETRY_AFTER hint for the retry loop to honor.
+			var bz wire.Busy
+			uerr := bz.Unmarshal(b.Bytes())
+			b.Release()
+			if uerr != nil {
+				return uerr
+			}
+			return &bz
 		case wire.TypeError:
 			var e wire.ErrorMsg
 			uerr := e.Unmarshal(b.Bytes())
@@ -617,6 +720,12 @@ func (c *Client) recvLoopLegacy(ctx context.Context, conn net.Conn, addr, finger
 			}
 		case wire.TypeStop:
 			return nil
+		case wire.TypeBusy:
+			var bz wire.Busy
+			if err := bz.Unmarshal(frame.Payload); err != nil {
+				return err
+			}
+			return &bz
 		case wire.TypeError:
 			var e wire.ErrorMsg
 			if err := e.Unmarshal(frame.Payload); err != nil {
@@ -708,7 +817,23 @@ func (c *Client) FetchFile(ctx context.Context, addrs []string, m *chunk.Manifes
 				errs[i] = fileCtx.Err()
 				return
 			}
-			data, stats, err := c.fetchChunkMux(fileCtx, sessions, params, fileID, secret, digests)
+			var (
+				data  []byte
+				stats FetchStats
+				err   error
+			)
+			if c.opt.Hedge && len(sessions) > 0 {
+				// Resilient path: one stream at a time down the health
+				// ladder, hedging on stall. If it cannot complete the
+				// chunk (every session quarantined or exhausted), the
+				// breaker-blind mux path below still tries everything.
+				data, stats, err = c.fetchChunkHedged(fileCtx, sessions, i, params, fileID, secret, digests)
+				if err != nil && fileCtx.Err() == nil {
+					data, stats, err = c.fetchChunkMux(fileCtx, sessions, params, fileID, secret, digests)
+				}
+			} else {
+				data, stats, err = c.fetchChunkMux(fileCtx, sessions, params, fileID, secret, digests)
+			}
 			if err != nil && fileCtx.Err() == nil {
 				// Muxed path failed (no sessions, session died, stream
 				// refused): retry the chunk over fresh legacy connections.

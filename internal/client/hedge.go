@@ -1,0 +1,215 @@
+package client
+
+// Hedged chunk fetches (DESIGN.md §15). Where fetchChunkMux streams a
+// chunk from every session at once — maximum instantaneous goodput,
+// maximum wasted upload bandwidth — the hedged scheduler walks a
+// health-ranked ladder: the chunk starts on the single healthiest
+// session, and only when the stream stalls for a full hedge delay
+// (p95-based, health.go) or ends without completing the chunk is it
+// re-issued on the next-healthiest peer. The shared RLNC sink makes the
+// race safe: whichever stream delivers the last innovative message
+// wins, and duplicates are just redundant rows. Quarantined peers whose
+// breaker cooldown has lapsed ride along as half-open probes so
+// recovery is observed without risking the chunk on them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asymshare/internal/rlnc"
+	"asymshare/internal/wire"
+)
+
+// hedgeLaunch tracks one ladder rung's in-flight stream.
+type hedgeLaunch struct {
+	sess    *PeerSession
+	started time.Time
+	probe   bool
+	bytes   atomic.Int64
+	err     error // written by the stream goroutine, read after wg.Wait
+}
+
+// fetchChunkHedged downloads one generation over the open sessions with
+// hedging: one stream at a time down the health ladder, re-issuing on
+// stall, plus concurrent half-open probes for cooled-down quarantined
+// peers. rotate (the chunk index) spreads concurrent chunks across
+// equally healthy peers. Failing here is cheap — FetchFile falls back
+// to the all-sessions mux path, which ignores the breaker entirely.
+func (c *Client) fetchChunkHedged(ctx context.Context, sessions []*PeerSession, rotate int,
+	params rlnc.Params, fileID uint64, secret []byte, digests map[uint64]rlnc.Digest) ([]byte, FetchStats, error) {
+	stats := FetchStats{BytesFrom: make(map[string]uint64, len(sessions))}
+	ladder, probeFrom := c.health.order(sessions, rotate)
+	if len(ladder) == 0 {
+		return nil, stats, fmt.Errorf("%w: every session quarantined", ErrNoPeers)
+	}
+	req := FetchRequest{Params: params, FileID: fileID, Secret: secret, Digests: digests}
+	sink, telemetry, err := req.newSink()
+	if err != nil {
+		return nil, stats, err
+	}
+	if closer, ok := sink.(interface{ Close() }); ok {
+		defer closer.Close()
+	}
+	stopSampling := c.m.sampleDecode(telemetry)
+
+	start := time.Now()
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu          sync.Mutex // guards stats.BytesFrom
+		wg          sync.WaitGroup
+		progress    atomic.Int64
+		launches    = make([]*hedgeLaunch, len(ladder))
+		results     = make(chan int, len(ladder))
+		outstanding int
+	)
+	launch := func(i int, probe bool) {
+		l := &hedgeLaunch{sess: ladder[i], started: time.Now(), probe: probe}
+		launches[i] = l
+		outstanding++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fp := l.sess.Fingerprint()
+			l.err = l.sess.Fetch(streamCtx, fileID, sink, func(n int) {
+				l.bytes.Add(int64(n))
+				progress.Add(int64(n))
+				mu.Lock()
+				stats.BytesFrom[fp] += uint64(n)
+				mu.Unlock()
+			})
+			results <- i
+		}()
+	}
+	// launchNext continues the ladder onto the next unstarted healthy
+	// rung; probe rungs are handled at start-up only.
+	launchNext := func() bool {
+		for i := 0; i < probeFrom; i++ {
+			if launches[i] == nil {
+				launch(i, false)
+				return true
+			}
+		}
+		return false
+	}
+
+	// Primary stream plus every claimable half-open probe. The probes
+	// are why a quarantined peer can ever be observed recovering: its
+	// single post-cooldown stream runs alongside a healthy primary, so
+	// the chunk never depends on it.
+	launch(0, false)
+	for i := probeFrom; i < len(ladder); i++ {
+		if c.health.beginProbe(ladder[i].Addr()) {
+			launch(i, true)
+		}
+	}
+
+	delay := c.health.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var lastProgress int64
+loop:
+	for outstanding > 0 {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-results:
+			outstanding--
+			if sink.Done() {
+				break loop
+			}
+			// The rung ended — exhausted, shed, or failed — without
+			// completing the chunk: walk the ladder immediately rather
+			// than waiting out the hedge timer.
+			launchNext()
+		case <-timer.C:
+			if progress.Load() == lastProgress && !sink.Done() {
+				// A full hedge delay with not one byte of progress:
+				// re-issue the chunk on the next-healthiest peer. The
+				// straggler keeps running — it may still win — until
+				// the chunk completes and cancel() reaps it.
+				if launchNext() {
+					c.m.hedgeLaunched.Inc()
+				}
+			}
+			lastProgress = progress.Load()
+			timer.Reset(delay)
+		}
+	}
+	cancel()
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	stopSampling()
+
+	completed := sink.Done()
+	c.classifyHedged(launches, completed, delay)
+
+	st := sink.Stats()
+	stats.Messages = st.Received
+	stats.Innovative = st.Accepted
+	stats.Rejected = st.Rejected
+
+	if !completed {
+		err := ctx.Err()
+		if err == nil {
+			errs := make([]error, 0, len(launches))
+			for _, l := range launches {
+				if l != nil && l.err != nil {
+					errs = append(errs, l.err)
+				}
+			}
+			err = fmt.Errorf("%w: rank %d of %d (%s)",
+				ErrIncomplete, sink.Rank(), params.K, joinErrs(errs))
+		}
+		c.m.recordFetch(stats, 0, err)
+		return nil, stats, err
+	}
+	data, err := sink.Decode()
+	if err != nil {
+		c.m.recordFetch(stats, 0, err)
+		return nil, stats, err
+	}
+	c.m.recordFetch(stats, len(data), nil)
+	if telemetry != nil {
+		c.m.recordDecodeTelemetry(telemetry())
+	}
+	return data, stats, nil
+}
+
+// classifyHedged folds every launched stream's outcome into the health
+// registry. Called after wg.Wait, so err fields are settled.
+func (c *Client) classifyHedged(launches []*hedgeLaunch, completed bool, delay time.Duration) {
+	for _, l := range launches {
+		if l == nil {
+			continue
+		}
+		addr := l.sess.Addr()
+		elapsed := time.Since(l.started)
+		var busy *wire.Busy
+		switch {
+		case errors.As(l.err, &busy):
+			// Shed under overload: an honest answer, not sickness.
+			c.health.recordShed(addr)
+			c.m.shedsObserved.Inc()
+		case l.err != nil:
+			c.health.recordFailure(addr)
+		case completed && l.bytes.Load() == 0 && elapsed > delay:
+			// Held a stream for a whole hedge delay and contributed
+			// nothing while another peer finished the chunk: a stall —
+			// the exact pathology hedging exists to route around.
+			c.health.recordFailure(addr)
+			c.m.hedgeStalls.Inc()
+		case completed && l.bytes.Load() > 0:
+			c.health.recordSuccess(addr, elapsed)
+		default:
+			// Exhausted its stored messages or arrived too late to
+			// matter: liveness proven, no latency sample.
+			c.health.recordSuccess(addr, 0)
+		}
+	}
+}

@@ -28,6 +28,16 @@ const (
 	MetricDecodeQueueDepth  = "client_decode_queue_depth"
 	MetricDecodeBusyWorkers = "client_decode_busy_workers"
 	MetricDecodeElimBytes   = "client_decode_eliminated_bytes_total"
+
+	// Overload-resilience families (DESIGN.md §15): hedged re-issues,
+	// per-peer circuit breakers, and BUSY sheds observed from peers.
+	MetricHedgeLaunched      = "hedge_launched_total"
+	MetricHedgeStalls        = "hedge_stalls_total"
+	MetricBreakerOpens       = "breaker_opens_total"
+	MetricBreakerProbes      = "breaker_probes_total"
+	MetricBreakerRecoveries  = "breaker_recoveries_total"
+	MetricBreakerOpenCurrent = "breaker_open_current"
+	MetricShedsObserved      = "client_sheds_observed_total"
 )
 
 // clientMetrics holds the download-side instruments; the zero value
@@ -47,6 +57,14 @@ type clientMetrics struct {
 	decodeDepth *metrics.Gauge
 	decodeBusy  *metrics.Gauge
 	decodeElim  *metrics.Counter
+
+	hedgeLaunched     *metrics.Counter
+	hedgeStalls       *metrics.Counter
+	breakerOpens      *metrics.Counter
+	breakerProbes     *metrics.Counter
+	breakerRecoveries *metrics.Counter
+	breakerOpen       *metrics.Gauge
+	shedsObserved     *metrics.Counter
 }
 
 // Instrument attaches per-fetch instrumentation to the client. Call it
@@ -71,6 +89,14 @@ func (c *Client) Instrument(reg *metrics.Registry) {
 		decodeDepth: reg.Gauge(MetricDecodeQueueDepth, "Payload elimination jobs queued in the decode pipeline."),
 		decodeBusy:  reg.Gauge(MetricDecodeBusyWorkers, "Decode pipeline workers currently eliminating a segment."),
 		decodeElim:  reg.Counter(MetricDecodeElimBytes, "Payload bytes processed by decode row operations."),
+
+		hedgeLaunched:     reg.Counter(MetricHedgeLaunched, "Hedge streams re-issued after a stall on the primary peer."),
+		hedgeStalls:       reg.Counter(MetricHedgeStalls, "Streams judged stalled: held a slot for a full hedge delay yet contributed nothing."),
+		breakerOpens:      reg.Counter(MetricBreakerOpens, "Circuit breakers tripped open by consecutive peer failures."),
+		breakerProbes:     reg.Counter(MetricBreakerProbes, "Half-open probe streams launched against quarantined peers."),
+		breakerRecoveries: reg.Counter(MetricBreakerRecoveries, "Breakers closed again after a successful probe or fetch."),
+		breakerOpen:       reg.Gauge(MetricBreakerOpenCurrent, "Peers currently quarantined by an open circuit breaker."),
+		shedsObserved:     reg.Counter(MetricShedsObserved, "BUSY sheds received from overloaded peers."),
 	}
 }
 

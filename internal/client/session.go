@@ -99,6 +99,11 @@ func (sw *sessionWriter) writeFrame(t wire.Type, payload []byte) error {
 func (c *Client) NewPeerSession(ctx context.Context, addr string) (*PeerSession, error) {
 	conn, peerKey, err := c.dial(ctx, addr, wire.RoleUser)
 	if err != nil {
+		// A failed dial or handshake while the caller's context is
+		// still live is the peer's fault — feed the circuit breaker.
+		if ctx.Err() == nil {
+			c.health.recordFailure(addr)
+		}
 		return nil, err
 	}
 	s := &PeerSession{
@@ -259,6 +264,24 @@ func (s *PeerSession) demux() {
 			if st != nil {
 				st.fail(&wire.RemoteError{Code: se.Code, Reason: se.Reason})
 			}
+		case wire.TypeBusy:
+			// Stream-scoped shed: the peer refused, preempted, or
+			// expired the one stream the frame names. Like a duplicate
+			// STREAM_ERROR, a BUSY for an unknown stream is ignored.
+			var bz wire.Busy
+			uerr := bz.Unmarshal(b.Bytes())
+			b.Release()
+			if uerr != nil {
+				s.failAll(uerr)
+				return
+			}
+			s.mu.Lock()
+			st := s.streams[bz.FileID]
+			delete(s.streams, bz.FileID)
+			s.mu.Unlock()
+			if st != nil {
+				st.fail(&bz)
+			}
 		case wire.TypeError:
 			var e wire.ErrorMsg
 			uerr := e.Unmarshal(b.Bytes())
@@ -290,6 +313,24 @@ func (s *PeerSession) stop(fileID uint64) {
 // accounting. Digest failures are tolerated (the forged message is
 // dropped, the stream continues), matching the legacy fetch path.
 func (s *PeerSession) Fetch(ctx context.Context, fileID uint64, sink rlnc.ByteSink, onBytes func(int)) error {
+	return s.FetchStream(ctx, StreamRequest{FileID: fileID}, sink, onBytes)
+}
+
+// StreamRequest names one muxed stream's inputs beyond the defaults:
+// the generation to fetch and the wire priority propagated with it.
+type StreamRequest struct {
+	FileID uint64
+
+	// Priority is carried in the GET_MUX frame; higher values win
+	// admission ties at an overloaded peer. Zero is normal.
+	Priority uint8
+}
+
+// FetchStream is Fetch with an explicit stream request. The context's
+// deadline, if any, is propagated on the wire as the remaining budget
+// so the peer can drop the stream once it passes.
+func (s *PeerSession) FetchStream(ctx context.Context, req StreamRequest, sink rlnc.ByteSink, onBytes func(int)) error {
+	fileID := req.FileID
 	st := &sessStream{
 		fileID: fileID,
 		frames: make(chan *wire.Buf, sessStreamBuffer),
@@ -299,7 +340,7 @@ func (s *PeerSession) Fetch(ctx context.Context, fileID uint64, sink rlnc.ByteSi
 		return err
 	}
 	defer s.unregister(st)
-	get := wire.Get{FileID: fileID}
+	get := wire.Get{FileID: fileID, DeadlineMillis: deadlineMillis(ctx), Priority: req.Priority}
 	if err := s.cw.writeFrame(wire.TypeGetMux, get.Marshal()); err != nil {
 		return err
 	}

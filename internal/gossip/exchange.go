@@ -245,13 +245,36 @@ func (e *Engine) readData(fr *wire.FrameReader, fileID uint64, k, payloadLen int
 	}
 }
 
+// maxExchangeIDs caps how many remote-supplied message ids one
+// exchange will even look at. Offers and want-queues are adversarial
+// inputs (any contact can connect); without the cap a single huge id
+// list would cost unbounded memory in the diff maps below long before
+// Budget caps the data transfer.
+const maxExchangeIDs = 1 << 16
+
+// clampIDs truncates a remote id list to the processing cap.
+func clampIDs(ids []uint64) []uint64 {
+	if len(ids) > maxExchangeIDs {
+		return ids[:maxExchangeIDs]
+	}
+	return ids
+}
+
 // Exchange runs one initiator-side exchange of fileID with the engine
 // at addr, returning the number of messages that moved in either
-// direction.
+// direction. The round's context is bounded by ExchangeTimeout before
+// the dial: a blackholed partner must cost one timed-out exchange, not
+// a round wedged for as long as the caller's context lives (armConn
+// only bounds the connection once the dial has returned).
 func (e *Engine) Exchange(ctx context.Context, addr string, fileID uint64) (int, error) {
 	ids, k, payloadLen := e.snapshotIDs(fileID)
 	if len(ids) == 0 {
 		return 0, fmt.Errorf("gossip: nothing stored for file %d", fileID)
+	}
+	if e.cfg.ExchangeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.ExchangeTimeout)
+		defer cancel()
 	}
 	conn, err := e.cfg.Transport.DialContext(ctx, addr)
 	if err != nil {
@@ -273,6 +296,7 @@ func (e *Engine) Exchange(ctx context.Context, addr string, fileID uint64) (int,
 	if len(want.Want) > e.cfg.Budget {
 		want.Want = want.Want[:e.cfg.Budget]
 	}
+	want.Offer = clampIDs(want.Offer)
 	sent, err := e.sendData(fw, fileID, want.Want)
 	if err != nil {
 		return sent, err
@@ -305,6 +329,7 @@ func (e *Engine) serveExchange(conn net.Conn) error {
 	if len(offer.IDs) == 0 {
 		return fmt.Errorf("gossip: empty offer")
 	}
+	offer.IDs = clampIDs(offer.IDs)
 	e.mu.Lock()
 	g := e.genLocked(offer.FileID, offer.K, offer.PayloadLen)
 	wantIDs := missing(offer.IDs, g.ids, e.cfg.Budget)

@@ -270,3 +270,58 @@ func TestExchangeUnknownGeneration(t *testing.T) {
 		t.Fatal("exchange of an unseeded generation succeeded")
 	}
 }
+
+// stallTransport blocks every dial until the context expires —
+// modelling a blackholed partner (ISSUE 10 satellite: exchange rounds
+// must carry deadlines of their own).
+type stallTransport struct{}
+
+func (stallTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func (stallTransport) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestExchangeBoundedByTimeoutOnStalledDial pins that Exchange bounds
+// itself by ExchangeTimeout before dialing: a blackholed partner costs
+// one timed-out exchange, not a round wedged for as long as the
+// caller's (here unbounded) context lives.
+func TestExchangeBoundedByTimeoutOnStalledDial(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Transport:       stallTransport{},
+		ExchangeTimeout: 100 * time.Millisecond,
+	})
+	const fileID = 9
+	if err := e.Seed(fileID, 2, testPayloadLen, mkMsgs(fileID, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := e.Exchange(context.Background(), "10.255.255.1:1", fileID)
+	if err == nil {
+		t.Fatal("exchange with a blackholed partner succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("exchange took %v, want ~ExchangeTimeout", elapsed)
+	}
+}
+
+// TestExchangeClampsRemoteIDLists pins the processing cap on
+// remote-supplied id lists: a responder facing an oversized offer still
+// answers within Budget and maxExchangeIDs instead of allocating
+// proportionally to the attacker's list.
+func TestExchangeClampsRemoteIDLists(t *testing.T) {
+	huge := make([]uint64, maxExchangeIDs+5)
+	for i := range huge {
+		huge[i] = uint64(i)
+	}
+	if got := clampIDs(huge); len(got) != maxExchangeIDs {
+		t.Fatalf("clampIDs kept %d ids, want %d", len(got), maxExchangeIDs)
+	}
+	small := []uint64{1, 2, 3}
+	if got := clampIDs(small); len(got) != 3 {
+		t.Fatalf("clampIDs truncated a small list to %d", len(got))
+	}
+}

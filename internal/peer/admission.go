@@ -1,0 +1,190 @@
+package peer
+
+// Bounded admission and standing-aware load shedding (DESIGN.md §15).
+//
+// When Config.MaxStreams caps the serve path, a request arriving at the
+// bound is not queued behind unbounded work: the node either preempts
+// the active stream with the lowest (priority, fairness standing) —
+// exactly the ordering the paper's incentive structure implies, free
+// riders shed first — or refuses the newcomer with a typed BUSY /
+// RETRY_AFTER frame it can act on. Before refusing anyone the node
+// passes through a brownout band (three quarters of the bound and up)
+// in which every stream serves with halved batch sizes, trading peak
+// throughput for admission headroom.
+
+import (
+	"time"
+
+	"asymshare/internal/fairshare"
+	"asymshare/internal/wire"
+)
+
+const (
+	// busyRetryAfterMillis is the back-off hint carried by every
+	// admission refusal and preemption. It is deliberately modest: a
+	// slot usually frees within a transfer time, and clients treat it
+	// as a floor, not a schedule.
+	busyRetryAfterMillis = 250
+
+	// preemptMargin is how much larger (multiplicatively) a newcomer's
+	// standing must be than the weakest active stream's before it may
+	// preempt at equal priority. Without the margin two near-equal
+	// requesters would preempt each other in a livelock.
+	preemptMargin = 1.1
+
+	// Brownout engages when active streams reach brownoutNum/brownoutDen
+	// of MaxStreams.
+	brownoutNum, brownoutDen = 3, 4
+
+	// minDrainInterval is the shortest window a drain-rate sample may
+	// span; register/unregister mini-ticks below it reuse the previous
+	// full-tick rates instead of dividing by near-zero time.
+	minDrainInterval = 200 * time.Millisecond
+
+	// maxDrainInterval bounds how much wall clock one drain sample may
+	// span. Ticks only run while streams are active, so the first tick
+	// after an idle stretch sees marks that are minutes old; dividing
+	// bytes by that gap reads as a near-zero drain rate and would pin a
+	// returning requester at the floor. Gaps past the bound reset the
+	// history to unbounded instead.
+	maxDrainInterval = 2 * time.Second
+
+	// drainSaturation is the fraction of the granted rate above which
+	// an observed drain says nothing about demand: the requester
+	// consumed essentially everything it was offered, so it is
+	// grant-limited, not demand-limited, and capping it at the measured
+	// rate would lock in the starvation it is already suffering.
+	drainSaturation = 0.8
+
+	// demandHeadroom multiplies the observed drain rate into the Demand
+	// cap: 2x leaves room for a healthy stream to double each tick
+	// until it is genuinely capacity-bound.
+	demandHeadroom = 2.0
+
+	// demandFloorBytesPerSec keeps a briefly idle requester's demand
+	// above zero so it can ramp back up instead of being starved.
+	demandFloorBytesPerSec = 4096.0
+)
+
+// admitVerdict is the outcome of one admission decision.
+type admitVerdict struct {
+	ok bool
+	// retryAfterMillis is the back-off hint for a refusal (ok false).
+	retryAfterMillis uint32
+	// victim is the stream preempted to make room (ok true); the
+	// caller sheds it outside the node lock.
+	victim *stream
+}
+
+// admitStream decides — atomically with registration, so concurrent
+// requests cannot oversubscribe the bound — whether the node takes on
+// one more download stream. The granted fast path performs no
+// allocation (gated by TestAdmissionSteadyStateAllocs).
+func (n *Node) admitStream(s *stream) admitVerdict {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	max := n.cfg.MaxStreams
+	if max <= 0 || len(n.streams) < max {
+		n.registerLocked(s)
+		return admitVerdict{ok: true}
+	}
+	// At the bound: find the weakest active stream by (priority,
+	// standing). Shed ordering is the fairness ledger's, so the
+	// requesters the allocator would reward least are dropped first.
+	var victim *stream
+	var victimStanding float64
+	for t := range n.streams {
+		standing := n.ledger.Received(t.client)
+		if victim == nil || t.priority < victim.priority ||
+			(t.priority == victim.priority && standing < victimStanding) {
+			victim, victimStanding = t, standing
+		}
+	}
+	if victim != nil {
+		standing := n.ledger.Received(s.client)
+		if s.priority > victim.priority ||
+			(s.priority == victim.priority && standing > victimStanding*preemptMargin) {
+			delete(n.streams, victim)
+			n.m.streamsActive.Add(-1)
+			n.registerLocked(s)
+			return admitVerdict{ok: true, victim: victim}
+		}
+	}
+	return admitVerdict{retryAfterMillis: busyRetryAfterMillis}
+}
+
+// shedStream notifies and cancels a preempted stream. Called outside
+// n.mu: the BUSY frame goes out on the victim's own connection, whose
+// write lock may be held by the victim's serve loop mid-flush.
+func (n *Node) shedStream(victim *stream, reason string) {
+	if victim.notifyBusy != nil {
+		victim.notifyBusy(wire.CodeBusy, busyRetryAfterMillis, reason)
+	}
+	victim.cancel()
+	n.recordShed(victim.client, true)
+}
+
+// updateBrownoutLocked recomputes the brownout flag from the active
+// stream count. Callers hold mu.
+func (n *Node) updateBrownoutLocked() {
+	max := n.cfg.MaxStreams
+	b := max > 0 && len(n.streams)*brownoutDen >= max*brownoutNum
+	n.brownout.Store(b)
+	if b {
+		n.m.overloadBrownout.Set(1)
+	} else {
+		n.m.overloadBrownout.Set(0)
+	}
+}
+
+// currentBatchBytes is the per-flush DATA budget a serve loop may queue
+// right now: the normal watermark, halved during brownout.
+func (n *Node) currentBatchBytes() int {
+	if n.brownout.Load() {
+		return serveBatchBytes / 2
+	}
+	return serveBatchBytes
+}
+
+// recordShed accounts one refused or preempted request.
+func (n *Node) recordShed(client fairshare.ID, preempt bool) {
+	n.statsMu.Lock()
+	n.sheds++
+	if preempt {
+		n.preempts++
+	}
+	n.shedsByClient[client]++
+	n.statsMu.Unlock()
+	n.m.overloadSheds.Inc()
+	if preempt {
+		n.m.overloadPreempts.Inc()
+	}
+}
+
+// recordExpired accounts one stream dropped because its propagated
+// deadline passed before (or while) it was served.
+func (n *Node) recordExpired() {
+	n.statsMu.Lock()
+	n.expired++
+	n.statsMu.Unlock()
+	n.m.overloadExpired.Inc()
+}
+
+// OverloadStats reports the node's shed/preempt/expiry accounting.
+type OverloadStats struct {
+	Sheds         int64 // refusals + preemptions, total
+	Preempts      int64 // sheds that made room for a higher-standing requester
+	Expired       int64 // streams dropped on a passed deadline
+	ShedsByClient map[fairshare.ID]int64
+}
+
+// OverloadStats snapshots the overload accounting.
+func (n *Node) OverloadStats() OverloadStats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	by := make(map[fairshare.ID]int64, len(n.shedsByClient))
+	for k, v := range n.shedsByClient {
+		by[k] = v
+	}
+	return OverloadStats{Sheds: n.sheds, Preempts: n.preempts, Expired: n.expired, ShedsByClient: by}
+}

@@ -74,6 +74,13 @@ func (cw *connWriter) writeStreamError(fileID uint64, code uint16, reason string
 	return cw.writeFrame(wire.TypeStreamError, e.Marshal())
 }
 
+// writeBusy sends a load-shed refusal for one stream: retry after the
+// hint, the connection stays open either way.
+func (cw *connWriter) writeBusy(fileID uint64, code uint16, retryAfterMillis uint32, reason string) error {
+	b := wire.Busy{FileID: fileID, Code: code, RetryAfterMillis: retryAfterMillis, Reason: reason}
+	return cw.writeFrame(wire.TypeBusy, b.Marshal())
+}
+
 // connState bundles the per-connection resources the frame dispatcher
 // and its stream goroutines share.
 type connState struct {
@@ -105,6 +112,11 @@ func (n *Node) handleConn(conn net.Conn) {
 	connCtx, connCancel := context.WithCancel(n.ctx)
 	defer func() {
 		connCancel()
+		// Close before waiting: a stream can be parked inside a shaped
+		// or kernel-buffered write on this connection, and only the
+		// close unblocks it. Waiting first would deadlock shutdown for
+		// as long as the link takes to drain.
+		conn.Close()
 		streamWG.Wait()
 	}()
 	cs := &connState{
@@ -389,14 +401,33 @@ func (n *Node) startStream(cs *connState, get wire.Get, mux bool) (*stream, erro
 	}
 	streamCtx, cancel := context.WithCancel(cs.ctx)
 	s := &stream{
-		client:  cs.client,
-		bucket:  ratelimit.NewBucket(0, burst),
-		cancel:  cancel,
-		fileID:  get.FileID,
-		limited: n.shaping(),
+		client:   cs.client,
+		bucket:   ratelimit.NewBucket(0, burst),
+		cancel:   cancel,
+		fileID:   get.FileID,
+		limited:  n.shaping(),
+		priority: get.Priority,
+	}
+	if get.DeadlineMillis > 0 {
+		// The wire carries deadline-*remaining*, so no clock agreement
+		// with the requester is needed: anchor it here.
+		s.deadline = time.Now().Add(time.Duration(get.DeadlineMillis) * time.Millisecond)
+	}
+	cw := cs.cw
+	s.notifyBusy = func(code uint16, retryAfterMillis uint32, reason string) {
+		_ = cw.writeBusy(get.FileID, code, retryAfterMillis, reason)
 	}
 	s.bucket.SetMetrics(n.m.waitSeconds, n.m.throttled)
-	n.registerStream(s)
+	verdict := n.admitStream(s)
+	if verdict.victim != nil {
+		n.shedStream(verdict.victim, "preempted by a higher-standing requester")
+	}
+	if !verdict.ok {
+		cancel()
+		n.recordShed(cs.client, false)
+		_ = cw.writeBusy(get.FileID, wire.CodeBusy, verdict.retryAfterMillis, "at stream capacity")
+		return nil, &wire.RemoteError{Code: wire.CodeBusy}
+	}
 	cs.wg.Add(1)
 	go func() {
 		defer cs.wg.Done()
@@ -427,6 +458,17 @@ func (n *Node) startStream(cs *connState, get wire.Get, mux bool) (*stream, erro
 func (n *Node) serveStream(ctx context.Context, cw *connWriter, s *stream, msgs []*rlnc.Message) {
 	var hdr [rlnc.MessageHeaderBytes]byte
 	for i := 0; i < len(msgs); {
+		// Dead work is dropped, not served: once the requester's
+		// propagated deadline passes, every further byte would arrive
+		// too late to matter, so tell the requester and free the slot.
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			n.recordExpired()
+			_ = cw.writeBusy(s.fileID, wire.CodeExpired, 0, "deadline passed")
+			return
+		}
+		// Brownout halves the batch budget per flush, re-read each
+		// round so the degradation tracks admission load live.
+		batchBytes := n.currentBatchBytes()
 		msg := msgs[i]
 		need := rlnc.MessageHeaderBytes + len(msg.Payload)
 		if s.limited {
@@ -445,7 +487,7 @@ func (n *Node) serveStream(ctx context.Context, cw *connWriter, s *stream, msgs 
 		}
 		sent := need
 		i++
-		for i < len(msgs) && cw.fw.Queued() < serveBatchBytes {
+		for i < len(msgs) && cw.fw.Queued() < batchBytes {
 			next := msgs[i]
 			nn := rlnc.MessageHeaderBytes + len(next.Payload)
 			if s.limited {

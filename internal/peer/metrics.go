@@ -27,6 +27,13 @@ const (
 	MetricAuditSampled   = "peer_audit_messages_sampled_total"
 	MetricAuditHeld      = "peer_audit_messages_held_total"
 
+	// Overload-resilience families (DESIGN.md §15).
+	MetricOverloadSheds    = "overload_sheds_total"
+	MetricOverloadPreempts = "overload_preempts_total"
+	MetricOverloadExpired  = "overload_expired_total"
+	MetricOverloadBrownout = "overload_brownout_active"
+	MetricOverloadAdmitted = "overload_admitted_total"
+
 	// Ratelimit families shared by every stream bucket of the node.
 	MetricWaitSeconds = "ratelimit_wait_seconds"
 	MetricThrottled   = "ratelimit_throttle_events_total"
@@ -57,6 +64,12 @@ type nodeMetrics struct {
 	auditSampled   *metrics.Counter
 	auditHeld      *metrics.Counter
 
+	overloadSheds    *metrics.Counter
+	overloadPreempts *metrics.Counter
+	overloadExpired  *metrics.Counter
+	overloadBrownout *metrics.Gauge
+	overloadAdmitted *metrics.Counter
+
 	waitSeconds *metrics.Histogram
 	throttled   *metrics.Counter
 }
@@ -77,10 +90,19 @@ func newNodeMetrics(reg *metrics.Registry) nodeMetrics {
 		storedBytes:    reg.Counter(MetricStoredBytes, "Message bytes accepted via PUT."),
 		feedback:       reg.Counter(MetricFeedback, "Owner feedback reports folded into the ledger."),
 		auditsAnswered: reg.Counter(MetricAuditsAnswered, "Audit challenges answered."),
-		auditSampled:   reg.Counter(MetricAuditSampled, "Messages probed by incoming audit challenges."),
-		auditHeld:      reg.Counter(MetricAuditHeld, "Probed messages the store still held."),
-		waitSeconds:    reg.Histogram(MetricWaitSeconds, "Time send loops spent blocked in the token bucket.", metrics.UnitSeconds),
-		throttled:      reg.Counter(MetricThrottled, "Shaped sends that had to block for tokens."),
+		overloadSheds:  reg.Counter(MetricOverloadSheds, "Download requests refused or preempted with BUSY under overload."),
+		overloadPreempts: reg.Counter(MetricOverloadPreempts,
+			"Active streams preempted in favor of a higher-standing requester."),
+		overloadExpired: reg.Counter(MetricOverloadExpired,
+			"Streams dropped because the requester's propagated deadline passed."),
+		overloadBrownout: reg.Gauge(MetricOverloadBrownout,
+			"1 while the node serves with halved batch sizes (brownout), 0 otherwise."),
+		overloadAdmitted: reg.Counter(MetricOverloadAdmitted,
+			"Download streams admitted by the bounded admission check."),
+		auditSampled: reg.Counter(MetricAuditSampled, "Messages probed by incoming audit challenges."),
+		auditHeld:    reg.Counter(MetricAuditHeld, "Probed messages the store still held."),
+		waitSeconds:  reg.Histogram(MetricWaitSeconds, "Time send loops spent blocked in the token bucket.", metrics.UnitSeconds),
+		throttled:    reg.Counter(MetricThrottled, "Shaped sends that had to block for tokens."),
 	}
 }
 

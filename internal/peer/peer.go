@@ -16,6 +16,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asymshare/internal/auth"
@@ -131,6 +132,16 @@ type Config struct {
 	// closed immediately. Zero means unlimited.
 	MaxConns int
 
+	// MaxStreams bounds concurrently served download streams (the
+	// admission queue of DESIGN.md §15). At the bound, a new request
+	// either preempts the active stream with the lowest (priority,
+	// fairness standing) — free riders shed first, high-standing
+	// requesters protected — or is refused with a typed BUSY /
+	// RETRY_AFTER frame. At three quarters of the bound the node enters
+	// brownout and serves every stream with halved batch sizes before
+	// refusing anyone. Zero means unlimited (no admission control).
+	MaxStreams int
+
 	// Transport provides the listener; nil means real TCP
 	// (transport.Default). Tests inject an in-memory netsim fabric
 	// here to drive the node through latency, loss and partitions.
@@ -180,6 +191,20 @@ type Node struct {
 	posBuf    map[fairshare.ID]int
 	grantsBuf fairshare.Grants
 
+	// Drain-rate tracking (under mu): per-requester served-byte marks
+	// and the EWMA-free rate observed over the last full tick, feeding
+	// Requester.Demand so water-fill stops over-granting requesters
+	// that cannot drain what they are granted. lastDrainMark is when
+	// the marks were last advanced.
+	drainPrev     map[fairshare.ID]int64
+	drainRate     map[fairshare.ID]float64
+	grantRate     map[fairshare.ID]float64 // rate granted at the last tick
+	lastDrainMark time.Time
+
+	// brownout is set while admission load is at or above the brownout
+	// threshold; serve loops read it per batch to halve their sizes.
+	brownout atomic.Bool
+
 	// Estimator sample train: flush timings aggregate here until
 	// estimate.MinTrainBytes have been observed, then emit one Sample
 	// (small flushes ride socket buffers and would read fast).
@@ -194,17 +219,30 @@ type Node struct {
 	auditsSampled int64 // messages probed across challenges
 	auditsHeld    int64 // probed messages actually held
 
+	// Overload accounting (under statsMu); see OverloadStats.
+	sheds         int64
+	preempts      int64
+	expired       int64
+	shedsByClient map[fairshare.ID]int64
+
 	ownersMu sync.Mutex
 	owners   map[uint64]fairshare.ID // file-id -> first uploader
 }
 
 // stream is one active download being served.
 type stream struct {
-	client  fairshare.ID
-	bucket  *ratelimit.Bucket
-	cancel  context.CancelFunc
-	fileID  uint64
-	limited bool // false = no upload cap: skip the bucket entirely
+	client   fairshare.ID
+	bucket   *ratelimit.Bucket
+	cancel   context.CancelFunc
+	fileID   uint64
+	limited  bool // false = no upload cap: skip the bucket entirely
+	priority uint8
+	deadline time.Time // zero = none; work past it is dropped, not served
+	// notifyBusy writes a BUSY frame for this stream on its own
+	// connection; the admission path calls it (outside n.mu) when the
+	// stream is preempted for a higher-standing requester. Nil in
+	// tests that fabricate streams directly.
+	notifyBusy func(code uint16, retryAfterMillis uint32, reason string)
 }
 
 // New validates the configuration and creates a node (not yet
@@ -217,16 +255,21 @@ func New(cfg Config) (*Node, error) {
 		return nil, errors.New("peer: config requires a store")
 	}
 	n := &Node{
-		cfg:      cfg,
-		ledger:   cfg.Ledger,
-		alloc:    cfg.Allocator,
-		est:      cfg.Estimator,
-		log:      cfg.Logger,
-		interval: cfg.ReallocInterval,
-		streams:  make(map[*stream]struct{}),
-		posBuf:   make(map[fairshare.ID]int),
-		bytesOut: make(map[fairshare.ID]int64),
-		owners:   make(map[uint64]fairshare.ID),
+		cfg:           cfg,
+		ledger:        cfg.Ledger,
+		alloc:         cfg.Allocator,
+		est:           cfg.Estimator,
+		log:           cfg.Logger,
+		interval:      cfg.ReallocInterval,
+		streams:       make(map[*stream]struct{}),
+		posBuf:        make(map[fairshare.ID]int),
+		bytesOut:      make(map[fairshare.ID]int64),
+		owners:        make(map[uint64]fairshare.ID),
+		drainPrev:     make(map[fairshare.ID]int64),
+		drainRate:     make(map[fairshare.ID]float64),
+		grantRate:     make(map[fairshare.ID]float64),
+		shedsByClient: make(map[fairshare.ID]int64),
+		lastDrainMark: time.Now(),
 	}
 	if cfg.LedgerPath != "" {
 		led, rec, err := fairshare.RecoverBook(cfg.FS, cfg.LedgerPath, fairshare.DefaultInitialCredit, cfg.LedgerBound)
@@ -561,12 +604,18 @@ func (n *Node) reallocateLocked() {
 		}
 		return
 	}
-	// Taken feeds contribution-index policies (BiasedContribution).
+	// Taken feeds contribution-index policies (BiasedContribution);
+	// the same served-byte reads drive the drain-rate marks behind
+	// Requester.Demand.
 	n.statsMu.Lock()
 	for i := range n.reqBuf {
 		n.reqBuf[i].Taken = float64(n.bytesOut[n.reqBuf[i].ID])
 	}
+	n.updateDrainRatesLocked()
 	n.statsMu.Unlock()
+	for i := range n.reqBuf {
+		n.reqBuf[i].Demand = n.demandFor(n.reqBuf[i].ID)
+	}
 	capacity := n.currentCapacity()
 	n.m.capacity.Set(capacity)
 	if capacity <= 0 {
@@ -584,6 +633,9 @@ func (n *Node) reallocateLocked() {
 		Scratch:    n.grantsBuf,
 	})
 	n.grantsBuf = grants
+	for i := range grants {
+		n.grantRate[grants[i].ID] = grants[i].Rate
+	}
 	for s := range n.streams {
 		i := n.posBuf[s.client]
 		s.bucket.SetRate(grants[i].Rate / float64(n.cntBuf[i]))
@@ -621,22 +673,91 @@ func (n *Node) recordFlush(bytes int, dur time.Duration) {
 	n.est.Observe(s)
 }
 
-func (n *Node) registerStream(s *stream) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// registerLocked adds an admitted stream and gives it a sane rate
+// immediately rather than waiting out the first tick. Callers hold mu.
+func (n *Node) registerLocked(s *stream) {
 	n.streams[s] = struct{}{}
 	n.m.streamsActive.Add(1)
-	// Give the new stream a sane rate immediately rather than waiting
-	// out the first tick.
+	n.m.overloadAdmitted.Inc()
+	n.updateBrownoutLocked()
 	n.reallocateLocked()
 }
 
 func (n *Node) unregisterStream(s *stream) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// A preempted stream was already removed (and its gauge decremented)
+	// by the admission path; its serve goroutine still unregisters on
+	// the way out, which must then be a no-op.
+	if _, ok := n.streams[s]; !ok {
+		return
+	}
 	delete(n.streams, s)
 	n.m.streamsActive.Add(-1)
+	n.updateBrownoutLocked()
 	n.reallocateLocked()
+}
+
+// updateDrainRatesLocked advances the per-requester served-byte marks
+// and recomputes observed drain rates once a meaningful interval has
+// passed. Callers hold both mu and statsMu (it reads bytesOut and
+// writes the mu-guarded drain maps).
+func (n *Node) updateDrainRatesLocked() {
+	elapsed := time.Since(n.lastDrainMark).Seconds()
+	if elapsed < minDrainInterval.Seconds() {
+		return // register/unregister mini-ticks: keep the last full-tick rates
+	}
+	n.lastDrainMark = time.Now()
+	stale := elapsed > maxDrainInterval.Seconds()
+	for i := range n.reqBuf {
+		id := n.reqBuf[i].ID
+		out := n.bytesOut[id]
+		prev, seen := n.drainPrev[id]
+		n.drainPrev[id] = out
+		if !seen || stale {
+			// No usable sample: a fresh requester, or marks separated
+			// by an idle gap. Leave demand unbounded.
+			delete(n.drainRate, id)
+			continue
+		}
+		rate := float64(out-prev) / elapsed
+		if g := n.grantRate[id]; g > 0 && rate >= drainSaturation*g {
+			// The requester drained essentially everything it was
+			// granted: the measured rate is the grant echoed back, not
+			// evidence of what it could drain. Capping demand at it
+			// would lock a floored requester at the floor forever.
+			delete(n.drainRate, id)
+			continue
+		}
+		n.drainRate[id] = rate
+	}
+	// Drop marks for requesters that left so the maps stay bounded by
+	// the active set and a returning requester starts unbounded again.
+	for id := range n.drainPrev {
+		if _, active := n.posBuf[id]; !active {
+			delete(n.drainPrev, id)
+			delete(n.drainRate, id)
+			delete(n.grantRate, id)
+		}
+	}
+}
+
+// demandFor translates an observed drain rate into the Demand cap
+// handed to the allocator: headroom above what the requester proved it
+// can drain, so a healthy stream can still grow, floored so a briefly
+// idle one is never starved out of its ramp back up. Requesters with
+// no full tick of history get 0 — unbounded — so new streams are not
+// throttled by an empty ledger of observations. Callers hold mu.
+func (n *Node) demandFor(id fairshare.ID) float64 {
+	rate, ok := n.drainRate[id]
+	if !ok {
+		return 0
+	}
+	d := rate * demandHeadroom
+	if d < demandFloorBytesPerSec {
+		d = demandFloorBytesPerSec
+	}
+	return d
 }
 
 func (n *Node) recordServed(client fairshare.ID, bytes int) {

@@ -145,6 +145,19 @@ func fuzzSeedMux() []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeedOverload builds the overload-control exchange: an extended
+// GET_MUX carrying deadline and priority, a shed answered with BUSY /
+// RETRY_AFTER, and a deadline-expired drop — the frames ISSUE 10 adds
+// to the protocol.
+func fuzzSeedOverload() []byte {
+	var buf bytes.Buffer
+	WriteFrame(&buf, TypeGetMux, (&Get{FileID: 0xAA, DeadlineMillis: 1500, Priority: 3}).Marshal())
+	WriteFrame(&buf, TypeGetMux, (&Get{FileID: 0xBB, Limit: 7}).Marshal()) // legacy 12-byte form
+	WriteFrame(&buf, TypeBusy, (&Busy{FileID: 0xBB, Code: CodeBusy, RetryAfterMillis: 250, Reason: "shed"}).Marshal())
+	WriteFrame(&buf, TypeBusy, (&Busy{FileID: 0xAA, Code: CodeExpired, Reason: "deadline passed"}).Marshal())
+	return buf.Bytes()
+}
+
 // FuzzFrameReader is the differential fuzzer of ISSUE 8: any byte
 // stream, parsed by the pooled FrameReader and the legacy ReadFrame,
 // must yield the identical (type, payload, error-class) sequence — and
@@ -152,10 +165,12 @@ func fuzzSeedMux() []byte {
 // with zero live buffers and zero double-releases.
 func FuzzFrameReader(f *testing.F) {
 	f.Add(fuzzSeedMux())
-	f.Add([]byte{})                                      // clean EOF
-	f.Add([]byte{byte(TypeData), 0, 0})                  // torn header
-	f.Add([]byte{byte(TypeData), 0, 0, 0, 8, 1})         // torn body
-	f.Add([]byte{byte(TypeGet), 0xFF, 0xFF, 0xFF, 0xFF}) // oversized length
+	f.Add(fuzzSeedOverload())
+	f.Add([]byte{byte(TypeBusy), 0, 0, 0, 4, 1, 2, 3, 4}) // busy frame too short to parse
+	f.Add([]byte{})                                       // clean EOF
+	f.Add([]byte{byte(TypeData), 0, 0})                   // torn header
+	f.Add([]byte{byte(TypeData), 0, 0, 0, 8, 1})          // torn body
+	f.Add([]byte{byte(TypeGet), 0xFF, 0xFF, 0xFF, 0xFF})  // oversized length
 	torn := fuzzSeedMux()
 	f.Add(torn[:len(torn)-7]) // valid interleaving ending in a torn frame
 	var big bytes.Buffer

@@ -43,6 +43,7 @@ const (
 	TypeContractInfo                    // obligation book response
 	TypeGetMux                          // multiplexed get: failures scoped to the stream, not the conn
 	TypeStreamError                     // terminal error for one multiplexed stream
+	TypeBusy                            // load shed: request refused or preempted, retry after a delay
 )
 
 func (t Type) String() string {
@@ -97,6 +98,8 @@ func (t Type) String() string {
 		return "GET_MUX"
 	case TypeStreamError:
 		return "STREAM_ERROR"
+	case TypeBusy:
+		return "BUSY"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -281,26 +284,53 @@ func (a *AuthResponse) Unmarshal(b []byte) error {
 
 // Get requests the messages of one file. Limit caps how many messages
 // the peer should send (0 means "all you have").
+//
+// DeadlineMillis and Priority propagate the requester's urgency to the
+// serving peer. DeadlineMillis is the *remaining* time budget at send
+// (relative, so no clock synchronization is needed; the peer anchors it
+// to its own clock on receipt); 0 means no deadline. A peer drops work
+// whose deadline has already passed instead of serving dead bytes.
+// Priority breaks admission ties under overload: a higher-priority
+// request may preempt a lower-priority stream. Both fields ride an
+// extended 17-byte encoding; when both are zero Marshal emits the
+// legacy 12-byte form, so old and new ends interoperate.
 type Get struct {
-	FileID uint64
-	Limit  uint32
+	FileID         uint64
+	Limit          uint32
+	DeadlineMillis uint32 // remaining budget in ms; 0 = no deadline
+	Priority       uint8  // 0 = normal; higher wins admission ties
 }
 
 // Marshal serializes the request.
 func (g *Get) Marshal() []byte {
-	out := make([]byte, 12)
+	if g.DeadlineMillis == 0 && g.Priority == 0 {
+		out := make([]byte, 12)
+		binary.BigEndian.PutUint64(out, g.FileID)
+		binary.BigEndian.PutUint32(out[8:], g.Limit)
+		return out
+	}
+	out := make([]byte, 17)
 	binary.BigEndian.PutUint64(out, g.FileID)
 	binary.BigEndian.PutUint32(out[8:], g.Limit)
+	binary.BigEndian.PutUint32(out[12:], g.DeadlineMillis)
+	out[16] = g.Priority
 	return out
 }
 
-// Unmarshal parses the request.
+// Unmarshal parses the request, accepting both the legacy 12-byte and
+// the extended 17-byte encodings.
 func (g *Get) Unmarshal(b []byte) error {
-	if len(b) != 12 {
+	if len(b) != 12 && len(b) != 17 {
 		return fmt.Errorf("%w: get of %d bytes", ErrBadFrame, len(b))
 	}
 	g.FileID = binary.BigEndian.Uint64(b)
 	g.Limit = binary.BigEndian.Uint32(b[8:])
+	g.DeadlineMillis = 0
+	g.Priority = 0
+	if len(b) == 17 {
+		g.DeadlineMillis = binary.BigEndian.Uint32(b[12:])
+		g.Priority = b[16]
+	}
 	return nil
 }
 
@@ -394,6 +424,8 @@ const (
 	CodeNotPermitted    uint16 = 5
 	CodeOverCapacity    uint16 = 6 // contract would exceed the peer's advertised capacity
 	CodeUnknownContract uint16 = 7 // renew/release of an obligation the peer does not hold
+	CodeBusy            uint16 = 8 // admission refused or stream preempted under overload
+	CodeExpired         uint16 = 9 // the request's deadline passed before it could be served
 )
 
 // ErrorMsg is a terminal protocol error.
@@ -455,6 +487,58 @@ func (e *StreamError) Unmarshal(b []byte) error {
 // Error makes a StreamError usable as a Go error directly.
 func (e *StreamError) Error() string {
 	return fmt.Sprintf("wire: stream %d error %d: %s", e.FileID, e.Code, e.Reason)
+}
+
+// Busy is a typed load-shed refusal. Unlike ErrorMsg it is NOT
+// terminal for the connection: the peer refused (or preempted) one
+// piece of work and the requester should retry after at least
+// RetryAfterMillis. FileID scopes the shed to one multiplexed stream;
+// 0 means the whole request (legacy GET path). Code is CodeBusy for
+// admission refusals and preemptions, CodeExpired when the request's
+// own deadline passed before service.
+type Busy struct {
+	FileID           uint64
+	Code             uint16
+	RetryAfterMillis uint32 // minimum back-off hint; always > 0 for CodeBusy
+	Reason           string
+}
+
+// Marshal serializes the busy frame.
+func (b *Busy) Marshal() []byte {
+	out := make([]byte, 14+len(b.Reason))
+	binary.BigEndian.PutUint64(out, b.FileID)
+	binary.BigEndian.PutUint16(out[8:], b.Code)
+	binary.BigEndian.PutUint32(out[10:], b.RetryAfterMillis)
+	copy(out[14:], b.Reason)
+	return out
+}
+
+// Unmarshal parses a busy frame.
+func (b *Busy) Unmarshal(p []byte) error {
+	if len(p) < 14 {
+		return fmt.Errorf("%w: busy frame of %d bytes", ErrBadFrame, len(p))
+	}
+	b.FileID = binary.BigEndian.Uint64(p)
+	b.Code = binary.BigEndian.Uint16(p[8:])
+	b.RetryAfterMillis = binary.BigEndian.Uint32(p[10:])
+	b.Reason = string(p[14:])
+	return nil
+}
+
+// Error makes a Busy frame usable as a Go error directly, so clients
+// can match on *wire.Busy and honor RetryAfterMillis.
+func (b *Busy) Error() string {
+	return fmt.Sprintf("wire: busy (code %d, retry after %dms): %s", b.Code, b.RetryAfterMillis, b.Reason)
+}
+
+// SendBusy writes a Busy frame. Unlike SendError this does not doom
+// the connection — the remote may keep other streams flowing and retry
+// the shed one later — but the same reparse contract applies: the
+// frame must always decode cleanly on a conforming reader (see
+// TestSendBusyReparses).
+func SendBusy(w io.Writer, fileID uint64, code uint16, retryAfterMillis uint32, reason string) error {
+	msg := Busy{FileID: fileID, Code: code, RetryAfterMillis: retryAfterMillis, Reason: reason}
+	return WriteFrame(w, TypeBusy, msg.Marshal())
 }
 
 // RemoteError is an error frame surfaced as a Go error.
