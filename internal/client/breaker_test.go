@@ -144,6 +144,32 @@ func TestHedgeDelayEstimator(t *testing.T) {
 	}
 }
 
+// TestShedProbeReleasesHalfOpenSlot pins the probe-slot release: a
+// half-open probe stream that ends in a BUSY shed proved the peer
+// alive, so the breaker closes and the slot frees. Classifying the
+// shed without touching the breaker used to strand the peer in
+// half-open with probing set forever — permanently excluded from the
+// hedge ladder.
+func TestShedProbeReleasesHalfOpenSlot(t *testing.T) {
+	h, now := testRegistry(Options{BreakerThreshold: 1, BreakerCooldown: time.Second})
+	h.recordFailure("p")
+	*now = now.Add(time.Second)
+	if !h.beginProbe("p") {
+		t.Fatal("probe not granted after cooldown")
+	}
+	h.recordShed("p")
+	if s := h.snapshot("p"); s.Breaker != "closed" || s.Sheds != 1 {
+		t.Fatalf("snapshot %+v after shed probe, want closed breaker with 1 shed", s)
+	}
+	if !h.allow("p") {
+		t.Fatal("peer still excluded after its shed probe resolved")
+	}
+	ladder, probeFrom := h.order([]*PeerSession{{addr: "p"}}, 0)
+	if len(ladder) != 1 || probeFrom != 1 {
+		t.Fatalf("ladder len %d probeFrom %d, want the peer back as a healthy rung", len(ladder), probeFrom)
+	}
+}
+
 func TestShedsFeedScoreNotBreaker(t *testing.T) {
 	h, _ := testRegistry(Options{BreakerThreshold: 1})
 	for i := 0; i < 10; i++ {

@@ -108,6 +108,15 @@ type Options struct {
 	// doubling on each failed half-open probe up to a cap. Zero means
 	// DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+
+	// Priority is the wire priority carried on every muxed GET that
+	// FetchFile's chunk streams issue (hedged and mux paths alike):
+	// higher values win admission ties at an overloaded peer. Zero is
+	// normal — and the only value pre-extension peers understand; a
+	// nonzero priority selects the extended GET encoding, which
+	// requires upgraded peers (see wire.Get). Per-request priority for
+	// the legacy path is FetchRequest.Priority.
+	Priority uint8
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -902,11 +911,12 @@ func (c *Client) fetchChunkMux(ctx context.Context, sessions []*PeerSession, par
 		go func(i int, s *PeerSession) {
 			defer wg.Done()
 			fp := s.Fingerprint()
-			errs[i] = s.Fetch(streamCtx, fileID, sink, func(n int) {
-				mu.Lock()
-				stats.BytesFrom[fp] += uint64(n)
-				mu.Unlock()
-			})
+			errs[i] = s.FetchStream(streamCtx,
+				StreamRequest{FileID: fileID, Priority: c.opt.Priority}, sink, func(n int) {
+					mu.Lock()
+					stats.BytesFrom[fp] += uint64(n)
+					mu.Unlock()
+				})
 			if sink.Done() {
 				cancel() // wake sibling streams so they STOP promptly
 			}

@@ -167,11 +167,22 @@ func (h *healthRegistry) recordFailure(addr string) {
 
 // recordShed notes a BUSY shed from an overloaded peer. A shed is not a
 // failure — the peer answered, correctly, that it is saturated — so it
-// feeds the ranking score but never the breaker.
+// feeds the ranking score and never trips the breaker. It does prove
+// liveness, though: an open or half-open breaker is closed, releasing
+// any claimed half-open probe slot, so a probe stream that ends in a
+// shed cannot strand the peer in half-open with its slot claimed
+// forever. The capped shed score keeps chronically saturated peers
+// down-ranked instead.
 func (h *healthRegistry) recordShed(addr string) {
 	h.mu.Lock()
-	h.peerLocked(addr).sheds++
+	p := h.peerLocked(addr)
+	p.sheds++
+	recovered := p.closeBreakerLocked()
 	h.mu.Unlock()
+	if recovered {
+		h.m.breakerRecoveries.Inc()
+		h.m.breakerOpen.Add(-1)
+	}
 }
 
 // scoreLocked ranks a peer for the hedge ladder: lower is healthier.

@@ -76,13 +76,14 @@ func (c *Client) fetchChunkHedged(ctx context.Context, sessions []*PeerSession, 
 		go func() {
 			defer wg.Done()
 			fp := l.sess.Fingerprint()
-			l.err = l.sess.Fetch(streamCtx, fileID, sink, func(n int) {
-				l.bytes.Add(int64(n))
-				progress.Add(int64(n))
-				mu.Lock()
-				stats.BytesFrom[fp] += uint64(n)
-				mu.Unlock()
-			})
+			l.err = l.sess.FetchStream(streamCtx,
+				StreamRequest{FileID: fileID, Priority: c.opt.Priority}, sink, func(n int) {
+					l.bytes.Add(int64(n))
+					progress.Add(int64(n))
+					mu.Lock()
+					stats.BytesFrom[fp] += uint64(n)
+					mu.Unlock()
+				})
 			results <- i
 		}()
 	}
@@ -101,9 +102,16 @@ func (c *Client) fetchChunkHedged(ctx context.Context, sessions []*PeerSession, 
 	// Primary stream plus every claimable half-open probe. The probes
 	// are why a quarantined peer can ever be observed recovering: its
 	// single post-cooldown stream runs alongside a healthy primary, so
-	// the chunk never depends on it.
+	// the chunk never depends on it. When every session is quarantined
+	// (probeFrom == 0) the first probe candidate doubles as the
+	// primary, so the probe loop skips any rung already launched —
+	// otherwise ladder[0] would stream twice, overflowing results and
+	// clobbering launches[0].
 	launch(0, false)
 	for i := probeFrom; i < len(ladder); i++ {
+		if launches[i] != nil {
+			continue
+		}
 		if c.health.beginProbe(ladder[i].Addr()) {
 			launch(i, true)
 		}

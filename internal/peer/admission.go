@@ -113,14 +113,24 @@ func (n *Node) admitStream(s *stream) admitVerdict {
 	return admitVerdict{retryAfterMillis: busyRetryAfterMillis}
 }
 
-// shedStream notifies and cancels a preempted stream. Called outside
-// n.mu: the BUSY frame goes out on the victim's own connection, whose
-// write lock may be held by the victim's serve loop mid-flush.
+// shedStream cancels a preempted stream and notifies it best-effort.
+// Called outside n.mu. The cancel comes first — it is what actually
+// frees the slot — and the BUSY frame goes out on its own goroutine:
+// it is written on the victim's connection, whose write lock may be
+// held by the victim's serve loop across a blocking, deadline-less
+// socket flush (a stalled reader is the typical preemption target), so
+// sending it inline would wedge the admitting connection's dispatcher
+// on a third party's socket. The goroutine unblocks, at the latest,
+// when the victim's connection closes.
 func (n *Node) shedStream(victim *stream, reason string) {
-	if victim.notifyBusy != nil {
-		victim.notifyBusy(wire.CodeBusy, busyRetryAfterMillis, reason)
-	}
 	victim.cancel()
+	if notify := victim.notifyBusy; notify != nil {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			notify(wire.CodeBusy, busyRetryAfterMillis, reason)
+		}()
+	}
 	n.recordShed(victim.client, true)
 }
 

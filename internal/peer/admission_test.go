@@ -153,6 +153,48 @@ func TestAdmissionEqualStandingDoesNotThrash(t *testing.T) {
 	}
 }
 
+// TestShedStreamDoesNotBlockOnVictimWriter pins the preemption
+// notification contract: the victim's BUSY frame is written on the
+// victim's own connection, whose write lock its serve loop may hold
+// across a blocked socket flush. shedStream must cancel the victim and
+// return without waiting on that write — blocking here would wedge the
+// admitting connection's dispatcher on a third party's socket.
+func TestShedStreamDoesNotBlockOnVictimWriter(t *testing.T) {
+	n := admissionNode(t, Config{UploadBytesPerSec: 1e6})
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // runs before n.Close's wg.Wait
+	notified := make(chan struct{})
+	victim := fakeStream("victim", 0)
+	victim.cancel = cancel
+	victim.notifyBusy = func(code uint16, retryAfterMillis uint32, reason string) {
+		close(notified)
+		<-release // a wedged connection writer: the flush never returns
+	}
+
+	done := make(chan struct{})
+	go func() {
+		n.shedStream(victim, "test preemption")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shedStream blocked on the victim's connection writer")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("victim not cancelled before shedStream returned")
+	}
+	select {
+	case <-notified:
+	case <-time.After(5 * time.Second):
+		t.Fatal("victim never received its best-effort BUSY notification")
+	}
+	if st := n.OverloadStats(); st.Sheds != 1 || st.Preempts != 1 {
+		t.Fatalf("overload stats %+v, want 1 shed (1 preempt)", st)
+	}
+}
+
 func TestBrownoutEngagesAtThreeQuarters(t *testing.T) {
 	n := admissionNode(t, Config{UploadBytesPerSec: 1e6, MaxStreams: 4})
 	if n.currentBatchBytes() != serveBatchBytes {

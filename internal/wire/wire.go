@@ -291,9 +291,16 @@ func (a *AuthResponse) Unmarshal(b []byte) error {
 // to its own clock on receipt); 0 means no deadline. A peer drops work
 // whose deadline has already passed instead of serving dead bytes.
 // Priority breaks admission ties under overload: a higher-priority
-// request may preempt a lower-priority stream. Both fields ride an
-// extended 17-byte encoding; when both are zero Marshal emits the
-// legacy 12-byte form, so old and new ends interoperate.
+// request may preempt a lower-priority stream.
+//
+// Interop: both fields ride an extended 17-byte encoding, and only
+// when both are zero does Marshal emit the legacy 12-byte form. A
+// pre-extension peer's strict Unmarshal rejects the 17-byte form as a
+// connection-level bad-frame error rather than ignoring the new
+// fields, so a nonzero deadline or priority requires every addressed
+// peer to be upgraded. Deploy order therefore matters: upgrade peers
+// first, then let clients start setting deadlines/priorities (there is
+// no capability negotiation in the handshake yet).
 type Get struct {
 	FileID         uint64
 	Limit          uint32
